@@ -1,0 +1,313 @@
+//! Layered audio/video streaming (paper §3.4, Figures 8-10).
+//!
+//! The server encodes content in discrete layers; the cumulative rate of
+//! layers `0..=k` is what transmitting at quality `k` costs. Two
+//! adaptation styles, exactly as the paper contrasts them:
+//!
+//! * **ALF (request/callback, Figure 8)** — the application keeps
+//!   `cm_request`s pipelined and transmits on every grant, "as rapidly as
+//!   possible to allow its client to buffer more data", choosing which
+//!   layer's data to send from the rate `cm_query` reports. Highly
+//!   responsive; the transmitted rate tracks every AIMD oscillation.
+//! * **Rate callback (Figure 9)** — the application clocks itself at the
+//!   current layer's rate over a congestion-controlled UDP socket and
+//!   changes layer only when a `cmapp_update` callback reports a
+//!   threshold crossing (`cm_thresh`), "relying occasionally on
+//!   short-term kernel buffering for smoothing".
+//!
+//! With the receiver batching feedback (`min(500 acks, 2000 ms)`), the
+//! same rate-callback server reproduces Figure 10's bursty estimates.
+
+use cm_core::types::{FeedbackReport, FlowId, FlowInfo, LossMode, Thresholds};
+use cm_libcm::dispatcher::{Dispatcher, NotifyMode};
+use cm_netsim::packet::Addr;
+use cm_transport::feedback::{DataPayload, FeedbackTracker};
+use cm_transport::host::{HostApp, HostOs};
+use cm_transport::segment::{UdpBody, UdpDatagram};
+use cm_transport::types::UdpSocketId;
+use cm_util::{Duration, Rate, Time, TimeSeries};
+
+/// Which adaptation API the streamer uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdaptMode {
+    /// Request/callback; transmit on every grant (Figure 8).
+    Alf,
+    /// Clocked transmission with `cm_thresh` rate callbacks (Figure 9).
+    RateCallback,
+}
+
+/// Timer token for the clocked send loop.
+const CLOCK: u64 = 1;
+/// Timer token for the periodic rate sampler.
+const SAMPLE: u64 = 2;
+/// Grants kept pipelined in ALF mode.
+const PIPELINE: u32 = 8;
+
+/// The layered streaming server.
+pub struct LayeredStreamer {
+    /// Receiver address.
+    pub remote: Addr,
+    /// Receiver port.
+    pub port: u16,
+    /// Adaptation style.
+    pub mode: AdaptMode,
+    /// Cumulative rates for transmitting layers `0..=k`.
+    pub layer_rates: Vec<Rate>,
+    /// Packet payload size.
+    pub packet_size: u32,
+    /// Stop sending at this instant.
+    pub stop_at: Time,
+    /// Currently selected layer index.
+    pub current_layer: usize,
+    /// Bytes transmitted.
+    pub bytes_sent: u64,
+    /// Packets transmitted.
+    pub packets_sent: u64,
+    /// Raw transmission events `(time, rate-right-now)` sampled per
+    /// packet burst; the harness bins them ("Transmission Rate").
+    pub tx_events: Vec<(Time, u32)>,
+    /// The CM-reported rate over time ("Rate reported by CM").
+    pub cm_rate: TimeSeries,
+    /// Layer-change history `(time, layer)`.
+    pub layer_changes: Vec<(Time, usize)>,
+    sock: Option<UdpSocketId>,
+    flow: Option<FlowId>,
+    /// libcm dispatcher (ALF mode wakeups).
+    pub libcm: Dispatcher,
+    tracker: FeedbackTracker,
+    requests_outstanding: u32,
+    seq: u64,
+}
+
+impl LayeredStreamer {
+    /// The paper's four-layer configuration, cumulative rates in KB/s
+    /// matching the 0-2500 KBps axes of Figures 8-10.
+    pub fn default_layers() -> Vec<Rate> {
+        vec![
+            Rate::from_bytes_per_sec(250_000),
+            Rate::from_bytes_per_sec(500_000),
+            Rate::from_bytes_per_sec(1_000_000),
+            Rate::from_bytes_per_sec(2_000_000),
+        ]
+    }
+
+    /// Creates a streamer.
+    pub fn new(remote: Addr, port: u16, mode: AdaptMode, stop_at: Time) -> Self {
+        LayeredStreamer {
+            remote,
+            port,
+            mode,
+            layer_rates: Self::default_layers(),
+            packet_size: 1000,
+            stop_at,
+            current_layer: 0,
+            bytes_sent: 0,
+            packets_sent: 0,
+            tx_events: Vec::new(),
+            cm_rate: TimeSeries::new(),
+            layer_changes: Vec::new(),
+            sock: None,
+            flow: None,
+            libcm: Dispatcher::new(NotifyMode::SelectLoop { extra_fds: 1 }),
+            tracker: FeedbackTracker::new(),
+            requests_outstanding: 0,
+            seq: 0,
+        }
+    }
+
+    /// The highest layer sustainable at `rate`.
+    fn layer_for(&self, rate: Rate) -> usize {
+        let mut layer = 0;
+        for (i, &r) in self.layer_rates.iter().enumerate() {
+            if rate.as_bps() >= r.as_bps() {
+                layer = i;
+            }
+        }
+        layer
+    }
+
+    fn send_packet(&mut self, os: &mut HostOs<'_, '_>) -> bool {
+        let Some(sock) = self.sock else { return false };
+        if os.now() >= self.stop_at {
+            return false;
+        }
+        let dgram = UdpDatagram {
+            tag: self.seq,
+            len: self.packet_size,
+            body: UdpBody::Data(DataPayload {
+                seq: self.seq,
+                bytes: self.packet_size,
+                sent_at: os.now(),
+                layer: self.current_layer as u8,
+            }),
+        };
+        let ok = os.udp_sendto(sock, self.remote, self.port, dgram);
+        if ok {
+            self.seq += 1;
+            self.packets_sent += 1;
+            self.bytes_sent += self.packet_size as u64;
+            self.tx_events.push((os.now(), self.packet_size));
+        }
+        ok
+    }
+
+    fn set_layer(&mut self, layer: usize, now: Time) {
+        if layer != self.current_layer {
+            self.current_layer = layer;
+            self.layer_changes.push((now, layer));
+        }
+    }
+
+    fn clock_interval(&self) -> Duration {
+        self.layer_rates[self.current_layer].transmit_time(self.packet_size as usize)
+    }
+
+    fn top_up_requests(&mut self, os: &mut HostOs<'_, '_>) {
+        let Some(flow) = self.flow else { return };
+        if os.now() >= self.stop_at {
+            return;
+        }
+        while self.requests_outstanding < PIPELINE {
+            os.cm_request(flow);
+            self.requests_outstanding += 1;
+        }
+    }
+
+    fn apply_feedback(&mut self, os: &mut HostOs<'_, '_>, ack: &cm_transport::feedback::AckPayload, rtt: Duration) {
+        let Some(flow) = self.flow else { return };
+        if let Some(delta) = self.tracker.absorb(ack) {
+            let wire_per_pkt = 28u64;
+            let report = if delta.packets_lost > 0 {
+                FeedbackReport::loss(
+                    LossMode::Transient,
+                    delta.packets_lost * (self.packet_size as u64 + wire_per_pkt),
+                )
+                .with_acked(
+                    delta.bytes_acked + delta.packets_acked * wire_per_pkt,
+                    delta.ack_events,
+                )
+                .with_rtt(rtt)
+            } else {
+                FeedbackReport::ack(
+                    delta.bytes_acked + delta.packets_acked * wire_per_pkt,
+                    delta.ack_events,
+                )
+                .with_rtt(rtt)
+            };
+            os.cm_update(flow, report);
+        }
+    }
+}
+
+impl HostApp for LayeredStreamer {
+    fn on_start(&mut self, os: &mut HostOs<'_, '_>) {
+        let sock = os.udp_socket(5004); // The RTP data port.
+        self.sock = Some(sock);
+        match self.mode {
+            AdaptMode::Alf => {
+                // "Applications that require tight control over data
+                // scheduling use the request/callback (ALF) API."
+                self.flow = Some(os.cm_open(5004, self.remote, self.port));
+                self.top_up_requests(os);
+            }
+            AdaptMode::RateCallback => {
+                // "Layered applications open their usual UDP socket":
+                // CC-UDP for kernel smoothing, thresholds for callbacks.
+                let flow = os.ccudp_connect(sock, self.remote, self.port);
+                os.cm_set_thresholds(flow, Some(Thresholds::new(0.85, 1.15)));
+                self.flow = Some(flow);
+                let iv = self.clock_interval();
+                os.set_app_timer(iv, CLOCK);
+            }
+        }
+        os.set_app_timer(Duration::from_millis(100), SAMPLE);
+    }
+
+    fn on_timer(&mut self, os: &mut HostOs<'_, '_>, token: u64) {
+        match token {
+            CLOCK => {
+                if os.now() >= self.stop_at {
+                    return;
+                }
+                // "Relies occasionally on short-term kernel buffering for
+                // smoothing": keep that buffer short — if the CM has not
+                // drained the last few packets yet, skip this tick so
+                // queueing delay never pollutes the RTT estimate.
+                if let Some(sock) = self.sock {
+                    if os.ccudp_queue_len(sock) < 8 {
+                        self.send_packet(os);
+                    }
+                }
+                let iv = self.clock_interval();
+                os.set_app_timer(iv, CLOCK);
+            }
+            SAMPLE => {
+                if os.now() >= self.stop_at {
+                    return;
+                }
+                // Periodically record what the CM believes the flow can
+                // sustain (the "Rate reported by CM" series).
+                if let Some(flow) = self.flow {
+                    if let Some(info) = os.cm_query(flow) {
+                        let now = os.now();
+                        self.cm_rate.push(now, info.rate.as_kbytes_per_sec());
+                        if self.mode == AdaptMode::Alf {
+                            let layer = self.layer_for(info.rate);
+                            self.set_layer(layer, now);
+                        }
+                    }
+                }
+                os.set_app_timer(Duration::from_millis(100), SAMPLE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cm_grant(&mut self, os: &mut HostOs<'_, '_>, flow: FlowId) {
+        // ALF mode only: transmit on every grant.
+        self.libcm.socket.post_grant(flow);
+        let now = os.now();
+        let wk = {
+            let (cpu, costs) = os.cpu_and_costs();
+            self.libcm.wakeup(now, cpu, costs)
+        };
+        for f in wk.ready {
+            self.requests_outstanding = self.requests_outstanding.saturating_sub(1);
+            if self.send_packet(os) {
+                let wire = self.packet_size as u64 + 28;
+                os.cm_notify(f, wire, false);
+            } else {
+                os.cm_notify(f, 0, false);
+            }
+        }
+        self.top_up_requests(os);
+    }
+
+    fn on_cm_rate_change(&mut self, os: &mut HostOs<'_, '_>, _flow: FlowId, info: FlowInfo) {
+        // Rate-callback mode: "the application decides which of the four
+        // layers it should send based on notifications from the CM".
+        let now = os.now();
+        self.cm_rate.push(now, info.rate.as_kbytes_per_sec());
+        if self.mode == AdaptMode::RateCallback {
+            let layer = self.layer_for(info.rate);
+            self.set_layer(layer, now);
+        }
+    }
+
+    fn on_udp(
+        &mut self,
+        os: &mut HostOs<'_, '_>,
+        _sock: UdpSocketId,
+        _from: Addr,
+        _from_port: u16,
+        dgram: UdpDatagram,
+    ) {
+        let UdpBody::Ack(ack) = dgram.body else {
+            return;
+        };
+        os.charge_recv(dgram.len as usize);
+        let now_ts = os.gettimeofday();
+        let rtt = now_ts.since(ack.echo_sent_at);
+        self.apply_feedback(os, &ack, rtt);
+    }
+}

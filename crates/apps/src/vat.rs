@@ -1,0 +1,249 @@
+//! The adaptive `vat` interactive-audio architecture (paper §3.6,
+//! Figure 2).
+//!
+//! `vat` produces constant-bit-rate audio it cannot downsample, so the
+//! only adaptation lever is *preemptive packet dropping*: a policer
+//! tracks the rate the CM reports and drops frames that exceed it before
+//! they reach the buffers, keeping queueing delay — the enemy of
+//! interactive audio — out of the pipeline:
+//!
+//! ```text
+//!  64K audio ──▶ policer ──▶ app buffer ──▶ kernel buffer ──▶ CM ──▶ net
+//!               (CM rate)   (drop-head)      (small, CC-UDP)
+//! ```
+//!
+//! The application buffer absorbs the congestion controller's short-term
+//! probing; drop-from-head keeps the buffered audio *fresh* (old audio is
+//! worthless in a conversation), versus the kernel's default drop-tail.
+
+use cm_core::types::{FeedbackReport, FlowId, FlowInfo, LossMode, Thresholds};
+use cm_netsim::packet::Addr;
+use cm_transport::feedback::{DataPayload, FeedbackTracker};
+use cm_transport::host::{HostApp, HostOs};
+use cm_transport::segment::{UdpBody, UdpDatagram};
+use cm_transport::types::UdpSocketId;
+use cm_util::{Duration, Rate, Time, TokenBucket};
+
+/// Application-buffer overflow behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropPolicy {
+    /// Drop the oldest frame (vat's choice: keep audio fresh).
+    Head,
+    /// Drop the incoming frame (the kernel-buffer default).
+    Tail,
+}
+
+/// Timer token for audio frame generation.
+const FRAME: u64 = 1;
+
+/// One buffered audio frame.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    seq: u64,
+    created: Time,
+}
+
+/// The CM-adaptive vat sender.
+pub struct VatAudio {
+    /// Receiver address.
+    pub remote: Addr,
+    /// Receiver port.
+    pub port: u16,
+    /// Source rate (64 Kbit/s in vat).
+    pub source_rate: Rate,
+    /// Audio frame interval (20 ms per RTP audio convention).
+    pub frame_interval: Duration,
+    /// Application buffer capacity, frames.
+    pub app_buffer_frames: usize,
+    /// Application buffer drop policy.
+    pub policy: DropPolicy,
+    /// Stop at this instant.
+    pub stop_at: Time,
+    /// Frames produced by the source.
+    pub frames_generated: u64,
+    /// Frames dropped by the policer (long-term adaptation).
+    pub policer_drops: u64,
+    /// Frames dropped by the app buffer (short-term overflow).
+    pub buffer_drops: u64,
+    /// Frames handed to the kernel.
+    pub frames_sent: u64,
+    /// Sum of frame ages at transmission, for mean-delay reporting.
+    age_sum_ns: u64,
+    sock: Option<UdpSocketId>,
+    flow: Option<FlowId>,
+    policer: TokenBucket,
+    buffer: std::collections::VecDeque<Frame>,
+    tracker: FeedbackTracker,
+    seq: u64,
+}
+
+impl VatAudio {
+    /// Creates a vat sender with the paper's constants: 64 Kbit/s source,
+    /// 20 ms frames.
+    pub fn new(remote: Addr, port: u16, policy: DropPolicy, stop_at: Time) -> Self {
+        let source_rate = Rate::from_kbps(64);
+        VatAudio {
+            remote,
+            port,
+            source_rate,
+            frame_interval: Duration::from_millis(20),
+            app_buffer_frames: 8,
+            policy,
+            stop_at,
+            frames_generated: 0,
+            policer_drops: 0,
+            buffer_drops: 0,
+            frames_sent: 0,
+            age_sum_ns: 0,
+            sock: None,
+            flow: None,
+            // The policer starts permissive (source rate) and adapts on
+            // CM rate callbacks; a two-frame burst allowance.
+            policer: TokenBucket::new(source_rate, 2 * 160),
+            buffer: std::collections::VecDeque::new(),
+            tracker: FeedbackTracker::new(),
+            seq: 0,
+        }
+    }
+
+    /// Frame payload size implied by the source rate and interval.
+    pub fn frame_bytes(&self) -> u32 {
+        self.source_rate.bytes_in(self.frame_interval) as u32
+    }
+
+    /// Mean queueing age of transmitted frames, milliseconds.
+    pub fn mean_send_age_ms(&self) -> f64 {
+        if self.frames_sent == 0 {
+            return 0.0;
+        }
+        self.age_sum_ns as f64 / 1e6 / self.frames_sent as f64
+    }
+
+    /// Fraction of generated frames that reached the kernel.
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.frames_generated == 0 {
+            return 0.0;
+        }
+        self.frames_sent as f64 / self.frames_generated as f64
+    }
+
+    /// Drains the app buffer into the kernel buffer while there is room
+    /// ("this buffer feeds into the kernel buffer on-demand").
+    fn drain(&mut self, os: &mut HostOs<'_, '_>) {
+        let Some(sock) = self.sock else { return };
+        let frame_bytes = self.frame_bytes();
+        while !self.buffer.is_empty() && os.ccudp_queue_len(sock) < 4 {
+            let frame = self.buffer.pop_front().expect("checked non-empty");
+            let now = os.now();
+            let dgram = UdpDatagram {
+                tag: frame.seq,
+                len: frame_bytes,
+                body: UdpBody::Data(DataPayload {
+                    seq: frame.seq,
+                    bytes: frame_bytes,
+                    sent_at: frame.created,
+                    layer: 0,
+                }),
+            };
+            if os.udp_sendto(sock, self.remote, self.port, dgram) {
+                self.frames_sent += 1;
+                self.age_sum_ns += now.since(frame.created).as_nanos();
+            }
+        }
+    }
+}
+
+impl HostApp for VatAudio {
+    fn on_start(&mut self, os: &mut HostOs<'_, '_>) {
+        let sock = os.udp_socket(5002);
+        self.sock = Some(sock);
+        // A small kernel buffer: vat wants its queueing in the app
+        // buffer where it controls the drop policy.
+        let flow = os.ccudp_connect(sock, self.remote, self.port);
+        os.cm_set_thresholds(flow, Some(Thresholds::new(0.9, 1.1)));
+        self.flow = Some(flow);
+        os.set_app_timer(self.frame_interval, FRAME);
+    }
+
+    fn on_timer(&mut self, os: &mut HostOs<'_, '_>, token: u64) {
+        if token != FRAME || os.now() >= self.stop_at {
+            return;
+        }
+        let now = os.now();
+        self.frames_generated += 1;
+        let frame_bytes = self.frame_bytes() as u64;
+        // Stage 1: the policer (long-term adaptation by preemptive drop).
+        if self.policer.try_consume(frame_bytes, now) {
+            // Stage 2: the application buffer (short-term smoothing).
+            if self.buffer.len() >= self.app_buffer_frames {
+                self.buffer_drops += 1;
+                match self.policy {
+                    DropPolicy::Head => {
+                        self.buffer.pop_front();
+                        self.buffer.push_back(Frame {
+                            seq: self.seq,
+                            created: now,
+                        });
+                    }
+                    DropPolicy::Tail => {
+                        // The incoming frame is the casualty.
+                    }
+                }
+            } else {
+                self.buffer.push_back(Frame {
+                    seq: self.seq,
+                    created: now,
+                });
+            }
+        } else {
+            self.policer_drops += 1;
+        }
+        self.seq += 1;
+        self.drain(os);
+        os.set_app_timer(self.frame_interval, FRAME);
+    }
+
+    fn on_cm_rate_change(&mut self, os: &mut HostOs<'_, '_>, _flow: FlowId, info: FlowInfo) {
+        // Long-term adaptation: police to what the network can carry,
+        // never above the source rate.
+        let target = info.rate.min(self.source_rate);
+        let floor = Rate::from_kbps(4);
+        self.policer.set_rate(target.max(floor), os.now());
+    }
+
+    fn on_udp(
+        &mut self,
+        os: &mut HostOs<'_, '_>,
+        _sock: UdpSocketId,
+        _from: Addr,
+        _from_port: u16,
+        dgram: UdpDatagram,
+    ) {
+        let UdpBody::Ack(ack) = dgram.body else {
+            return;
+        };
+        os.charge_recv(dgram.len as usize);
+        let now_ts = os.gettimeofday();
+        let rtt = now_ts.since(ack.echo_sent_at);
+        if let Some(delta) = self.tracker.absorb(&ack) {
+            let Some(flow) = self.flow else { return };
+            let frame_wire = self.frame_bytes() as u64 + 28;
+            let report = if delta.packets_lost > 0 {
+                FeedbackReport::loss(LossMode::Transient, delta.packets_lost * frame_wire)
+                    .with_acked(
+                        delta.bytes_acked + delta.packets_acked * 28,
+                        delta.ack_events,
+                    )
+                    .with_rtt(rtt)
+            } else {
+                FeedbackReport::ack(
+                    delta.bytes_acked + delta.packets_acked * 28,
+                    delta.ack_events,
+                )
+                .with_rtt(rtt)
+            };
+            os.cm_update(flow, report);
+        }
+        self.drain(os);
+    }
+}

@@ -1,0 +1,80 @@
+//! Microbenchmarks for the CM API entry points: the per-call costs a
+//! kernel integrator would care about.
+
+use cm_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn api_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cm_api");
+    g.sample_size(30);
+
+    g.bench_function("open_close", |b| {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let mut port = 0u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            let key = FlowKey::new(Endpoint::new(1, port), Endpoint::new(2, 80));
+            let f = cm.open(key, Time::ZERO).expect("open");
+            cm.close(black_box(f), Time::ZERO).expect("close");
+        });
+    });
+
+    g.bench_function("request_notify_update_cycle", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let key = FlowKey::new(Endpoint::new(1, 9), Endpoint::new(2, 80));
+        let f = cm.open(key, Time::ZERO).expect("open");
+        b.iter(|| {
+            cm.request(f, Time::ZERO).expect("request");
+            let _ = cm.drain_notifications();
+            cm.notify(f, 1460, Time::ZERO).expect("notify");
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+                Time::ZERO,
+            )
+            .expect("update");
+            black_box(cm.stats().grants);
+        });
+    });
+
+    g.bench_function("query", |b| {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let key = FlowKey::new(Endpoint::new(1, 9), Endpoint::new(2, 80));
+        let f = cm.open(key, Time::ZERO).expect("open");
+        cm.update(
+            f,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+            Time::ZERO,
+        )
+        .expect("update");
+        b.iter(|| black_box(cm.query(f, Time::ZERO).expect("query")));
+    });
+
+    g.bench_function("bulk_request_16_flows", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let flows: Vec<FlowId> = (0..16)
+            .map(|i| {
+                let key = FlowKey::new(Endpoint::new(1, 100 + i), Endpoint::new(2, 80));
+                cm.open(key, Time::ZERO).expect("open")
+            })
+            .collect();
+        b.iter(|| {
+            cm.bulk_request(black_box(&flows), Time::ZERO).expect("bulk");
+            let _ = cm.drain_notifications();
+            for &f in &flows {
+                let _ = cm.notify(f, 0, Time::ZERO);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, api_costs);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Event-queue throughput: schedule/pop cycles under realistic fan-out.
+
+use cm_netsim::event::{EventQueue, SimEvent};
+use cm_netsim::sim::NodeId;
+use cm_util::Time;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(30);
+
+    g.bench_function("schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                // Pseudo-shuffled times exercise heap reordering.
+                let t = (i * 7919) % 1_000;
+                q.schedule(
+                    Time::from_micros(t),
+                    SimEvent::Timer {
+                        node: NodeId(0),
+                        token: i,
+                        timer_id: i,
+                    },
+                );
+            }
+            let mut count = 0;
+            while let Some((t, _)) = q.pop() {
+                black_box(t);
+                count += 1;
+            }
+            assert_eq!(count, 1_000);
+        });
+    });
+
+    g.bench_function("interleaved_64", |b| {
+        let mut q = EventQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..64 {
+                i += 1;
+                q.schedule(
+                    Time::from_micros(i % 512),
+                    SimEvent::Timer {
+                        node: NodeId(0),
+                        token: i,
+                        timer_id: i,
+                    },
+                );
+            }
+            for _ in 0..64 {
+                black_box(q.pop());
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops);
+criterion_main!(benches);

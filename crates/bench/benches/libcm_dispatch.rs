@@ -1,0 +1,58 @@
+//! libcm dispatch path: control-socket posting plus wakeup batching.
+
+use cm_core::types::{FlowId, FlowInfo};
+use cm_libcm::dispatcher::{Dispatcher, NotifyMode};
+use cm_netsim::cpu::{CostModel, Cpu};
+use cm_util::{Duration, Rate, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("libcm_dispatch");
+    g.sample_size(30);
+
+    g.bench_function("grant_wakeup_batch_16", |b| {
+        let mut d = Dispatcher::new(NotifyMode::SelectLoop { extra_fds: 4 });
+        let mut cpu = Cpu::new();
+        let costs = CostModel::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            for i in 0..16 {
+                d.socket.post_grant(FlowId(i));
+            }
+            let w = d.wakeup(Time::from_micros(t), &mut cpu, &costs);
+            assert_eq!(w.ready.len(), 16);
+            black_box(w);
+        });
+    });
+
+    g.bench_function("status_coalescing", |b| {
+        let mut d = Dispatcher::new(NotifyMode::Sigio);
+        let mut cpu = Cpu::new();
+        let costs = CostModel::default();
+        let info = FlowInfo {
+            rate: Rate::from_kbps(500),
+            srtt: Some(Duration::from_millis(40)),
+            rttvar: Duration::from_millis(4),
+            loss_rate: 0.0,
+            cwnd: 14600,
+            mtu: 1460,
+        };
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            // Many updates to one flow coalesce to the latest.
+            for _ in 0..8 {
+                d.socket.post_status(FlowId(3), info);
+            }
+            let w = d.wakeup(Time::from_micros(t), &mut cpu, &costs);
+            assert_eq!(w.updates.len(), 1);
+            black_box(w);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dispatch);
+criterion_main!(benches);

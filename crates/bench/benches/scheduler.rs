@@ -1,0 +1,52 @@
+//! Scheduler ablation: grant-selection throughput for the paper's
+//! round-robin default versus the weighted and stride extensions.
+
+use cm_core::scheduler::{
+    RoundRobinScheduler, Scheduler, StrideScheduler, WeightedRoundRobinScheduler,
+};
+use cm_core::types::FlowId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run_cycle(s: &mut dyn Scheduler, flows: usize) {
+    for i in 0..flows {
+        s.enqueue(FlowId(i as u32));
+    }
+    while let Some(f) = s.dequeue() {
+        black_box(f);
+    }
+}
+
+fn schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_64_flows");
+    g.sample_size(30);
+    const N: usize = 64;
+
+    g.bench_function("round_robin", |b| {
+        let mut s = RoundRobinScheduler::new();
+        for i in 0..N {
+            s.add_flow(FlowId(i as u32), 1);
+        }
+        b.iter(|| run_cycle(&mut s, N));
+    });
+
+    g.bench_function("weighted_round_robin", |b| {
+        let mut s = WeightedRoundRobinScheduler::new();
+        for i in 0..N {
+            s.add_flow(FlowId(i as u32), (i as u32 % 4) + 1);
+        }
+        b.iter(|| run_cycle(&mut s, N));
+    });
+
+    g.bench_function("stride", |b| {
+        let mut s = StrideScheduler::new();
+        for i in 0..N {
+            s.add_flow(FlowId(i as u32), (i as u32 % 4) + 1);
+        }
+        b.iter(|| run_cycle(&mut s, N));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, schedulers);
+criterion_main!(benches);

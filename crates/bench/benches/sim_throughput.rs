@@ -1,0 +1,52 @@
+//! End-to-end simulator throughput: how fast a full TCP-over-CM transfer
+//! simulates (simulated megabytes per wall second).
+
+use cm_bench::bulk_transfer;
+use cm_netsim::channel::PathSpec;
+use cm_netsim::cpu::CostModel;
+use cm_transport::types::CcMode;
+use cm_util::Time;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+
+    g.bench_function("tcp_cm_1mb_transfer", |b| {
+        b.iter(|| {
+            let o = bulk_transfer(
+                CcMode::Cm,
+                &PathSpec::fig3(0.0),
+                1_000_000,
+                42,
+                CostModel::free(),
+                true,
+                1460,
+                Time::from_secs(120),
+            );
+            assert!(o.completed);
+            black_box(o.goodput_bps);
+        });
+    });
+
+    g.bench_function("tcp_native_1mb_transfer_with_loss", |b| {
+        b.iter(|| {
+            let o = bulk_transfer(
+                CcMode::Native,
+                &PathSpec::fig3(0.01),
+                1_000_000,
+                42,
+                CostModel::free(),
+                true,
+                1460,
+                Time::from_secs(300),
+            );
+            black_box(o.goodput_bps);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3: throughput vs. loss rate for TCP/CM and TCP/Linux.
+//!
+//! "Comparing throughput vs. loss for TCP/CM and TCP/Linux. Rates are for
+//! a 10 Mbps link with a 60 ms RTT." Loss is Dummynet-style random drop
+//! on the data direction, 0-5 %.
+//!
+//! Expected shape: both curves fall steeply with loss; TCP/CM tracks
+//! TCP/Linux (slightly above it at low loss thanks to byte counting and
+//! SACK-clean recovery), confirming the CM's congestion control is
+//! TCP-compatible.
+
+use cm_bench::{fig3_point, Table};
+use cm_transport::types::CcMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total, seeds) = if quick { (1_000_000, 2) } else { (4_000_000, 3) };
+    let losses = [0.0, 0.0025, 0.005, 0.01, 0.015, 0.02, 0.03, 0.04, 0.05];
+
+    let mut t = Table::new(&["loss %", "TCP/CM KB/s", "TCP/Linux KB/s"]);
+    for &loss in &losses {
+        let cm = fig3_point(CcMode::Cm, loss, total, seeds);
+        let linux = fig3_point(CcMode::Native, loss, total, seeds);
+        t.row_f64(&format!("{:.2}", loss * 100.0), &[cm, linux]);
+    }
+    t.emit("Figure 3: throughput vs. loss (10 Mbps, 60 ms RTT)");
+    println!("Paper: both ~450-480 KB/s near 0.5% falling to ~50 KB/s at 5%; curves track each other.");
+}

@@ -1,0 +1,68 @@
+//! Figure 4: 100 Mbps TCP throughput vs. transfer length.
+//!
+//! "We used long (megabytes to gigabytes) connections with the ttcp
+//! utility ... in a 1 gigabyte transfer, the congestion manager achieved
+//! identical performance (91.6 Mbps) as native Linux. On shorter runs,
+//! the throughput of the CM diverged slightly from that of Linux, but
+//! only by 0.5%. The difference is due to the CM using an initial window
+//! of 1 MTU and Linux using 2 MTU, not CPU overhead."
+//!
+//! The x-axis counts ttcp buffers (8 KB each) transmitted.
+
+use cm_bench::{bulk_transfer, Table};
+use cm_netsim::channel::PathSpec;
+use cm_netsim::cpu::CostModel;
+use cm_netsim::link::QueueSpec;
+use cm_transport::types::CcMode;
+use cm_util::Time;
+
+/// ttcp's default buffer size.
+const BUF: u64 = 8 * 1024;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut buffer_counts: Vec<u64> = vec![1_000, 3_000, 10_000, 30_000, 100_000];
+    if full {
+        buffer_counts.push(300_000);
+        buffer_counts.push(1_000_000);
+    }
+    // A switched LAN with enough buffering that the paper's "no losses"
+    // observation holds.
+    let path = PathSpec::lan().with_queue(QueueSpec::DropTailPackets(256));
+
+    let mut t = Table::new(&[
+        "buffers",
+        "TCP/CM KB/s",
+        "TCP/Linux KB/s",
+        "gap %",
+    ]);
+    for &n in &buffer_counts {
+        let total = n * BUF;
+        let cm = bulk_transfer(
+            CcMode::Cm,
+            &path,
+            total,
+            42,
+            CostModel::default(),
+            true,
+            1460,
+            Time::from_secs(3_000),
+        );
+        let linux = bulk_transfer(
+            CcMode::Native,
+            &path,
+            total,
+            42,
+            CostModel::default(),
+            true,
+            1460,
+            Time::from_secs(3_000),
+        );
+        let cm_kbs = cm.goodput_bps / 1000.0;
+        let linux_kbs = linux.goodput_bps / 1000.0;
+        let gap = (linux_kbs - cm_kbs) / linux_kbs * 100.0;
+        t.row_f64(&format!("{n}"), &[cm_kbs, linux_kbs, gap]);
+    }
+    t.emit("Figure 4: 100 Mbps TCP throughput vs. buffers transmitted (8 KB buffers)");
+    println!("Paper: ~11,400-11,480 KB/s for both; worst-case gap 0.5% (IW 1 vs 2), vanishing for long runs.");
+}

@@ -1,0 +1,66 @@
+//! Table 1: cumulative sources of overhead for the CM APIs.
+//!
+//! ```text
+//! ALF/noconnect   1 cm_notify (ioctl)
+//! ALF             1 cm_request (ioctl), 1 extra socket
+//! Buffered        1 recv, 2 gettimeofday
+//! TCP/CM          -- baseline --
+//! ```
+//!
+//! This binary audits the per-packet operation counts of the Figure 6
+//! senders, verifying that each API performs exactly the extra operations
+//! the paper attributes to it.
+
+use cm_apps::blast::BlastApi;
+use cm_bench::{blast, Table};
+
+fn main() {
+    let packets: u64 = 2_000;
+    let size: u32 = 500;
+
+    let buffered = blast(BlastApi::Buffered, size, packets, 42);
+    let alf = blast(BlastApi::Alf, size, packets, 42);
+    let alf_nc = blast(BlastApi::AlfNoconnect, size, packets, 42);
+
+    let per = |v: u64| v as f64 / packets as f64;
+
+    let mut t = Table::new(&[
+        "API",
+        "syscalls/pkt",
+        "ioctls/pkt",
+        "selects/pkt",
+        "gettimeofday/pkt",
+    ]);
+    for (name, o) in [
+        ("Buffered", &buffered),
+        ("ALF", &alf),
+        ("ALF/noconnect", &alf_nc),
+    ] {
+        t.row_f64(
+            name,
+            &[
+                per(o.ops.syscalls),
+                per(o.ops.ioctls),
+                per(o.ops.selects),
+                per(o.ops.gettimeofdays),
+            ],
+        );
+    }
+    t.emit("Table 1 audit: per-packet operation counts by API");
+
+    println!("Cumulative deltas (paper's Table 1):");
+    println!(
+        "  Buffered = TCP/CM + 1 recv + 2 gettimeofday   -> measured {:.2} gettimeofday/pkt",
+        per(buffered.ops.gettimeofdays)
+    );
+    println!(
+        "  ALF = Buffered + 1 cm_request (ioctl) + extra select socket -> ioctls {:.2} vs {:.2}",
+        per(alf.ops.ioctls),
+        per(buffered.ops.ioctls)
+    );
+    println!(
+        "  ALF/noconnect = ALF + 1 cm_notify (ioctl)     -> ioctls {:.2} vs {:.2}",
+        per(alf_nc.ops.ioctls),
+        per(alf.ops.ioctls)
+    );
+}

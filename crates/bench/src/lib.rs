@@ -1,0 +1,15 @@
+//! Experiment harness for the OSDI 2000 Congestion Manager reproduction.
+//!
+//! One binary per table/figure (see `src/bin/`); this library holds the
+//! shared scenario builders and the report formatting. Every scenario is
+//! deterministic given its seed, so rerunning a figure reproduces it
+//! byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenarios;
+
+pub use report::Table;
+pub use scenarios::*;

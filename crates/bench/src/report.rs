@@ -1,0 +1,154 @@
+//! Aligned-table and CSV output for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned results table that also serializes to CSV.
+///
+/// # Examples
+///
+/// ```
+/// use cm_bench::Table;
+///
+/// let mut t = Table::new(&["loss%", "TCP/CM", "TCP/Linux"]);
+/// t.row(&["0.0", "867.8", "533.0"]);
+/// let text = t.render();
+/// assert!(text.contains("TCP/CM"));
+/// assert!(t.to_csv().starts_with("loss%,TCP/CM,TCP/Linux"));
+/// ```
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of formatted floats (one decimal unless tiny).
+    pub fn row_f64(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        for v in values {
+            cells.push(if v.abs() < 10.0 {
+                format!("{v:.2}")
+            } else {
+                format!("{v:.1}")
+            });
+        }
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+            let _ = i;
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to CSV (header line + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and, when `CM_BENCH_CSV` is set, also writes the
+    /// CSV beside it.
+    pub fn emit(&self, title: &str) {
+        println!("\n== {title} ==");
+        println!("{}", self.render());
+        if std::env::var_os("CM_BENCH_CSV").is_some() {
+            let path = format!(
+                "{}.csv",
+                title
+                    .to_lowercase()
+                    .replace(|c: char| !c.is_alphanumeric(), "_")
+            );
+            if std::fs::write(&path, self.to_csv()).is_ok() {
+                println!("(csv written to {path})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["1", "2"]);
+        t.row(&["100", "20000"]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row_f64("0.5", &[123.456]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,y"));
+        assert_eq!(lines.next(), Some("0.5,123.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_mismatch_panics() {
+        let mut t = Table::new(&["only"]);
+        t.row(&["a", "b"]);
+    }
+}

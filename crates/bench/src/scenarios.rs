@@ -1,0 +1,497 @@
+//! Shared experiment scenarios.
+//!
+//! Each function builds a deterministic simulation matching one of the
+//! paper's testbed setups and returns the measurements the figures plot.
+
+use cm_apps::ack_clients::{AckReceiver, FeedbackPolicy};
+use cm_apps::blast::{BlastApi, BlastSender};
+use cm_apps::bulk::{BulkReceiver, BulkSender};
+use cm_apps::cross::{NullSink, OnOffSource};
+use cm_apps::layered::{AdaptMode, LayeredStreamer};
+use cm_apps::vat::{DropPolicy, VatAudio};
+use cm_apps::web::{WebClient, WebServer};
+use cm_netsim::channel::PathSpec;
+use cm_netsim::cpu::{CostModel, OpCounts};
+use cm_netsim::link::LinkSpec;
+use cm_netsim::topology::Topology;
+use cm_transport::host::{Host, HostConfig};
+use cm_core::config::CmConfig;
+use cm_transport::tcp::TcpConfig;
+use cm_transport::types::{CcMode, TcpConnId};
+use cm_util::{Duration, Rate, Time, TimeSeries};
+
+/// Result of one bulk TCP transfer.
+#[derive(Clone, Copy, Debug)]
+pub struct BulkOutcome {
+    /// Application goodput in bytes/second (NaN if incomplete).
+    pub goodput_bps: f64,
+    /// Whether the transfer finished within the deadline.
+    pub completed: bool,
+    /// Transfer duration (connection initiation to final ACK).
+    pub elapsed: Duration,
+    /// Handshake duration.
+    pub connect_time: Option<Duration>,
+    /// Sender CPU busy time over the run.
+    pub cpu_busy: Duration,
+    /// Sender CPU utilization over the transfer window.
+    pub cpu_utilization: f64,
+    /// Data segments transmitted (first transmissions).
+    pub segs_sent: u64,
+    /// Bytes retransmitted.
+    pub bytes_rtx: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+}
+
+/// Runs one ttcp-style bulk transfer over `path`.
+#[allow(clippy::too_many_arguments)]
+pub fn bulk_transfer(
+    mode: CcMode,
+    path: &PathSpec,
+    total: u64,
+    seed: u64,
+    cost: CostModel,
+    delayed_ack: bool,
+    mss: usize,
+    deadline: Time,
+) -> BulkOutcome {
+    // The CM grants in MTU units; align it with the test's segment size.
+    // The 64 KB receive window is the era-correct default and keeps the
+    // LAN runs loss-free, as the paper observed on its testbed.
+    let tcp = TcpConfig {
+        mss,
+        delayed_ack,
+        rwnd: 64 * 1024,
+        ..Default::default()
+    };
+    let cm = CmConfig {
+        mtu: mss,
+        ..Default::default()
+    };
+    let mut topo = Topology::new(seed);
+    let mut server = Host::new(HostConfig {
+        cost,
+        tcp: tcp.clone(),
+        cm: cm.clone(),
+        ..Default::default()
+    });
+    server.add_app(Box::new(BulkReceiver::new(80, mode)));
+    let server_id = topo.add_host(Box::new(server));
+    let server_addr = topo.sim().addr_of(server_id);
+
+    let mut client = Host::new(HostConfig {
+        cost,
+        tcp,
+        cm,
+        ..Default::default()
+    });
+    let tx_app = client.add_app(Box::new(BulkSender::new(server_addr, 80, mode, total)));
+    let client_id = topo.add_host(Box::new(client));
+    topo.emulated_path(client_id, server_id, path);
+    let mut sim = topo.build();
+    sim.run_until(deadline);
+
+    let host = sim.node_ref::<Host>(client_id);
+    let tx = host.app_ref::<BulkSender>(tx_app);
+    let conn = host.tcp_conn(TcpConnId(0));
+    let elapsed = match (tx.started_at, tx.done_at) {
+        (Some(s), Some(d)) => d.since(s),
+        (Some(s), None) => sim.now().since(s),
+        _ => Duration::ZERO,
+    };
+    BulkOutcome {
+        goodput_bps: tx.goodput_bps().unwrap_or(f64::NAN),
+        completed: tx.done_at.is_some(),
+        elapsed,
+        connect_time: tx.connect_time(),
+        cpu_busy: host.cpu.total_busy(),
+        cpu_utilization: if elapsed.is_zero() {
+            0.0
+        } else {
+            (host.cpu.total_busy() / elapsed).min(1.0)
+        },
+        segs_sent: conn.map(|c| c.stats.segs_sent).unwrap_or(0),
+        bytes_rtx: conn.map(|c| c.stats.bytes_rtx).unwrap_or(0),
+        timeouts: conn.map(|c| c.stats.timeouts).unwrap_or(0),
+    }
+}
+
+/// Figure 3 point: mean goodput in KB/s over `seeds` runs at `loss`.
+pub fn fig3_point(mode: CcMode, loss: f64, total: u64, seeds: u64) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for s in 0..seeds {
+        let o = bulk_transfer(
+            mode,
+            &PathSpec::fig3(loss),
+            total,
+            42 + s,
+            CostModel::free(),
+            true,
+            1460,
+            Time::from_secs(600),
+        );
+        if o.completed {
+            sum += o.goodput_bps / 1000.0;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Result of one UDP API-overhead run (Figure 6 / Table 1).
+#[derive(Clone, Copy, Debug)]
+pub struct BlastOutcome {
+    /// Mean microseconds per packet.
+    pub us_per_packet: f64,
+    /// Sender-side operation counts.
+    pub ops: OpCounts,
+    /// Packets acknowledged.
+    pub acked: u64,
+}
+
+/// Runs a fixed-size-packet blaster over the given user-space API on the
+/// loss-free LAN.
+pub fn blast(api: BlastApi, packet_size: u32, target: u64, seed: u64) -> BlastOutcome {
+    let mut topo = Topology::new(seed);
+    let mut rx_host = Host::new(HostConfig {
+        cost: CostModel::default(),
+        ..Default::default()
+    });
+    rx_host.add_app(Box::new(AckReceiver::new(9100, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+    let mut tx_host = Host::new(HostConfig {
+        cost: CostModel::default(),
+        ..Default::default()
+    });
+    let tx_app = tx_host.add_app(Box::new(BlastSender::new(
+        rx_addr,
+        9100,
+        api,
+        packet_size,
+        target,
+    )));
+    let tx_id = topo.add_host(Box::new(tx_host));
+    // A generous switch buffer: the paper's LAN tests saw no losses.
+    let path = PathSpec::lan().with_queue(cm_netsim::link::QueueSpec::DropTailPackets(256));
+    topo.emulated_path(tx_id, rx_id, &path);
+    let mut sim = topo.build();
+    sim.run_until(Time::from_secs(600));
+    let host = sim.node_ref::<Host>(tx_id);
+    let tx = host.app_ref::<BlastSender>(tx_app);
+    BlastOutcome {
+        us_per_packet: tx.us_per_packet().unwrap_or(f64::NAN),
+        ops: host.cpu.ops,
+        acked: tx.acked,
+    }
+}
+
+/// Runs the TCP side of Figure 6: a bulk transfer with `mss`-sized
+/// segments on the LAN; returns steady-state microseconds per data
+/// segment (the slow-start warmup quarter is discarded, matching the
+/// paper's long 200k-packet averaging).
+pub fn tcp_blast(
+    mode: CcMode,
+    mss: usize,
+    segments: u64,
+    delayed_ack: bool,
+    seed: u64,
+) -> f64 {
+    let total = mss as u64 * segments;
+    let path = PathSpec::lan().with_queue(cm_netsim::link::QueueSpec::DropTailPackets(256));
+    let o = bulk_transfer_steady(
+        mode,
+        &path,
+        total,
+        seed,
+        CostModel::default(),
+        delayed_ack,
+        mss,
+        Time::from_secs(600),
+    );
+    match o {
+        Some(bps) if bps > 0.0 => mss as f64 / bps * 1e6,
+        _ => f64::NAN,
+    }
+}
+
+/// Like [`bulk_transfer`] but returns the steady-state goodput in
+/// bytes/second, or `None` if incomplete.
+#[allow(clippy::too_many_arguments)]
+fn bulk_transfer_steady(
+    mode: CcMode,
+    path: &PathSpec,
+    total: u64,
+    seed: u64,
+    cost: CostModel,
+    delayed_ack: bool,
+    mss: usize,
+    deadline: Time,
+) -> Option<f64> {
+    let tcp = TcpConfig {
+        mss,
+        delayed_ack,
+        rwnd: 64 * 1024,
+        ..Default::default()
+    };
+    let cm = CmConfig {
+        mtu: mss,
+        ..Default::default()
+    };
+    let mut topo = Topology::new(seed);
+    let mut server = Host::new(HostConfig {
+        cost,
+        tcp: tcp.clone(),
+        cm: cm.clone(),
+        ..Default::default()
+    });
+    server.add_app(Box::new(BulkReceiver::new(80, mode)));
+    let server_id = topo.add_host(Box::new(server));
+    let server_addr = topo.sim().addr_of(server_id);
+    let mut client = Host::new(HostConfig {
+        cost,
+        tcp,
+        cm,
+        ..Default::default()
+    });
+    let tx_app = client.add_app(Box::new(BulkSender::new(server_addr, 80, mode, total)));
+    let client_id = topo.add_host(Box::new(client));
+    topo.emulated_path(client_id, server_id, path);
+    let mut sim = topo.build();
+    sim.run_until(deadline);
+    sim.node_ref::<Host>(client_id)
+        .app_ref::<BulkSender>(tx_app)
+        .steady_goodput_bps()
+}
+
+/// Result of a streaming adaptation run (Figures 8-10).
+pub struct StreamOutcome {
+    /// Transmission rate over time, KB/s, binned.
+    pub tx_rate: Vec<(f64, f64)>,
+    /// CM-reported rate over time, KB/s, binned.
+    pub cm_rate: Vec<(f64, f64)>,
+    /// Layer changes `(seconds, layer)`.
+    pub layer_changes: Vec<(f64, usize)>,
+    /// Total bytes delivered to the receiver.
+    pub delivered: u64,
+}
+
+/// Runs the layered streamer over a wide-area dumbbell with square-wave
+/// cross traffic, reproducing the Figure 8-10 environment.
+pub fn layered_stream(
+    mode: AdaptMode,
+    secs: u64,
+    feedback: FeedbackPolicy,
+    bin: Duration,
+    seed: u64,
+) -> StreamOutcome {
+    let stop = Time::from_secs(secs);
+    let mut topo = Topology::new(seed);
+
+    let mut rx_host = Host::new(HostConfig::default());
+    let rx_app = rx_host.add_app(Box::new(AckReceiver::new(9000, feedback)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+
+    let mut sink_host = Host::new(HostConfig::default());
+    sink_host.add_app(Box::new(NullSink::new(7000)));
+    let sink_id = topo.add_host(Box::new(sink_host));
+    let sink_addr = topo.sim().addr_of(sink_id);
+
+    let mut tx_host = Host::new(HostConfig::default());
+    let tx_app = tx_host.add_app(Box::new(LayeredStreamer::new(rx_addr, 9000, mode, stop)));
+    let tx_id = topo.add_host(Box::new(tx_host));
+
+    // Cross traffic removes ~60% of the bottleneck while on, so the
+    // sustainable layer flips between the top and a middle layer.
+    let mut cross_host = Host::new(HostConfig::default());
+    let mut src = OnOffSource::new(
+        sink_addr,
+        7000,
+        Rate::from_mbps(12),
+        Duration::from_secs(5),
+        Duration::from_secs(5),
+    );
+    src.start_after = Duration::from_secs(6);
+    src.stop_at = stop;
+    cross_host.add_app(Box::new(src));
+    let cross_id = topo.add_host(Box::new(cross_host));
+
+    // 20 Mbps bottleneck, ~70 ms RTT: the vBNS-like wide-area path.
+    let bottleneck = LinkSpec::new(Rate::from_mbps(20), Duration::from_millis(30));
+    let access = LinkSpec::new(Rate::from_mbps(100), Duration::from_millis(2));
+    topo.dumbbell(&[tx_id, cross_id], &[rx_id, sink_id], &bottleneck, &access);
+    let mut sim = topo.build();
+    sim.run_until(stop + Duration::from_secs(1));
+
+    let tx = sim.node_ref::<Host>(tx_id).app_ref::<LayeredStreamer>(tx_app);
+    let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
+
+    // Bin transmission events into rate samples.
+    let mut tx_series = TimeSeries::new();
+    {
+        let mut bin_start = Time::ZERO;
+        let mut acc: u64 = 0;
+        for &(t, bytes) in &tx.tx_events {
+            while t >= bin_start + bin {
+                tx_series.push(bin_start, acc as f64 / 1000.0 / bin.as_secs_f64());
+                acc = 0;
+                bin_start += bin;
+            }
+            acc += bytes as u64;
+        }
+        tx_series.push(bin_start, acc as f64 / 1000.0 / bin.as_secs_f64());
+    }
+    let to_points = |series: &TimeSeries| -> Vec<(f64, f64)> {
+        series
+            .rebin(Time::ZERO, stop, bin)
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect()
+    };
+    StreamOutcome {
+        tx_rate: to_points(&tx_series),
+        cm_rate: to_points(&tx.cm_rate),
+        layer_changes: tx
+            .layer_changes
+            .iter()
+            .map(|&(t, l)| (t.as_secs_f64(), l))
+            .collect(),
+        delivered: rx.bytes,
+    }
+}
+
+/// Runs the Figure 7 web workload; returns per-request latencies in
+/// milliseconds.
+pub fn web_sharing(
+    server_mode: CcMode,
+    requests: usize,
+    gap: Duration,
+    file_size: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut topo = Topology::new(seed);
+    let mut server_host = Host::new(HostConfig::default());
+    server_host.add_app(Box::new(WebServer::new(80, server_mode, file_size)));
+    let server_id = topo.add_host(Box::new(server_host));
+    let server_addr = topo.sim().addr_of(server_id);
+
+    let mut client_host = Host::new(HostConfig::default());
+    let client_app = client_host.add_app(Box::new(WebClient::new(
+        server_addr,
+        80,
+        requests,
+        gap,
+        file_size,
+    )));
+    let client_id = topo.add_host(Box::new(client_host));
+    topo.emulated_path(client_id, server_id, &PathSpec::wide_area());
+    let mut sim = topo.build();
+    sim.run_until(Time::from_secs(120));
+    sim.node_ref::<Host>(client_id)
+        .app_ref::<WebClient>(client_app)
+        .latencies_ms()
+}
+
+/// Measures TCP connection-establishment time (§4.1's microbenchmark);
+/// returns handshake durations in milliseconds for `n` fresh connections.
+pub fn connection_setup_times(mode: CcMode, n: usize, seed: u64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let o = bulk_transfer(
+            mode,
+            &PathSpec::wide_area(),
+            1,
+            seed + i as u64,
+            CostModel::default(),
+            true,
+            1460,
+            Time::from_secs(30),
+        );
+        if let Some(ct) = o.connect_time {
+            out.push(ct.as_nanos() as f64 / 1e6);
+        }
+    }
+    out
+}
+
+/// Runs the vat interactive-audio scenario; returns
+/// `(delivery_fraction, mean_send_age_ms, policer_drops, buffer_drops)`.
+pub fn vat_run(
+    policy: DropPolicy,
+    link: Rate,
+    secs: u64,
+    seed: u64,
+) -> (f64, f64, u64, u64) {
+    let stop = Time::from_secs(secs);
+    let mut topo = Topology::new(seed);
+    let mut rx_host = Host::new(HostConfig::default());
+    rx_host.add_app(Box::new(AckReceiver::new(5003, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+    let mut tx_host = Host::new(HostConfig::default());
+    let tx_app = tx_host.add_app(Box::new(VatAudio::new(rx_addr, 5003, policy, stop)));
+    let tx_id = topo.add_host(Box::new(tx_host));
+    let path = PathSpec::new(link, Duration::from_millis(50))
+        .with_queue(cm_netsim::link::QueueSpec::DropTailPackets(8));
+    topo.emulated_path(tx_id, rx_id, &path);
+    let mut sim = topo.build();
+    sim.run_until(stop + Duration::from_secs(2));
+    let vat = sim.node_ref::<Host>(tx_id).app_ref::<VatAudio>(tx_app);
+    (
+        vat.delivery_fraction(),
+        vat.mean_send_age_ms(),
+        vat.policer_drops,
+        vat.buffer_drops,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_scenario_completes() {
+        let o = bulk_transfer(
+            CcMode::Cm,
+            &PathSpec::fig3(0.0),
+            200_000,
+            1,
+            CostModel::free(),
+            true,
+            1460,
+            Time::from_secs(60),
+        );
+        assert!(o.completed);
+        assert!(o.goodput_bps > 50_000.0);
+        assert!(o.connect_time.is_some());
+    }
+
+    #[test]
+    fn blast_scenario_measures() {
+        let o = blast(BlastApi::Buffered, 500, 300, 2);
+        assert_eq!(o.acked, 300);
+        assert!(o.us_per_packet.is_finite());
+        assert!(o.ops.syscalls > 0);
+        assert!(o.ops.gettimeofdays >= 600, "two per packet");
+    }
+
+    #[test]
+    fn stream_scenario_produces_series() {
+        let o = layered_stream(
+            AdaptMode::Alf,
+            6,
+            FeedbackPolicy::PerPacket,
+            Duration::from_secs(1),
+            3,
+        );
+        assert_eq!(o.tx_rate.len(), 6);
+        assert_eq!(o.cm_rate.len(), 6);
+        assert!(o.delivered > 100_000);
+    }
+}

@@ -1,0 +1,1174 @@
+//! The Congestion Manager API.
+//!
+//! [`CongestionManager`] is the trusted module the paper places in the
+//! kernel: clients open flows, request permission to send, report
+//! transmissions and feedback, and receive *notifications* — send grants
+//! (the paper's `cmapp_send` callback) and rate-change reports (the
+//! paper's `cmapp_update` callback) — through an outbox the host stack or
+//! `cm-libcm` dispatcher drains after each call.
+//!
+//! # Window bookkeeping (paper §2, §2.1.3)
+//!
+//! ```text
+//!   cm_request ──▶ scheduler queue ──▶ grant  (reserves one MTU)
+//!   cm_notify(n)  converts the reservation into n outstanding bytes
+//!   cm_notify(0)  releases the reservation ("decided not to send")
+//!   cm_update     resolves outstanding bytes and drives the controller
+//!   tick          reclaims grants never notified (timer-driven
+//!                 maintenance), ages idle state, expires macroflows
+//! ```
+//!
+//! The invariant maintained is `outstanding + granted_unnotified <= cwnd`
+//! (checked by a property test in `tests/`): the ensemble of flows on one
+//! macroflow can never have more data in flight than one well-behaved TCP
+//! would.
+
+use std::collections::{HashMap, VecDeque};
+
+use cm_util::{Rate, Time};
+
+use crate::config::CmConfig;
+use crate::error::{CmError, CmResult};
+use crate::flow::Flow;
+use crate::macroflow::{GrantEntry, Macroflow, MacroflowKey};
+use crate::types::{
+    FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,
+};
+
+/// A deferred callback to a CM client.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CmNotification {
+    /// Permission for `flow` to send up to one MTU (`cmapp_send`).
+    SendGrant {
+        /// The flow that may transmit.
+        flow: FlowId,
+    },
+    /// Network conditions changed past the flow's registered thresholds
+    /// (`cmapp_update`).
+    RateChange {
+        /// The flow whose share changed.
+        flow: FlowId,
+        /// The new state snapshot.
+        info: FlowInfo,
+    },
+}
+
+/// Cumulative counters over a CM's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CmStats {
+    /// `open` calls that succeeded.
+    pub opens: u64,
+    /// `close` calls that succeeded.
+    pub closes: u64,
+    /// `request` calls (including those inside `bulk_request`).
+    pub requests: u64,
+    /// Send grants issued.
+    pub grants: u64,
+    /// `notify` calls.
+    pub notifies: u64,
+    /// `update` calls.
+    pub updates: u64,
+    /// `query` calls.
+    pub queries: u64,
+    /// Rate-change notifications emitted.
+    pub rate_callbacks: u64,
+    /// Grants reclaimed by the maintenance timer.
+    pub grants_reclaimed: u64,
+    /// Macroflows created.
+    pub macroflows_created: u64,
+    /// Macroflows expired after lingering empty.
+    pub macroflows_expired: u64,
+}
+
+/// The Congestion Manager.
+///
+/// See the crate-level documentation for the API correspondence table and
+/// a usage example.
+pub struct CongestionManager {
+    cfg: CmConfig,
+    flows: Vec<Option<Flow>>,
+    key_to_flow: HashMap<FlowKey, FlowId>,
+    mfs: Vec<Option<Macroflow>>,
+    dest_to_mf: HashMap<(u32, u8), MacroflowId>,
+    outbox: VecDeque<CmNotification>,
+    stats: CmStats,
+    next_private_key: u32,
+}
+
+impl CongestionManager {
+    /// Creates a CM with the given configuration.
+    pub fn new(cfg: CmConfig) -> Self {
+        CongestionManager {
+            cfg,
+            flows: Vec::new(),
+            key_to_flow: HashMap::new(),
+            mfs: Vec::new(),
+            dest_to_mf: HashMap::new(),
+            outbox: VecDeque::new(),
+            stats: CmStats::default(),
+            next_private_key: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CmConfig {
+        &self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &CmStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // State management (paper §2.1.1)
+    // ------------------------------------------------------------------
+
+    /// Opens a flow (`cm_open`), assigning it to the macroflow for its
+    /// destination — creating one with fresh congestion state if this is
+    /// the first flow to that destination, or joining (and reusing the
+    /// learned state of) an existing one.
+    pub fn open(&mut self, key: FlowKey, now: Time) -> CmResult<FlowId> {
+        if self.key_to_flow.contains_key(&key) {
+            return Err(CmError::DuplicateFlow);
+        }
+        let dscp_class = if self.cfg.group_by_dscp { key.dscp } else { 0 };
+        let mf_id = match self.dest_to_mf.get(&(key.remote.addr, dscp_class)) {
+            Some(&id) => id,
+            None => {
+                let id = self.alloc_macroflow(
+                    MacroflowKey::Destination {
+                        addr: key.remote.addr,
+                        dscp: dscp_class,
+                    },
+                    now,
+                );
+                self.dest_to_mf.insert((key.remote.addr, dscp_class), id);
+                id
+            }
+        };
+        let flow_id = FlowId(self.flows.len() as u32);
+        let flow = Flow::new(flow_id, key, mf_id, self.cfg.mtu, now);
+        self.flows.push(Some(flow));
+        self.key_to_flow.insert(key, flow_id);
+        let mf = self.mf_mut(mf_id)?;
+        mf.flows.push(flow_id);
+        mf.scheduler.add_flow(flow_id, 1);
+        mf.empty_since = None;
+        self.stats.opens += 1;
+        Ok(flow_id)
+    }
+
+    /// Closes a flow (`cm_close`). The macroflow's congestion state
+    /// persists (lingering per config) so later flows to the same
+    /// destination inherit it — the effect Figure 7 measures.
+    pub fn close(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        let key = f.key;
+        let granted = f.granted;
+        let mtu = f.mtu as u64;
+        self.flows[flow.0 as usize] = None;
+        self.key_to_flow.remove(&key);
+        let mf = self.mf_mut(mf_id)?;
+        mf.scheduler.remove_flow(flow);
+        mf.flows.retain(|&f| f != flow);
+        // Release window reserved by unresolved grants; their queue
+        // entries are dropped eagerly since the flow is gone.
+        mf.granted_unnotified = mf.granted_unnotified.saturating_sub(granted as u64 * mtu);
+        mf.grant_queue.retain(|e| e.flow != flow);
+        if mf.flows.is_empty() {
+            mf.empty_since = Some(now);
+        }
+        self.stats.closes += 1;
+        self.try_grants(mf_id, now);
+        Ok(())
+    }
+
+    /// The flow's maximum transmission unit (`cm_mtu`): the most it may
+    /// send per grant.
+    pub fn mtu(&self, flow: FlowId) -> CmResult<usize> {
+        Ok(self.flow_ref(flow)?.mtu)
+    }
+
+    /// Looks up an open flow by its 4-tuple — the "well-defined CM
+    /// interface" the IP output routine uses to find the flow to charge
+    /// (paper §2.1.3).
+    pub fn lookup(&self, key: &FlowKey) -> Option<FlowId> {
+        self.key_to_flow.get(key).copied()
+    }
+
+    /// Sets a flow's scheduler weight (extension; the paper's default
+    /// scheduler is unweighted).
+    pub fn set_weight(&mut self, flow: FlowId, weight: u32) -> CmResult<()> {
+        if weight == 0 {
+            return Err(CmError::InvalidArgument("weight must be positive"));
+        }
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        self.flow_mut(flow)?.weight = weight;
+        self.mf_mut(mf_id)?.scheduler.set_weight(flow, weight);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data transmission (paper §2.1.2)
+    // ------------------------------------------------------------------
+
+    /// Requests permission to send up to one MTU (`cm_request`). The
+    /// grant arrives as a [`CmNotification::SendGrant`] — immediately if
+    /// the macroflow's window has room, or later when feedback opens it.
+    pub fn request(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        self.stats.requests += 1;
+        let mf = self.mf_mut(mf_id)?;
+        mf.scheduler.enqueue(flow);
+        self.try_grants(mf_id, now);
+        Ok(())
+    }
+
+    /// Batched [`CongestionManager::request`] (`cm_bulk_request`, paper
+    /// §5 "Optimizations"): one call, many flows, one grant pass.
+    pub fn bulk_request(&mut self, flows: &[FlowId], now: Time) -> CmResult<()> {
+        let mut touched: Vec<MacroflowId> = Vec::new();
+        for &flow in flows {
+            let mf_id = self.flow_ref(flow)?.macroflow;
+            self.stats.requests += 1;
+            self.mf_mut(mf_id)?.scheduler.enqueue(flow);
+            if !touched.contains(&mf_id) {
+                touched.push(mf_id);
+            }
+        }
+        for mf_id in touched {
+            self.try_grants(mf_id, now);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Application notifications (paper §2.1.3)
+    // ------------------------------------------------------------------
+
+    /// Reports an actual transmission (`cm_notify`), normally called by
+    /// the IP output routine: charges `bytes_sent` to the macroflow and
+    /// resolves one outstanding grant. A zero-byte notify releases the
+    /// grant so other flows may use the window — the required behaviour
+    /// when a client declines its `cmapp_send` callback.
+    pub fn notify(&mut self, flow: FlowId, bytes_sent: u64, now: Time) -> CmResult<()> {
+        let pacing = self.cfg.pacing;
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        let mtu = f.mtu as u64;
+        let had_grant = f.granted > 0;
+        if had_grant {
+            f.granted -= 1;
+            f.dead_grant_entries += 1;
+        }
+        f.bytes_sent += bytes_sent;
+        self.stats.notifies += 1;
+        let mf = self.mf_mut(mf_id)?;
+        if had_grant {
+            mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mtu);
+            // The grant charged a full-MTU pacing quantum; refund the
+            // unused fraction now that the true size is known, so
+            // sub-MTU senders (vat's 160-byte frames) are paced by what
+            // they actually send.
+            if pacing && bytes_sent < mtu {
+                let refund = mf.pacing_interval().mul_ratio(mtu - bytes_sent, mtu);
+                mf.next_grant_at = Time::from_nanos(
+                    mf.next_grant_at.as_nanos().saturating_sub(refund.as_nanos()),
+                );
+            }
+        }
+        mf.outstanding += bytes_sent;
+        mf.last_activity = now;
+        // A short send (or a released grant) can open window headroom.
+        self.try_grants(mf_id, now);
+        Ok(())
+    }
+
+    /// Reports receiver feedback (`cm_update`): acknowledged and lost
+    /// bytes, the congestion kind, and an optional RTT sample. Drives the
+    /// congestion controller, the shared RTT estimate, and the loss-rate
+    /// EWMA; newly opened window is granted out and rate callbacks fire.
+    pub fn update(&mut self, flow: FlowId, report: FeedbackReport, now: Time) -> CmResult<()> {
+        let min_rto = self.cfg.min_rto;
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        f.bytes_acked += report.bytes_acked;
+        f.bytes_lost += report.bytes_lost;
+        self.stats.updates += 1;
+        let mf = self.mf_mut(mf_id)?;
+        mf.last_activity = now;
+        if let Some(rtt) = report.rtt_sample {
+            mf.rtt.update(rtt);
+        }
+        let resolved = report.bytes_acked + report.bytes_lost;
+        mf.outstanding = mf.outstanding.saturating_sub(resolved);
+        if resolved > 0 {
+            let frac = report.bytes_lost as f64 / resolved as f64;
+            mf.loss_rate.update(frac);
+        } else if report.loss != LossMode::None {
+            // A pure congestion signal (e.g. ECN) still counts against
+            // the loss estimate.
+            mf.loss_rate.update(1.0);
+        }
+        if (report.bytes_acked > 0 || report.ack_events > 0) && now >= mf.recovery_until {
+            mf.controller
+                .on_ack(report.bytes_acked, report.ack_events, now);
+        }
+        if report.loss != LossMode::None {
+            mf.controller.on_loss(report.loss, now);
+            // Freeze growth for roughly one RTT: the reduction must
+            // drain before positive feedback may reopen the window.
+            let freeze = mf.rtt.srtt().unwrap_or(min_rto);
+            mf.recovery_until = now + freeze;
+        }
+        self.try_grants(mf_id, now);
+        self.emit_rate_callbacks(mf_id);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Querying (paper §2.1.4)
+    // ------------------------------------------------------------------
+
+    /// Returns the flow's view of network state (`cm_query`): its rate
+    /// share, the shared smoothed RTT, and the loss estimate. Idle aging
+    /// is applied first so a stale macroflow reports a decayed rate.
+    pub fn query(&mut self, flow: FlowId, now: Time) -> CmResult<FlowInfo> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        let cfg = self.cfg.clone();
+        let mf = self.mf_mut(mf_id)?;
+        mf.age_if_idle(now, &cfg);
+        self.stats.queries += 1;
+        self.flow_info(flow, mf_id)
+    }
+
+    /// Registers (or, with `None`, cancels) interest in rate callbacks
+    /// (`cm_register_update` + `cm_thresh`). The next threshold crossing
+    /// emits a [`CmNotification::RateChange`].
+    pub fn set_thresholds(
+        &mut self,
+        flow: FlowId,
+        thresholds: Option<Thresholds>,
+    ) -> CmResult<()> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        let current = self.mf_ref(mf_id)?.share_of(flow);
+        let f = self.flow_mut(flow)?;
+        f.update_interest = thresholds;
+        f.last_reported_rate = Some(current);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Macroflow construction (paper §2.1, §5)
+    // ------------------------------------------------------------------
+
+    /// The macroflow a flow currently belongs to.
+    pub fn macroflow_of(&self, flow: FlowId) -> CmResult<MacroflowId> {
+        Ok(self.flow_ref(flow)?.macroflow)
+    }
+
+    /// The flows grouped under a macroflow.
+    pub fn flows_in(&self, mf: MacroflowId) -> CmResult<&[FlowId]> {
+        Ok(&self.mf_ref(mf)?.flows)
+    }
+
+    /// Moves `flow` onto a brand-new private macroflow with fresh
+    /// congestion state (splitting it from the default per-destination
+    /// aggregate). The shared RTT estimate is inherited — the path did
+    /// not change — but window state starts over.
+    ///
+    /// The flow must have no unresolved grants (issue `cm_notify(0)` or
+    /// send first); pending requests are dropped and must be re-issued.
+    pub fn split(&mut self, flow: FlowId, now: Time) -> CmResult<MacroflowId> {
+        let f = self.flow_ref(flow)?;
+        if f.granted > 0 {
+            return Err(CmError::InvalidArgument(
+                "cannot split a flow with unresolved grants",
+            ));
+        }
+        let old_mf = f.macroflow;
+        let weight = f.weight;
+        let key = MacroflowKey::Private(self.next_private_key);
+        self.next_private_key += 1;
+        let new_mf = self.alloc_macroflow(key, now);
+        // Inherit the RTT estimate.
+        let rtt = self.mf_ref(old_mf)?.rtt;
+        self.detach_flow(flow, old_mf, now)?;
+        let mf = self.mf_mut(new_mf)?;
+        mf.rtt = rtt;
+        mf.flows.push(flow);
+        mf.scheduler.add_flow(flow, weight);
+        self.flow_mut(flow)?.macroflow = new_mf;
+        Ok(new_mf)
+    }
+
+    /// Moves `flow` onto an existing macroflow (`merge`). The target must
+    /// aggregate the same destination; use
+    /// [`CongestionManager::merge_unchecked`] for the paper's §5
+    /// shared-bottleneck extension where multiple destinations share
+    /// state.
+    pub fn merge(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
+        let dest = self.flow_ref(flow)?.key.remote.addr;
+        let target_ok = match self.mf_ref(into)?.key {
+            MacroflowKey::Destination { addr, .. } => addr == dest,
+            MacroflowKey::Private(_) => true,
+        };
+        if !target_ok {
+            return Err(CmError::DestinationMismatch);
+        }
+        self.merge_unchecked(flow, into, now)
+    }
+
+    /// Moves `flow` onto `into` without the destination check —
+    /// aggregating "multiple destination hosts behind the same shared
+    /// bottleneck link" (paper §5). The caller asserts path sharing.
+    pub fn merge_unchecked(
+        &mut self,
+        flow: FlowId,
+        into: MacroflowId,
+        now: Time,
+    ) -> CmResult<()> {
+        let f = self.flow_ref(flow)?;
+        if f.granted > 0 {
+            return Err(CmError::InvalidArgument(
+                "cannot merge a flow with unresolved grants",
+            ));
+        }
+        let old_mf = f.macroflow;
+        let weight = f.weight;
+        if old_mf == into {
+            return Ok(());
+        }
+        // Validate the target exists before detaching.
+        let _ = self.mf_ref(into)?;
+        self.detach_flow(flow, old_mf, now)?;
+        let mf = self.mf_mut(into)?;
+        mf.flows.push(flow);
+        mf.scheduler.add_flow(flow, weight);
+        mf.empty_since = None;
+        self.flow_mut(flow)?.macroflow = into;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance (the paper's "timer-driven component ... background
+    // tasks and error handling")
+    // ------------------------------------------------------------------
+
+    /// Runs periodic maintenance: reclaims grants whose clients never
+    /// notified, ages idle macroflows, grants freshly available window,
+    /// and expires long-empty macroflows. Hosts call this from a coarse
+    /// timer (tens to hundreds of milliseconds).
+    pub fn tick(&mut self, now: Time) {
+        let cfg = self.cfg.clone();
+        let mf_ids: Vec<MacroflowId> = (0..self.mfs.len())
+            .filter(|&i| self.mfs[i].is_some())
+            .map(|i| MacroflowId(i as u32))
+            .collect();
+        for mf_id in mf_ids {
+            self.reclaim_expired_grants(mf_id, now);
+            let expired = {
+                let mf = self.mfs[mf_id.0 as usize].as_mut().expect("checked");
+                mf.age_if_idle(now, &cfg);
+                matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
+            };
+            if expired {
+                let mf = self.mfs[mf_id.0 as usize].take().expect("checked");
+                if let MacroflowKey::Destination { addr, dscp } = mf.key {
+                    self.dest_to_mf.remove(&(addr, dscp));
+                }
+                self.stats.macroflows_expired += 1;
+                continue;
+            }
+            self.try_grants(mf_id, now);
+            self.emit_rate_callbacks(mf_id);
+        }
+    }
+
+    /// The earliest instant a pacing-deferred grant becomes releasable,
+    /// if any macroflow has queued requests it is holding back. The host
+    /// should arm a timer for this instant and then call
+    /// [`CongestionManager::release_paced`].
+    pub fn next_grant_deadline(&self) -> Option<Time> {
+        if !self.cfg.pacing {
+            return None;
+        }
+        self.mfs
+            .iter()
+            .flatten()
+            .filter(|mf| {
+                mf.scheduler.pending() > 0 && mf.available_window() >= mf.mtu as u64
+            })
+            .map(|mf| mf.next_grant_at)
+            .min()
+    }
+
+    /// Releases any grants whose pacing deadline has passed.
+    pub fn release_paced(&mut self, now: Time) {
+        let mf_ids: Vec<MacroflowId> = (0..self.mfs.len())
+            .filter(|&i| self.mfs[i].is_some())
+            .map(|i| MacroflowId(i as u32))
+            .collect();
+        for mf_id in mf_ids {
+            self.try_grants(mf_id, now);
+        }
+    }
+
+    /// Removes and returns all pending notifications, in order. The host
+    /// stack or libcm dispatcher calls this after every CM entry point
+    /// (the control-socket readiness model from §2.2).
+    pub fn drain_notifications(&mut self) -> Vec<CmNotification> {
+        self.outbox.drain(..).collect()
+    }
+
+    /// True if notifications are waiting (the control socket's readable
+    /// bits).
+    pub fn has_notifications(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests and experiments
+    // ------------------------------------------------------------------
+
+    /// Number of open flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Number of live macroflows (including empty, lingering ones).
+    pub fn macroflow_count(&self) -> usize {
+        self.mfs.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// The macroflow's congestion window in bytes.
+    pub fn window_of(&self, mf: MacroflowId) -> CmResult<u64> {
+        Ok(self.mf_ref(mf)?.controller.window())
+    }
+
+    /// The macroflow's outstanding (unacknowledged) bytes.
+    pub fn outstanding_of(&self, mf: MacroflowId) -> CmResult<u64> {
+        Ok(self.mf_ref(mf)?.outstanding)
+    }
+
+    /// The macroflow's window bytes reserved by unclaimed grants.
+    pub fn reserved_of(&self, mf: MacroflowId) -> CmResult<u64> {
+        Ok(self.mf_ref(mf)?.granted_unnotified)
+    }
+
+    /// A state snapshot for `flow` without the query bookkeeping.
+    pub fn flow_info(&self, flow: FlowId, mf_id: MacroflowId) -> CmResult<FlowInfo> {
+        let f = self.flow_ref(flow)?;
+        let mf = self.mf_ref(mf_id)?;
+        Ok(FlowInfo {
+            rate: mf.share_of(flow),
+            srtt: mf.rtt.srtt(),
+            rttvar: mf.rtt.rttvar(),
+            loss_rate: mf.loss_rate.get_or(0.0),
+            cwnd: mf.controller.window(),
+            mtu: f.mtu,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn alloc_macroflow(&mut self, key: MacroflowKey, now: Time) -> MacroflowId {
+        let id = MacroflowId(self.mfs.len() as u32);
+        self.mfs
+            .push(Some(Macroflow::new(id, key, &self.cfg, now)));
+        self.stats.macroflows_created += 1;
+        id
+    }
+
+    fn detach_flow(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<()> {
+        let mf = self.mf_mut(from)?;
+        mf.scheduler.remove_flow(flow);
+        mf.flows.retain(|&f| f != flow);
+        mf.grant_queue.retain(|e| e.flow != flow);
+        if mf.flows.is_empty() {
+            mf.empty_since = Some(now);
+        }
+        Ok(())
+    }
+
+    /// Issues grants while the window has headroom and requests wait,
+    /// subject to rate pacing. When pacing defers a grant, the caller can
+    /// learn the release time from
+    /// [`CongestionManager::next_grant_deadline`] and call
+    /// [`CongestionManager::release_paced`] then.
+    fn try_grants(&mut self, mf_id: MacroflowId, now: Time) {
+        let pacing = self.cfg.pacing;
+        let Self {
+            mfs,
+            flows,
+            outbox,
+            stats,
+            ..
+        } = self;
+        let Some(mf) = mfs.get_mut(mf_id.0 as usize).and_then(Option::as_mut) else {
+            return;
+        };
+        while mf.available_window() >= mf.mtu as u64 && mf.scheduler.pending() > 0 {
+            if pacing && now < mf.next_grant_at {
+                break;
+            }
+            let Some(flow_id) = mf.scheduler.dequeue() else {
+                break;
+            };
+            let Some(flow) = flows
+                .get_mut(flow_id.0 as usize)
+                .and_then(Option::as_mut)
+            else {
+                continue; // Flow closed with requests still queued.
+            };
+            flow.granted += 1;
+            mf.granted_unnotified += mf.mtu as u64;
+            mf.grant_queue.push_back(GrantEntry {
+                flow: flow_id,
+                issued: now,
+            });
+            outbox.push_back(CmNotification::SendGrant { flow: flow_id });
+            stats.grants += 1;
+            if pacing {
+                let interval = mf.pacing_interval();
+                mf.next_grant_at = mf.next_grant_at.max(now) + interval;
+            }
+        }
+    }
+
+    /// Reclaims grants older than the grant timeout whose `cm_notify`
+    /// never arrived (client bug or deliberate decline without a zero
+    /// notify); the paper's timer-driven "error handling".
+    fn reclaim_expired_grants(&mut self, mf_id: MacroflowId, now: Time) {
+        let timeout = self.cfg.grant_timeout;
+        let Self { mfs, flows, stats, .. } = self;
+        let Some(mf) = mfs.get_mut(mf_id.0 as usize).and_then(Option::as_mut) else {
+            return;
+        };
+        while let Some(front) = mf.grant_queue.front().copied() {
+            let flow = flows.get_mut(front.flow.0 as usize).and_then(Option::as_mut);
+            match flow {
+                None => {
+                    // Closed flow; reservation already released in close.
+                    mf.grant_queue.pop_front();
+                }
+                Some(f) if f.dead_grant_entries > 0 => {
+                    // This entry was resolved by a notify; drop it lazily.
+                    f.dead_grant_entries -= 1;
+                    mf.grant_queue.pop_front();
+                }
+                Some(f) => {
+                    if now.since(front.issued) < timeout {
+                        break;
+                    }
+                    f.granted = f.granted.saturating_sub(1);
+                    mf.granted_unnotified =
+                        mf.granted_unnotified.saturating_sub(mf.mtu as u64);
+                    mf.grants_reclaimed += 1;
+                    stats.grants_reclaimed += 1;
+                    mf.grant_queue.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Emits `cmapp_update`-style callbacks for flows whose rate share
+    /// crossed their registered thresholds.
+    fn emit_rate_callbacks(&mut self, mf_id: MacroflowId) {
+        let Ok(mf) = self.mf_ref(mf_id) else { return };
+        let member_flows: Vec<FlowId> = mf.flows.clone();
+        for flow_id in member_flows {
+            let Ok(f) = self.flow_ref(flow_id) else {
+                continue;
+            };
+            let Some(thresh) = f.update_interest else {
+                continue;
+            };
+            let last = f.last_reported_rate.unwrap_or(Rate::ZERO);
+            let mf = self.mf_ref(mf_id).expect("checked above");
+            let current = mf.share_of(flow_id);
+            if thresh.crossed(last, current) {
+                let info = self
+                    .flow_info(flow_id, mf_id)
+                    .expect("flow and macroflow exist");
+                self.outbox
+                    .push_back(CmNotification::RateChange { flow: flow_id, info });
+                self.stats.rate_callbacks += 1;
+                if let Ok(f) = self.flow_mut(flow_id) {
+                    f.last_reported_rate = Some(current);
+                }
+            }
+        }
+    }
+
+    fn flow_ref(&self, id: FlowId) -> CmResult<&Flow> {
+        self.flows
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(CmError::UnknownFlow(id))
+    }
+
+    fn flow_mut(&mut self, id: FlowId) -> CmResult<&mut Flow> {
+        self.flows
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownFlow(id))
+    }
+
+    fn mf_ref(&self, id: MacroflowId) -> CmResult<&Macroflow> {
+        self.mfs
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(CmError::UnknownMacroflow(id))
+    }
+
+    fn mf_mut(&mut self, id: MacroflowId) -> CmResult<&mut Macroflow> {
+        self.mfs
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownMacroflow(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Endpoint;
+    use cm_util::Duration;
+
+    fn key(sport: u16, daddr: u32) -> FlowKey {
+        FlowKey::new(Endpoint::new(1, sport), Endpoint::new(daddr, 80))
+    }
+
+    fn grants_in(notes: &[CmNotification]) -> Vec<FlowId> {
+        notes
+            .iter()
+            .filter_map(|n| match n {
+                CmNotification::SendGrant { flow } => Some(*flow),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_groups_by_destination() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let f3 = cm.open(key(1002, 7), Time::ZERO).unwrap();
+        assert_eq!(
+            cm.macroflow_of(f1).unwrap(),
+            cm.macroflow_of(f2).unwrap()
+        );
+        assert_ne!(
+            cm.macroflow_of(f1).unwrap(),
+            cm.macroflow_of(f3).unwrap()
+        );
+        assert_eq!(cm.macroflow_count(), 2);
+        assert_eq!(cm.flow_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_open_rejected() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        cm.open(key(1000, 9), Time::ZERO).unwrap();
+        assert_eq!(
+            cm.open(key(1000, 9), Time::ZERO),
+            Err(CmError::DuplicateFlow)
+        );
+    }
+
+    #[test]
+    fn dscp_grouping_optional() {
+        let mut cm = CongestionManager::new(CmConfig {
+            group_by_dscp: true,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9).with_dscp(46), Time::ZERO).unwrap();
+        assert_ne!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9).with_dscp(46), Time::ZERO).unwrap();
+        assert_eq!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+    }
+
+    #[test]
+    fn initial_window_grants_one_mtu() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.request(f, Time::ZERO).unwrap();
+        cm.request(f, Time::ZERO).unwrap();
+        let notes = cm.drain_notifications();
+        // IW = 1 MTU: only the first request is granted.
+        assert_eq!(grants_in(&notes), vec![f]);
+        // After notify + ack, the window doubles and the queued request
+        // plus one more can be granted.
+        cm.notify(f, 1460, Time::ZERO).unwrap();
+        cm.update(
+            f,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+            Time::from_millis(50),
+        )
+        .unwrap();
+        let notes = cm.drain_notifications();
+        assert_eq!(grants_in(&notes).len(), 1);
+    }
+
+    #[test]
+    fn grant_accounting_invariant_holds() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        let mut now = Time::ZERO;
+        for round in 0..20u64 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(40)),
+                now,
+            )
+            .unwrap();
+            let cwnd = cm.window_of(mf).unwrap();
+            let used = cm.outstanding_of(mf).unwrap() + cm.reserved_of(mf).unwrap();
+            assert!(used <= cwnd, "round {round}: used {used} > cwnd {cwnd}");
+            now = now + Duration::from_millis(40);
+        }
+    }
+
+    #[test]
+    fn zero_notify_releases_window_to_other_flow() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        cm.request(f1, Time::ZERO).unwrap();
+        cm.request(f2, Time::ZERO).unwrap();
+        // One MTU window: only f1 granted.
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f1]);
+        // f1 declines; the window passes to f2.
+        cm.notify(f1, 0, Time::ZERO).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f2]);
+    }
+
+    #[test]
+    fn round_robin_across_flows() {
+        // Pacing off: this test checks scheduler ordering, not timing.
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let mut now = Time::ZERO;
+        // Grow the window first with f1 traffic.
+        for _ in 0..4 {
+            cm.request(f1, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+                now,
+            )
+            .unwrap();
+            now = now + Duration::from_millis(10);
+        }
+        // Window is now several MTUs; queue 2 requests per flow.
+        for _ in 0..2 {
+            cm.request(f1, now).unwrap();
+            cm.request(f2, now).unwrap();
+        }
+        let order = grants_in(&cm.drain_notifications());
+        assert_eq!(order.len(), 4);
+        // Round-robin alternation.
+        assert_ne!(order[0], order[1]);
+        assert_ne!(order[2], order[3]);
+    }
+
+    #[test]
+    fn persistent_loss_collapses_window() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..5 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+                now,
+            )
+            .unwrap();
+            now = now + Duration::from_millis(10);
+        }
+        assert!(cm.window_of(mf).unwrap() > 1460);
+        cm.update(f, FeedbackReport::loss(LossMode::Persistent, 1460), now)
+            .unwrap();
+        assert_eq!(cm.window_of(mf).unwrap(), 1460);
+    }
+
+    #[test]
+    fn new_flow_inherits_learned_state() {
+        // The Figure 7 effect: open, grow, close, reopen — the second
+        // flow starts with the learned window, not IW.
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f1).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..6 {
+            cm.request(f1, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(20)),
+                now,
+            )
+            .unwrap();
+            now = now + Duration::from_millis(20);
+        }
+        let learned = cm.window_of(mf).unwrap();
+        assert!(learned >= 4 * 1460);
+        cm.close(f1, now).unwrap();
+        // Reopen 100 ms later (well within linger).
+        now = now + Duration::from_millis(100);
+        let f2 = cm.open(key(1001, 9), now).unwrap();
+        assert_eq!(cm.macroflow_of(f2).unwrap(), mf);
+        let w = cm.window_of(mf).unwrap();
+        assert!(w >= learned / 2, "window {w} lost too much state");
+    }
+
+    #[test]
+    fn macroflow_expires_after_linger() {
+        let mut cm = CongestionManager::new(CmConfig {
+            macroflow_linger: Duration::from_secs(1),
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.close(f, Time::ZERO).unwrap();
+        cm.tick(Time::from_millis(500));
+        assert_eq!(cm.macroflow_count(), 1);
+        cm.tick(Time::from_secs(2));
+        assert_eq!(cm.macroflow_count(), 0);
+        // A new open creates fresh state.
+        let f2 = cm.open(key(1000, 9), Time::from_secs(3)).unwrap();
+        let mf = cm.macroflow_of(f2).unwrap();
+        assert_eq!(cm.window_of(mf).unwrap(), 1460);
+    }
+
+    #[test]
+    fn unclaimed_grant_reclaimed_by_tick() {
+        let mut cm = CongestionManager::new(CmConfig {
+            grant_timeout: Duration::from_millis(100),
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        cm.request(f1, Time::ZERO).unwrap();
+        cm.request(f2, Time::ZERO).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f1]);
+        // f1 never notifies. After the timeout, tick reclaims and f2 is
+        // granted.
+        cm.tick(Time::from_millis(200));
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f2]);
+        assert_eq!(cm.stats().grants_reclaimed, 1);
+    }
+
+    #[test]
+    fn rate_callbacks_fire_on_threshold_crossing() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.set_thresholds(f, Some(Thresholds::new(0.5, 2.0))).unwrap();
+        let mut now = Time::ZERO;
+        let mut rate_notes = Vec::new();
+        // Drive traffic so the rate rises from zero.
+        for _ in 0..6 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                match n {
+                    CmNotification::SendGrant { flow } => {
+                        cm.notify(flow, 1460, now).unwrap();
+                    }
+                    CmNotification::RateChange { .. } => rate_notes.push(n),
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(20)),
+                now,
+            )
+            .unwrap();
+            now = now + Duration::from_millis(20);
+        }
+        rate_notes.extend(
+            cm.drain_notifications()
+                .into_iter()
+                .filter(|n| matches!(n, CmNotification::RateChange { .. })),
+        );
+        assert!(!rate_notes.is_empty(), "no rate callbacks fired");
+        assert!(cm.stats().rate_callbacks > 0);
+    }
+
+    #[test]
+    fn query_returns_shared_rtt() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        cm.update(
+            f1,
+            FeedbackReport::ack(0, 0).with_rtt(Duration::from_millis(80)),
+            Time::ZERO,
+        )
+        .unwrap();
+        // f2 sees the RTT learned from f1's feedback.
+        let info = cm.query(f2, Time::ZERO).unwrap();
+        assert_eq!(info.srtt, Some(Duration::from_millis(80)));
+    }
+
+    #[test]
+    fn split_gets_fresh_window_and_inherited_rtt() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..5 {
+            cm.request(f1, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(30)),
+                now,
+            )
+            .unwrap();
+            now = now + Duration::from_millis(30);
+        }
+        let old_mf = cm.macroflow_of(f2).unwrap();
+        let new_mf = cm.split(f2, now).unwrap();
+        assert_ne!(old_mf, new_mf);
+        assert_eq!(cm.window_of(new_mf).unwrap(), 1460);
+        let info = cm.query(f2, now).unwrap();
+        assert!(info.srtt.is_some(), "RTT estimate should be inherited");
+        // Merge back.
+        cm.merge(f2, old_mf, now).unwrap();
+        assert_eq!(cm.macroflow_of(f2).unwrap(), old_mf);
+    }
+
+    #[test]
+    fn merge_rejects_destination_mismatch() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 7), Time::ZERO).unwrap();
+        let mf1 = cm.macroflow_of(f1).unwrap();
+        assert_eq!(
+            cm.merge(f2, mf1, Time::ZERO),
+            Err(CmError::DestinationMismatch)
+        );
+        // The unchecked variant permits it (shared-bottleneck extension).
+        cm.merge_unchecked(f2, mf1, Time::ZERO).unwrap();
+        assert_eq!(cm.macroflow_of(f2).unwrap(), mf1);
+    }
+
+    #[test]
+    fn bulk_request_grants_across_flows() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        cm.bulk_request(&[f1, f2], Time::ZERO).unwrap();
+        assert_eq!(cm.stats().requests, 2);
+        // One MTU of window: exactly one grant.
+        assert_eq!(grants_in(&cm.drain_notifications()).len(), 1);
+    }
+
+    #[test]
+    fn api_errors_on_unknown_flow() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let bogus = FlowId(42);
+        assert!(matches!(
+            cm.request(bogus, Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            cm.notify(bogus, 0, Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            cm.update(bogus, FeedbackReport::ack(1, 1), Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            cm.query(bogus, Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            cm.close(bogus, Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
+    }
+
+    #[test]
+    fn close_releases_reserved_window() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f1).unwrap();
+        cm.request(f1, Time::ZERO).unwrap();
+        cm.request(f2, Time::ZERO).unwrap();
+        let _ = cm.drain_notifications();
+        assert_eq!(cm.reserved_of(mf).unwrap(), 1460);
+        // f1 closes holding its grant: the reservation must be released
+        // and handed to f2.
+        cm.close(f1, Time::ZERO).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f2]);
+    }
+
+    #[test]
+    fn ecn_report_halves_without_loss() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..5 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+                now,
+            )
+            .unwrap();
+            now = now + Duration::from_millis(10);
+        }
+        let before = cm.window_of(mf).unwrap();
+        cm.update(f, FeedbackReport::loss(LossMode::Ecn, 0), now).unwrap();
+        assert_eq!(cm.window_of(mf).unwrap(), before / 2);
+    }
+}

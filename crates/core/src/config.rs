@@ -1,0 +1,161 @@
+//! CM configuration.
+
+use cm_util::Duration;
+
+/// Which congestion-control algorithm each macroflow runs.
+///
+/// The paper's CM uses a TCP-style window AIMD with slow start, with
+/// byte counting rather than Linux's ACK counting (§4, Figure 3
+/// discussion); the modular controller interface "encourages
+/// experimentation with other non-AIMD schemes", so a rate-based
+/// controller is provided as well.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ControllerKind {
+    /// Window-based additive-increase/multiplicative-decrease with slow
+    /// start. `byte_counting: true` is the CM's behaviour; `false`
+    /// reproduces Linux 2.2's per-ACK accounting for the baseline.
+    Aimd {
+        /// Count acknowledged bytes (CM) instead of ACK arrivals (Linux).
+        byte_counting: bool,
+    },
+    /// AIMD applied directly to a rate estimate; suited to smooth-rate
+    /// media flows.
+    RateBased,
+}
+
+/// Which inter-flow scheduler apportions a macroflow's window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Unweighted round-robin — the implementation the paper ships.
+    RoundRobin,
+    /// Weighted round-robin (deficit-style), an extension the paper's
+    /// scheduler modularity anticipates.
+    WeightedRoundRobin,
+    /// Stride scheduling: deterministic proportional share with better
+    /// short-term fairness than WRR.
+    Stride,
+}
+
+/// Tunable parameters for a [`crate::CongestionManager`].
+#[derive(Clone, Debug)]
+pub struct CmConfig {
+    /// Default maximum transmission unit granted per `cm_request`; the
+    /// Ethernet-path default matches the paper's testbed.
+    pub mtu: usize,
+    /// Initial congestion window in MTUs. The CM uses 1 (the conservative
+    /// RFC 2581 value); Linux 2.2 used 2, the source of the one-RTT
+    /// difference visible in Figures 4 and 7.
+    pub initial_window_mtus: u32,
+    /// Initial slow-start threshold in bytes (effectively unbounded by
+    /// default, as in Linux 2.2).
+    pub initial_ssthresh: u64,
+    /// Lower bound on the computed retransmission timeout.
+    pub min_rto: Duration,
+    /// Upper bound on the computed retransmission timeout.
+    pub max_rto: Duration,
+    /// RTO used before any RTT sample exists (RFC 6298's 3 s, which
+    /// descends from the era of the paper).
+    pub fallback_rto: Duration,
+    /// How long a send grant may stay unclaimed before the timer-driven
+    /// maintenance pass reclaims its window reservation.
+    pub grant_timeout: Duration,
+    /// Congestion-control algorithm.
+    pub controller: ControllerKind,
+    /// Inter-flow scheduler.
+    pub scheduler: SchedulerKind,
+    /// Include the DSCP in the macroflow key, so differentiated-services
+    /// classes do not share congestion state (paper §5).
+    pub group_by_dscp: bool,
+    /// Idle interval after which a macroflow's window is halved, per
+    /// interval, down to the initial window; `None` uses the current RTO.
+    /// This is the staleness rule that lets Figure 7's later connections
+    /// reuse — but not blindly trust — old state.
+    pub aging_interval: Option<Duration>,
+    /// How long an empty macroflow (no open flows) retains its congestion
+    /// state before being discarded.
+    pub macroflow_linger: Duration,
+    /// Gain of the macroflow loss-rate EWMA.
+    pub loss_ewma_gain: f64,
+    /// Pace grants at the macroflow's sustainable rate (one MTU every
+    /// `srtt / (cwnd/mtu)`), instead of releasing the whole window at
+    /// once. "The pacing of outgoing data on this connection is
+    /// controlled by the CM" (§3.2); pacing is what lets a new
+    /// connection reuse a large learned window (Figure 7) without
+    /// dumping a window-sized burst into the bottleneck queue.
+    pub pacing: bool,
+}
+
+impl Default for CmConfig {
+    fn default() -> Self {
+        CmConfig {
+            mtu: 1460,
+            initial_window_mtus: 1,
+            initial_ssthresh: u64::MAX / 2,
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(120),
+            fallback_rto: Duration::from_secs(3),
+            grant_timeout: Duration::from_millis(500),
+            controller: ControllerKind::Aimd {
+                byte_counting: true,
+            },
+            scheduler: SchedulerKind::RoundRobin,
+            group_by_dscp: false,
+            aging_interval: None,
+            macroflow_linger: Duration::from_secs(120),
+            loss_ewma_gain: 0.125,
+            pacing: true,
+        }
+    }
+}
+
+impl CmConfig {
+    /// A configuration mimicking the Linux 2.2 TCP baseline the paper
+    /// compares against: initial window of 2 MTUs and ACK counting.
+    pub fn linux_like() -> Self {
+        CmConfig {
+            initial_window_mtus: 2,
+            controller: ControllerKind::Aimd {
+                byte_counting: false,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// The initial congestion window in bytes.
+    pub fn initial_window_bytes(&self) -> u64 {
+        self.initial_window_mtus as u64 * self.mtu as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CmConfig::default();
+        assert_eq!(c.mtu, 1460);
+        assert_eq!(c.initial_window_mtus, 1);
+        assert_eq!(
+            c.controller,
+            ControllerKind::Aimd {
+                byte_counting: true
+            }
+        );
+        assert_eq!(c.scheduler, SchedulerKind::RoundRobin);
+        assert_eq!(c.initial_window_bytes(), 1460);
+    }
+
+    #[test]
+    fn linux_profile_differs_in_iw_and_counting() {
+        let c = CmConfig::linux_like();
+        assert_eq!(c.initial_window_mtus, 2);
+        assert_eq!(
+            c.controller,
+            ControllerKind::Aimd {
+                byte_counting: false
+            }
+        );
+        assert_eq!(c.initial_window_bytes(), 2920);
+    }
+}

@@ -1,0 +1,433 @@
+//! Per-macroflow congestion controllers.
+//!
+//! The CM's controller is a TCP-compatible window AIMD with slow start
+//! ([`AimdController`]), using **byte counting** — the window grows by the
+//! number of bytes acknowledged, not the number of ACK packets — which
+//! both defends against the ACK-division attack (Savage et al., cited in
+//! the paper's §5) and explains the small initial-window differences
+//! measured against Linux in §4.
+//!
+//! The trait boundary is the modularity the paper advertises: "the CM
+//! encourages experimentation with other non-AIMD schemes that may be
+//! better suited to specific data types such as audio or video." A
+//! smooth [`RateBasedController`] is provided in that spirit.
+
+use cm_util::{Duration, Rate, Time};
+
+use crate::config::{CmConfig, ControllerKind};
+use crate::types::LossMode;
+
+/// A congestion-control algorithm governing one macroflow.
+pub trait CongestionController: Send {
+    /// Absorbs positive feedback: `bytes` newly acknowledged across
+    /// `acks` acknowledgement events.
+    fn on_ack(&mut self, bytes: u64, acks: u32, now: Time);
+
+    /// Absorbs a congestion signal.
+    fn on_loss(&mut self, mode: LossMode, now: Time);
+
+    /// The current congestion window, in bytes: the number of bytes the
+    /// macroflow may have outstanding.
+    fn window(&self) -> u64;
+
+    /// The current slow-start threshold, in bytes.
+    fn ssthresh(&self) -> u64;
+
+    /// The sustainable rate estimate given the smoothed RTT.
+    fn rate(&self, srtt: Option<Duration>) -> Rate;
+
+    /// Applies the staleness rule after `intervals` idle periods: halve
+    /// per interval, never below the initial window.
+    fn decay_idle(&mut self, intervals: u32);
+
+    /// Human-readable algorithm name (for experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the controller selected by a [`CmConfig`].
+pub fn build_controller(cfg: &CmConfig) -> Box<dyn CongestionController> {
+    match cfg.controller {
+        ControllerKind::Aimd { byte_counting } => Box::new(AimdController::new(
+            cfg.mtu,
+            cfg.initial_window_bytes(),
+            cfg.initial_ssthresh,
+            byte_counting,
+        )),
+        ControllerKind::RateBased => Box::new(RateBasedController::new(
+            cfg.mtu,
+            cfg.initial_window_bytes(),
+        )),
+    }
+}
+
+/// TCP-style window AIMD with slow start.
+///
+/// * Slow start (`cwnd < ssthresh`): the window grows by the bytes acked
+///   (byte counting) or one MTU per ACK (ACK counting) — doubling per RTT.
+/// * Congestion avoidance: the window grows by roughly one MTU per RTT
+///   (`mtu * bytes_acked / cwnd` per update).
+/// * Transient congestion or an ECN echo halves the window.
+/// * Persistent congestion (the paper's `CM_LOST_FEEDBACK`) collapses the
+///   window to its initial value and re-enters slow start, like a TCP
+///   timeout.
+#[derive(Debug)]
+pub struct AimdController {
+    mtu: u64,
+    init_window: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    byte_counting: bool,
+    /// Fractional congestion-avoidance growth carried between updates,
+    /// in bytes scaled by `cwnd` (i.e. we accumulate `mtu * bytes_acked`
+    /// and emit growth each time it exceeds `cwnd`).
+    ca_accum: u64,
+}
+
+impl AimdController {
+    /// Creates an AIMD controller.
+    pub fn new(mtu: usize, init_window: u64, init_ssthresh: u64, byte_counting: bool) -> Self {
+        AimdController {
+            mtu: mtu as u64,
+            init_window,
+            cwnd: init_window,
+            ssthresh: init_ssthresh,
+            byte_counting,
+            ca_accum: 0,
+        }
+    }
+
+    /// The maximum window this controller will grow to (protects the
+    /// fixed-point arithmetic; far above any experiment's BDP).
+    const MAX_WINDOW: u64 = 1 << 40;
+}
+
+impl CongestionController for AimdController {
+    fn on_ack(&mut self, bytes: u64, acks: u32, _now: Time) {
+        if bytes == 0 && acks == 0 {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start: exponential growth.
+            let growth = if self.byte_counting {
+                bytes
+            } else {
+                self.mtu * acks as u64
+            };
+            self.cwnd = (self.cwnd + growth).min(Self::MAX_WINDOW);
+            return;
+        }
+        // Congestion avoidance: ~one MTU per window of data acked.
+        let credit = if self.byte_counting {
+            self.mtu * bytes
+        } else {
+            // ACK counting assumes each ACK covers a full MTU.
+            self.mtu * self.mtu * acks as u64
+        };
+        self.ca_accum += credit;
+        if self.ca_accum >= self.cwnd && self.cwnd > 0 {
+            let growth = self.ca_accum / self.cwnd;
+            self.ca_accum %= self.cwnd;
+            self.cwnd = (self.cwnd + growth).min(Self::MAX_WINDOW);
+        }
+    }
+
+    fn on_loss(&mut self, mode: LossMode, _now: Time) {
+        match mode {
+            LossMode::None => {}
+            LossMode::Transient | LossMode::Ecn => {
+                self.ssthresh = (self.cwnd / 2).max(2 * self.mtu);
+                self.cwnd = self.ssthresh;
+                self.ca_accum = 0;
+            }
+            LossMode::Persistent => {
+                self.ssthresh = (self.cwnd / 2).max(2 * self.mtu);
+                self.cwnd = self.init_window;
+                self.ca_accum = 0;
+            }
+        }
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn rate(&self, srtt: Option<Duration>) -> Rate {
+        match srtt {
+            Some(rtt) if !rtt.is_zero() => Rate::from_window(self.cwnd, rtt),
+            _ => Rate::ZERO,
+        }
+    }
+
+    fn decay_idle(&mut self, intervals: u32) {
+        for _ in 0..intervals.min(63) {
+            if self.cwnd <= self.init_window {
+                break;
+            }
+            self.cwnd = (self.cwnd / 2).max(self.init_window);
+        }
+        self.ca_accum = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        if self.byte_counting {
+            "aimd-bytes"
+        } else {
+            "aimd-acks"
+        }
+    }
+}
+
+/// AIMD applied to a rate estimate instead of a window.
+///
+/// Additive increase of one MTU per RTT's worth of acknowledged data;
+/// multiplicative decrease on congestion. The exposed `window()` is the
+/// rate-RTT product so the CM's window bookkeeping works unchanged. The
+/// smoother evolution (no slow-start overshoot after persistent loss)
+/// suits layered media, which is why the paper calls out non-AIMD and
+/// rate-based schemes as the natural extension point.
+#[derive(Debug)]
+pub struct RateBasedController {
+    mtu: u64,
+    init_window: u64,
+    /// Window-equivalent state, in bytes (rate * srtt).
+    wnd: u64,
+    ssthresh: u64,
+    accum: u64,
+}
+
+impl RateBasedController {
+    /// Creates a rate-based controller.
+    pub fn new(mtu: usize, init_window: u64) -> Self {
+        RateBasedController {
+            mtu: mtu as u64,
+            init_window,
+            wnd: init_window,
+            ssthresh: u64::MAX / 2,
+            accum: 0,
+        }
+    }
+}
+
+impl CongestionController for RateBasedController {
+    fn on_ack(&mut self, bytes: u64, _acks: u32, _now: Time) {
+        // Mildly super-linear start: below ssthresh grow by bytes/2,
+        // otherwise one MTU per window acked.
+        if self.wnd < self.ssthresh {
+            self.wnd += bytes / 2 + 1;
+            return;
+        }
+        self.accum += self.mtu * bytes;
+        if self.accum >= self.wnd && self.wnd > 0 {
+            self.wnd += self.accum / self.wnd;
+            self.accum %= self.wnd;
+        }
+    }
+
+    fn on_loss(&mut self, mode: LossMode, _now: Time) {
+        match mode {
+            LossMode::None => {}
+            LossMode::Transient | LossMode::Ecn => {
+                self.wnd = (self.wnd * 7 / 8).max(self.mtu);
+                self.ssthresh = self.wnd;
+            }
+            LossMode::Persistent => {
+                self.wnd = (self.wnd / 2).max(self.mtu);
+                self.ssthresh = self.wnd;
+            }
+        }
+        self.accum = 0;
+    }
+
+    fn window(&self) -> u64 {
+        self.wnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn rate(&self, srtt: Option<Duration>) -> Rate {
+        match srtt {
+            Some(rtt) if !rtt.is_zero() => Rate::from_window(self.wnd, rtt),
+            _ => Rate::ZERO,
+        }
+    }
+
+    fn decay_idle(&mut self, intervals: u32) {
+        for _ in 0..intervals.min(63) {
+            if self.wnd <= self.init_window {
+                break;
+            }
+            self.wnd = (self.wnd * 3 / 4).max(self.init_window);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rate-aimd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aimd_bytes() -> AimdController {
+        AimdController::new(1460, 1460, u64::MAX / 2, true)
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut c = aimd_bytes();
+        assert_eq!(c.window(), 1460);
+        // Ack a full window: doubles.
+        c.on_ack(1460, 1, Time::ZERO);
+        assert_eq!(c.window(), 2920);
+        c.on_ack(2920, 2, Time::ZERO);
+        assert_eq!(c.window(), 5840);
+    }
+
+    #[test]
+    fn congestion_avoidance_linear_growth() {
+        let mut c = AimdController::new(1460, 14600, 14600, true);
+        // At ssthresh already: acking one full window grows ~1 MTU.
+        let w0 = c.window();
+        c.on_ack(w0, 10, Time::ZERO);
+        let w1 = c.window();
+        assert!(
+            (w1 - w0) >= 1460 - 10 && (w1 - w0) <= 1460 + 10,
+            "CA growth {} after one window",
+            w1 - w0
+        );
+    }
+
+    #[test]
+    fn ca_accumulates_fractional_growth() {
+        let mut c = AimdController::new(1460, 14600, 14600, true);
+        let w0 = c.window();
+        // Ten small acks of one-tenth window each: same total growth.
+        for _ in 0..10 {
+            c.on_ack(1460, 1, Time::ZERO);
+        }
+        let w1 = c.window();
+        // Slightly under one MTU because the window compounds between
+        // the small acks.
+        assert!((w1 - w0) >= 1350 && (w1 - w0) <= 1470, "growth {}", w1 - w0);
+    }
+
+    #[test]
+    fn transient_loss_halves() {
+        let mut c = aimd_bytes();
+        for _ in 0..6 {
+            c.on_ack(c.window(), 4, Time::ZERO);
+        }
+        let before = c.window();
+        c.on_loss(LossMode::Transient, Time::ZERO);
+        assert_eq!(c.window(), before / 2);
+        assert_eq!(c.ssthresh(), before / 2);
+    }
+
+    #[test]
+    fn ecn_acts_like_transient() {
+        let mut c = aimd_bytes();
+        for _ in 0..6 {
+            c.on_ack(c.window(), 4, Time::ZERO);
+        }
+        let before = c.window();
+        c.on_loss(LossMode::Ecn, Time::ZERO);
+        assert_eq!(c.window(), before / 2);
+    }
+
+    #[test]
+    fn persistent_loss_collapses_to_initial() {
+        let mut c = aimd_bytes();
+        for _ in 0..6 {
+            c.on_ack(c.window(), 4, Time::ZERO);
+        }
+        let before = c.window();
+        c.on_loss(LossMode::Persistent, Time::ZERO);
+        assert_eq!(c.window(), 1460);
+        assert_eq!(c.ssthresh(), before / 2);
+        // And it slow-starts again from there.
+        c.on_ack(1460, 1, Time::ZERO);
+        assert_eq!(c.window(), 2920);
+    }
+
+    #[test]
+    fn window_floor_is_two_mtu_on_halving() {
+        let mut c = aimd_bytes();
+        for _ in 0..10 {
+            c.on_loss(LossMode::Transient, Time::ZERO);
+        }
+        assert_eq!(c.window(), 2 * 1460);
+    }
+
+    #[test]
+    fn byte_counting_resists_ack_division() {
+        // 10 ACKs each covering 146 bytes (an attacker splitting one MTU
+        // into ten ACKs): byte counting grows by 1460 total, ACK counting
+        // would grow by 14600.
+        let mut bytes = AimdController::new(1460, 1460, u64::MAX / 2, true);
+        let mut acks = AimdController::new(1460, 1460, u64::MAX / 2, false);
+        for _ in 0..10 {
+            bytes.on_ack(146, 1, Time::ZERO);
+            acks.on_ack(146, 1, Time::ZERO);
+        }
+        assert_eq!(bytes.window(), 1460 + 1460);
+        assert_eq!(acks.window(), 1460 + 14600);
+    }
+
+    #[test]
+    fn idle_decay_halves_to_initial_floor() {
+        let mut c = aimd_bytes();
+        for _ in 0..6 {
+            c.on_ack(c.window(), 4, Time::ZERO);
+        }
+        let w = c.window();
+        c.decay_idle(2);
+        assert_eq!(c.window(), w / 4);
+        c.decay_idle(50);
+        assert_eq!(c.window(), 1460);
+    }
+
+    #[test]
+    fn rate_estimate_uses_srtt() {
+        let c = AimdController::new(1460, 14600, 14600, true);
+        let r = c.rate(Some(Duration::from_millis(100)));
+        // 14600 bytes / 100 ms = 146 KB/s = 1.168 Mbps.
+        assert_eq!(r.as_bytes_per_sec(), 146_000);
+        assert_eq!(c.rate(None), Rate::ZERO);
+    }
+
+    #[test]
+    fn rate_based_smoother_than_window() {
+        let mut c = RateBasedController::new(1460, 1460);
+        for _ in 0..20 {
+            c.on_ack(c.window(), 4, Time::ZERO);
+        }
+        let before = c.window();
+        c.on_loss(LossMode::Transient, Time::ZERO);
+        // Gentle decrease (7/8) rather than halving.
+        assert_eq!(c.window(), before * 7 / 8);
+        assert_eq!(c.name(), "rate-aimd");
+    }
+
+    #[test]
+    fn builder_respects_config() {
+        let cm_cfg = CmConfig::default();
+        let c = build_controller(&cm_cfg);
+        assert_eq!(c.name(), "aimd-bytes");
+        let linux = CmConfig::linux_like();
+        let c = build_controller(&linux);
+        assert_eq!(c.name(), "aimd-acks");
+        assert_eq!(c.window(), 2920);
+        let rb = CmConfig {
+            controller: ControllerKind::RateBased,
+            ..Default::default()
+        };
+        assert_eq!(build_controller(&rb).name(), "rate-aimd");
+    }
+}

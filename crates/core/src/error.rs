@@ -1,0 +1,61 @@
+//! CM error types.
+
+use core::fmt;
+
+use crate::types::{FlowId, MacroflowId};
+
+/// Errors returned by the CM API.
+///
+/// All API entry points are fallible rather than panicking: the CM sits
+/// below untrusted clients (the paper's §5 "Trust issues"), so a confused
+/// or malicious client must get an error code, never bring the module
+/// down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmError {
+    /// The flow id is not open.
+    UnknownFlow(FlowId),
+    /// The macroflow id does not exist.
+    UnknownMacroflow(MacroflowId),
+    /// `open` was called with a 4-tuple that is already open.
+    DuplicateFlow,
+    /// A threshold or configuration parameter was out of range.
+    InvalidArgument(&'static str),
+    /// `merge` would move a flow onto a macroflow for a different
+    /// destination, which would corrupt shared congestion state.
+    DestinationMismatch,
+}
+
+impl fmt::Display for CmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmError::UnknownFlow(id) => write!(f, "unknown flow {:?}", id),
+            CmError::UnknownMacroflow(id) => write!(f, "unknown macroflow {:?}", id),
+            CmError::DuplicateFlow => write!(f, "flow already open for this 4-tuple"),
+            CmError::InvalidArgument(what) => write!(f, "invalid argument: {}", what),
+            CmError::DestinationMismatch => {
+                write!(f, "cannot merge flows with different destinations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CmError {}
+
+/// Result alias for CM API calls.
+pub type CmResult<T> = Result<T, CmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(format!("{}", CmError::UnknownFlow(FlowId(3))).contains("unknown flow"));
+        assert!(format!("{}", CmError::DuplicateFlow).contains("already open"));
+        assert!(format!("{}", CmError::InvalidArgument("mtu")).contains("mtu"));
+        assert!(format!("{}", CmError::DestinationMismatch).contains("merge"));
+        assert!(
+            format!("{}", CmError::UnknownMacroflow(MacroflowId(1))).contains("macroflow")
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-flow state.
+
+use cm_util::{Rate, Time};
+
+use crate::types::{FlowId, FlowKey, MacroflowId, Thresholds};
+
+/// The CM's record for one client flow.
+///
+/// A flow belongs to exactly one macroflow; congestion state lives there.
+/// The flow itself tracks its identity, its grant bookkeeping, and its
+/// rate-callback registration.
+#[derive(Debug)]
+pub struct Flow {
+    /// This flow's id.
+    pub id: FlowId,
+    /// The 4-tuple (+DSCP) it was opened with.
+    pub key: FlowKey,
+    /// The macroflow whose congestion state this flow shares.
+    pub macroflow: MacroflowId,
+    /// Maximum transmission unit for this flow (`cm_mtu`).
+    pub mtu: usize,
+    /// Scheduler weight.
+    pub weight: u32,
+    /// Grants issued to this flow and not yet resolved by `cm_notify`.
+    pub granted: u32,
+    /// Entries in the macroflow's grant-expiry queue that this flow has
+    /// already resolved (lazy deletion bookkeeping).
+    pub dead_grant_entries: u32,
+    /// Rate-callback thresholds, if the client registered for
+    /// `cmapp_update` callbacks (`cm_thresh`).
+    pub update_interest: Option<Thresholds>,
+    /// The rate last reported through a rate callback, used to detect
+    /// threshold crossings.
+    pub last_reported_rate: Option<Rate>,
+    /// When the flow was opened.
+    pub opened_at: Time,
+    /// Total bytes this flow reported sent via `cm_notify`.
+    pub bytes_sent: u64,
+    /// Total bytes acknowledged via `cm_update`.
+    pub bytes_acked: u64,
+    /// Total bytes reported lost via `cm_update`.
+    pub bytes_lost: u64,
+}
+
+impl Flow {
+    /// Creates flow state at open time.
+    pub fn new(id: FlowId, key: FlowKey, macroflow: MacroflowId, mtu: usize, now: Time) -> Self {
+        Flow {
+            id,
+            key,
+            macroflow,
+            mtu,
+            weight: 1,
+            granted: 0,
+            dead_grant_entries: 0,
+            update_interest: None,
+            last_reported_rate: None,
+            opened_at: now,
+            bytes_sent: 0,
+            bytes_acked: 0,
+            bytes_lost: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Endpoint;
+
+    #[test]
+    fn new_flow_is_quiescent() {
+        let key = FlowKey::new(Endpoint::new(1, 1000), Endpoint::new(2, 80));
+        let f = Flow::new(FlowId(0), key, MacroflowId(0), 1460, Time::ZERO);
+        assert_eq!(f.granted, 0);
+        assert_eq!(f.weight, 1);
+        assert!(f.update_interest.is_none());
+        assert_eq!(f.bytes_sent + f.bytes_acked + f.bytes_lost, 0);
+    }
+}

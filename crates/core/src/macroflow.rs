@@ -1,0 +1,283 @@
+//! Macroflows: the unit of congestion-state sharing.
+//!
+//! "All flows destined to the same end host take the same path in the
+//! common case, and we use this group of flows as the default granularity
+//! of flow aggregation. We call this group a *macroflow*: a group of flows
+//! that share the same congestion state, control algorithms, and state
+//! information in the CM." (§2)
+//!
+//! A macroflow owns a congestion controller, a scheduler, the shared RTT
+//! estimator (whose samples come from *all* member flows — the paper notes
+//! TCP's loss recovery benefits from the combined estimate), a smoothed
+//! loss rate, and the window bookkeeping that converts `cm_request` /
+//! `cm_notify` / `cm_update` traffic into grants.
+
+use std::collections::VecDeque;
+
+use cm_util::ewma::RttEstimator;
+use cm_util::{Duration, Ewma, Rate, Time};
+
+use crate::config::CmConfig;
+use crate::controller::{build_controller, CongestionController};
+use crate::scheduler::{build_scheduler, Scheduler};
+use crate::types::{FlowId, MacroflowId};
+
+/// What a macroflow aggregates over.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MacroflowKey {
+    /// The default: all flows to one destination address (optionally
+    /// segregated by DSCP when `group_by_dscp` is set).
+    Destination {
+        /// Remote network address.
+        addr: u32,
+        /// DSCP class (zero unless `group_by_dscp`).
+        dscp: u8,
+    },
+    /// A macroflow created by an explicit `split`; not eligible for
+    /// default assignment.
+    Private(u32),
+}
+
+/// One grant awaiting its matching `cm_notify`.
+#[derive(Clone, Copy, Debug)]
+pub struct GrantEntry {
+    /// The flow the grant went to.
+    pub flow: FlowId,
+    /// When the grant was issued (for timeout reclamation).
+    pub issued: Time,
+}
+
+/// Shared congestion state for a group of flows.
+pub struct Macroflow {
+    /// This macroflow's id.
+    pub id: MacroflowId,
+    /// What it aggregates over.
+    pub key: MacroflowKey,
+    /// The congestion-control algorithm.
+    pub controller: Box<dyn CongestionController>,
+    /// The inter-flow scheduler.
+    pub scheduler: Box<dyn Scheduler>,
+    /// Member flows, in open order.
+    pub flows: Vec<FlowId>,
+    /// Bytes transmitted (per `cm_notify`) and not yet resolved by
+    /// feedback.
+    pub outstanding: u64,
+    /// Window reserved by issued-but-unnotified grants.
+    pub granted_unnotified: u64,
+    /// Issued grants in FIFO order, for timeout reclamation.
+    pub grant_queue: VecDeque<GrantEntry>,
+    /// Shared smoothed RTT across all member flows.
+    pub rtt: RttEstimator,
+    /// Smoothed loss fraction.
+    pub loss_rate: Ewma,
+    /// Last time feedback or a transmission touched this macroflow.
+    pub last_activity: Time,
+    /// Window growth is frozen until this instant: TCP-equivalent
+    /// "no increase during recovery" after a congestion signal, which
+    /// also keeps dupack-driven progress reports from re-inflating the
+    /// window while the loss episode is still draining.
+    pub recovery_until: Time,
+    /// Earliest instant the next paced grant may be issued.
+    pub next_grant_at: Time,
+    /// Set when the last member flow closes; state lingers until the
+    /// configured expiry (this is what Figure 7's later connections
+    /// reuse).
+    pub empty_since: Option<Time>,
+    /// Count of grants reclaimed by the maintenance timer.
+    pub grants_reclaimed: u64,
+    /// MTU used for window math (largest member MTU).
+    pub mtu: usize,
+}
+
+impl Macroflow {
+    /// Creates a macroflow with fresh congestion state.
+    pub fn new(id: MacroflowId, key: MacroflowKey, cfg: &CmConfig, now: Time) -> Self {
+        Macroflow {
+            id,
+            key,
+            controller: build_controller(cfg),
+            scheduler: build_scheduler(cfg.scheduler),
+            flows: Vec::new(),
+            outstanding: 0,
+            granted_unnotified: 0,
+            grant_queue: VecDeque::new(),
+            rtt: RttEstimator::new(),
+            loss_rate: Ewma::new(cfg.loss_ewma_gain),
+            last_activity: now,
+            recovery_until: Time::ZERO,
+            next_grant_at: Time::ZERO,
+            empty_since: None,
+            grants_reclaimed: 0,
+            mtu: cfg.mtu,
+        }
+    }
+
+    /// Window headroom available for new grants, in bytes.
+    pub fn available_window(&self) -> u64 {
+        self.controller
+            .window()
+            .saturating_sub(self.outstanding + self.granted_unnotified)
+    }
+
+    /// The macroflow's sustainable rate estimate.
+    pub fn rate(&self) -> Rate {
+        self.controller.rate(self.rtt.srtt())
+    }
+
+    /// The retransmission-timeout estimate used for grant reclamation and
+    /// idle aging.
+    pub fn rto(&self, cfg: &CmConfig) -> Duration {
+        self.rtt.rto(cfg.min_rto, cfg.max_rto, cfg.fallback_rto)
+    }
+
+    /// One flow's proportional share of the macroflow rate, by scheduler
+    /// weight.
+    pub fn share_of(&self, flow: FlowId) -> Rate {
+        let total = self.scheduler.total_weight();
+        if total == 0 {
+            return Rate::ZERO;
+        }
+        let w = self.scheduler.weight_of(flow) as u64;
+        self.rate().mul_ratio(w, total)
+    }
+
+    /// The pacing gap between successive grants: the time one MTU takes
+    /// at the sustainable rate `cwnd / srtt`, or zero before any RTT
+    /// sample (the initial window may go out back-to-back).
+    pub fn pacing_interval(&self) -> Duration {
+        let Some(srtt) = self.rtt.srtt() else {
+            return Duration::ZERO;
+        };
+        let cwnd = self.controller.window().max(self.mtu as u64);
+        let base = srtt.mul_ratio(self.mtu as u64, cwnd);
+        if cwnd < self.controller.ssthresh() {
+            // Slow start doubles the window per RTT; pacing at the
+            // current rate would halve the ramp, so use a 2x gain (the
+            // same rule production pacing implementations apply).
+            base / 2
+        } else {
+            base
+        }
+    }
+
+    /// Applies the idle staleness rule: if nothing has touched this
+    /// macroflow for one or more aging intervals, halve the window per
+    /// interval (down to the initial window). Returns the number of
+    /// intervals applied.
+    pub fn age_if_idle(&mut self, now: Time, cfg: &CmConfig) -> u32 {
+        // Never decay while data is in flight: quiet time with bytes
+        // outstanding means feedback is pending, not that we are idle.
+        if self.outstanding > 0 || self.granted_unnotified > 0 {
+            return 0;
+        }
+        let interval = cfg.aging_interval.unwrap_or_else(|| self.rto(cfg));
+        if interval.is_zero() {
+            return 0;
+        }
+        let idle = now.since(self.last_activity);
+        let intervals = (idle.as_nanos() / interval.as_nanos()) as u32;
+        if intervals > 0 {
+            self.controller.decay_idle(intervals);
+            // Advance the activity mark so we do not decay again for the
+            // same idle span.
+            self.last_activity = now;
+        }
+        intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LossMode;
+
+    fn mf(cfg: &CmConfig) -> Macroflow {
+        Macroflow::new(
+            MacroflowId(0),
+            MacroflowKey::Destination { addr: 9, dscp: 0 },
+            cfg,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn available_window_subtracts_reservations() {
+        let cfg = CmConfig::default();
+        let mut m = mf(&cfg);
+        assert_eq!(m.available_window(), 1460);
+        m.granted_unnotified = 1000;
+        assert_eq!(m.available_window(), 460);
+        m.outstanding = 500;
+        assert_eq!(m.available_window(), 0);
+    }
+
+    #[test]
+    fn rate_needs_rtt() {
+        let cfg = CmConfig::default();
+        let mut m = mf(&cfg);
+        assert_eq!(m.rate(), Rate::ZERO);
+        m.rtt.update(Duration::from_millis(100));
+        // 1460 bytes / 100 ms = 14.6 KB/s.
+        assert_eq!(m.rate().as_bytes_per_sec(), 14_600);
+    }
+
+    #[test]
+    fn share_divides_by_weight() {
+        let cfg = CmConfig::default();
+        let mut m = mf(&cfg);
+        m.rtt.update(Duration::from_millis(100));
+        m.scheduler.add_flow(FlowId(1), 1);
+        m.scheduler.add_flow(FlowId(2), 1);
+        let share = m.share_of(FlowId(1));
+        assert_eq!(share.as_bytes_per_sec(), 7_300);
+    }
+
+    #[test]
+    fn aging_halves_per_interval() {
+        let cfg = CmConfig {
+            aging_interval: Some(Duration::from_secs(1)),
+            ..Default::default()
+        };
+        let mut m = mf(&cfg);
+        // Grow the window.
+        for _ in 0..4 {
+            m.controller.on_ack(m.controller.window(), 4, Time::ZERO);
+        }
+        let w = m.controller.window();
+        assert_eq!(w, 1460 * 16);
+        // 2.5 intervals idle: two halvings.
+        let applied = m.age_if_idle(Time::from_millis(2_500), &cfg);
+        assert_eq!(applied, 2);
+        assert_eq!(m.controller.window(), w / 4);
+        // Immediately after, no further decay.
+        assert_eq!(m.age_if_idle(Time::from_millis(2_600), &cfg), 0);
+    }
+
+    #[test]
+    fn aging_skipped_while_data_outstanding() {
+        let cfg = CmConfig {
+            aging_interval: Some(Duration::from_secs(1)),
+            ..Default::default()
+        };
+        let mut m = mf(&cfg);
+        m.controller.on_ack(1460, 1, Time::ZERO);
+        m.outstanding = 100;
+        assert_eq!(m.age_if_idle(Time::from_secs(10), &cfg), 0);
+        assert_eq!(m.controller.window(), 2920);
+    }
+
+    #[test]
+    fn loss_collapse_then_age_bottoms_at_initial() {
+        let cfg = CmConfig {
+            aging_interval: Some(Duration::from_millis(100)),
+            ..Default::default()
+        };
+        let mut m = mf(&cfg);
+        for _ in 0..6 {
+            m.controller.on_ack(m.controller.window(), 4, Time::ZERO);
+        }
+        m.controller.on_loss(LossMode::Transient, Time::ZERO);
+        m.age_if_idle(Time::from_secs(100), &cfg);
+        assert_eq!(m.controller.window(), cfg.initial_window_bytes());
+    }
+}

@@ -1,0 +1,513 @@
+//! Inter-flow schedulers: apportioning a macroflow's window.
+//!
+//! "While the congestion controller determines what the current window
+//! (rate) ought to be for each macroflow, a scheduler decides how this is
+//! apportioned among the constituent flows. Currently, our implementation
+//! uses a standard unweighted round-robin scheduler." (§2)
+//!
+//! [`RoundRobinScheduler`] reproduces that default. The trait also admits
+//! the natural extensions: [`WeightedRoundRobinScheduler`] and
+//! [`StrideScheduler`] give proportional shares, exercised by the
+//! scheduler ablation benchmark.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::SchedulerKind;
+use crate::types::FlowId;
+
+/// Chooses which flow's pending request the next grant satisfies.
+///
+/// A flow may have several requests pending at once (each `cm_request` is
+/// an implicit ask for one MTU); the scheduler tracks per-flow pending
+/// counts and hands out grants one at a time.
+pub trait Scheduler: Send {
+    /// Registers a flow with the given weight (ignored by unweighted
+    /// disciplines).
+    fn add_flow(&mut self, flow: FlowId, weight: u32);
+
+    /// Removes a flow, dropping its pending requests.
+    fn remove_flow(&mut self, flow: FlowId);
+
+    /// Updates a flow's weight.
+    fn set_weight(&mut self, flow: FlowId, weight: u32);
+
+    /// Records one pending request for `flow`.
+    fn enqueue(&mut self, flow: FlowId);
+
+    /// Picks the next flow to receive a grant, consuming one of its
+    /// pending requests.
+    fn dequeue(&mut self) -> Option<FlowId>;
+
+    /// Total pending requests across flows.
+    fn pending(&self) -> usize;
+
+    /// The weight registered for `flow` (1 for unweighted disciplines).
+    fn weight_of(&self, flow: FlowId) -> u32;
+
+    /// Sum of weights of all registered flows.
+    fn total_weight(&self) -> u64;
+
+    /// Human-readable discipline name.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the scheduler selected by config.
+pub fn build_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
+    match kind {
+        SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+        SchedulerKind::WeightedRoundRobin => Box::new(WeightedRoundRobinScheduler::new()),
+        SchedulerKind::Stride => Box::new(StrideScheduler::new()),
+    }
+}
+
+/// The paper's default: unweighted round-robin.
+///
+/// Flows with pending requests sit in a rotation; each dequeue takes the
+/// head flow, consumes one request, and moves it to the tail if it still
+/// has more.
+#[derive(Default)]
+pub struct RoundRobinScheduler {
+    rotation: VecDeque<FlowId>,
+    pending: HashMap<FlowId, u32>,
+    registered: HashMap<FlowId, u32>,
+    total: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn add_flow(&mut self, flow: FlowId, _weight: u32) {
+        self.registered.insert(flow, 1);
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) {
+        self.registered.remove(&flow);
+        if let Some(n) = self.pending.remove(&flow) {
+            self.total -= n as usize;
+        }
+        self.rotation.retain(|&f| f != flow);
+    }
+
+    fn set_weight(&mut self, _flow: FlowId, _weight: u32) {
+        // Unweighted by definition.
+    }
+
+    fn enqueue(&mut self, flow: FlowId) {
+        if !self.registered.contains_key(&flow) {
+            return;
+        }
+        let n = self.pending.entry(flow).or_insert(0);
+        *n += 1;
+        self.total += 1;
+        if *n == 1 {
+            self.rotation.push_back(flow);
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<FlowId> {
+        let flow = self.rotation.pop_front()?;
+        let n = self.pending.get_mut(&flow).expect("rotation/pending sync");
+        *n -= 1;
+        self.total -= 1;
+        if *n > 0 {
+            self.rotation.push_back(flow);
+        } else {
+            self.pending.remove(&flow);
+        }
+        Some(flow)
+    }
+
+    fn pending(&self) -> usize {
+        self.total
+    }
+
+    fn weight_of(&self, _flow: FlowId) -> u32 {
+        1
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.registered.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Deficit-style weighted round-robin: each rotation pass gives a flow
+/// `weight` grants of credit.
+#[derive(Default)]
+pub struct WeightedRoundRobinScheduler {
+    rotation: VecDeque<FlowId>,
+    pending: HashMap<FlowId, u32>,
+    weights: HashMap<FlowId, u32>,
+    /// Remaining credit in the current pass for the head flow.
+    credit: u32,
+    total: usize,
+}
+
+impl WeightedRoundRobinScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for WeightedRoundRobinScheduler {
+    fn add_flow(&mut self, flow: FlowId, weight: u32) {
+        self.weights.insert(flow, weight.max(1));
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) {
+        self.weights.remove(&flow);
+        if let Some(n) = self.pending.remove(&flow) {
+            self.total -= n as usize;
+        }
+        if self.rotation.front() == Some(&flow) {
+            self.credit = 0;
+        }
+        self.rotation.retain(|&f| f != flow);
+    }
+
+    fn set_weight(&mut self, flow: FlowId, weight: u32) {
+        if let Some(w) = self.weights.get_mut(&flow) {
+            *w = weight.max(1);
+        }
+    }
+
+    fn enqueue(&mut self, flow: FlowId) {
+        if !self.weights.contains_key(&flow) {
+            return;
+        }
+        let n = self.pending.entry(flow).or_insert(0);
+        *n += 1;
+        self.total += 1;
+        if *n == 1 {
+            self.rotation.push_back(flow);
+            if self.rotation.len() == 1 {
+                self.credit = self.weights[&flow];
+            }
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<FlowId> {
+        let &flow = self.rotation.front()?;
+        if self.credit == 0 {
+            self.credit = self.weights.get(&flow).copied().unwrap_or(1);
+        }
+        let n = self.pending.get_mut(&flow).expect("rotation/pending sync");
+        *n -= 1;
+        self.total -= 1;
+        self.credit -= 1;
+        let exhausted = *n == 0;
+        if exhausted {
+            self.pending.remove(&flow);
+        }
+        if exhausted || self.credit == 0 {
+            self.rotation.pop_front();
+            if !exhausted {
+                self.rotation.push_back(flow);
+            }
+            self.credit = self
+                .rotation
+                .front()
+                .and_then(|f| self.weights.get(f).copied())
+                .unwrap_or(0);
+        }
+        Some(flow)
+    }
+
+    fn pending(&self) -> usize {
+        self.total
+    }
+
+    fn weight_of(&self, flow: FlowId) -> u32 {
+        self.weights.get(&flow).copied().unwrap_or(1)
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.weights.values().map(|&w| w as u64).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-round-robin"
+    }
+}
+
+/// Stride scheduling: each flow advances a pass value by `STRIDE1/weight`
+/// per grant; the lowest pass goes next. Deterministic proportional share
+/// with tighter short-term fairness than WRR.
+#[derive(Default)]
+pub struct StrideScheduler {
+    flows: HashMap<FlowId, StrideState>,
+    total: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StrideState {
+    weight: u32,
+    pending: u32,
+    pass: u64,
+}
+
+/// The stride constant; large for precision.
+const STRIDE1: u64 = 1 << 20;
+
+impl StrideScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn min_active_pass(&self) -> Option<u64> {
+        self.flows
+            .values()
+            .filter(|s| s.pending > 0)
+            .map(|s| s.pass)
+            .min()
+    }
+}
+
+impl Scheduler for StrideScheduler {
+    fn add_flow(&mut self, flow: FlowId, weight: u32) {
+        // New flows start at the current minimum pass so they cannot
+        // monopolize (standard stride join rule).
+        let pass = self.min_active_pass().unwrap_or(0);
+        self.flows.insert(
+            flow,
+            StrideState {
+                weight: weight.max(1),
+                pending: 0,
+                pass,
+            },
+        );
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) {
+        if let Some(s) = self.flows.remove(&flow) {
+            self.total -= s.pending as usize;
+        }
+    }
+
+    fn set_weight(&mut self, flow: FlowId, weight: u32) {
+        if let Some(s) = self.flows.get_mut(&flow) {
+            s.weight = weight.max(1);
+        }
+    }
+
+    fn enqueue(&mut self, flow: FlowId) {
+        if let Some(s) = self.flows.get_mut(&flow) {
+            if s.pending == 0 {
+                // Rejoin at the current minimum pass.
+                let min = self
+                    .flows
+                    .values()
+                    .filter(|t| t.pending > 0)
+                    .map(|t| t.pass)
+                    .min()
+                    .unwrap_or(0);
+                let s = self.flows.get_mut(&flow).expect("just checked");
+                s.pass = s.pass.max(min);
+                s.pending += 1;
+            } else {
+                s.pending += 1;
+            }
+            self.total += 1;
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<FlowId> {
+        // Lowest pass among flows with work; FlowId breaks ties so the
+        // choice is deterministic despite HashMap iteration order.
+        let flow = self
+            .flows
+            .iter()
+            .filter(|(_, s)| s.pending > 0)
+            .min_by_key(|(id, s)| (s.pass, id.0))
+            .map(|(&id, _)| id)?;
+        let s = self.flows.get_mut(&flow).expect("selected above");
+        s.pending -= 1;
+        s.pass += STRIDE1 / s.weight as u64;
+        self.total -= 1;
+        Some(flow)
+    }
+
+    fn pending(&self) -> usize {
+        self.total
+    }
+
+    fn weight_of(&self, flow: FlowId) -> u32 {
+        self.flows.get(&flow).map(|s| s.weight).unwrap_or(1)
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.flows.values().map(|s| s.weight as u64).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut dyn Scheduler, n: usize) -> Vec<FlowId> {
+        (0..n).filter_map(|_| s.dequeue()).collect()
+    }
+
+    fn count(grants: &[FlowId], f: FlowId) -> usize {
+        grants.iter().filter(|&&g| g == f).count()
+    }
+
+    #[test]
+    fn rr_alternates_between_flows() {
+        let mut s = RoundRobinScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 1);
+        s.add_flow(b, 1);
+        for _ in 0..3 {
+            s.enqueue(a);
+            s.enqueue(b);
+        }
+        assert_eq!(s.pending(), 6);
+        let grants = drain(&mut s, 6);
+        assert_eq!(grants, vec![a, b, a, b, a, b]);
+        assert_eq!(s.pending(), 0);
+        assert!(s.dequeue().is_none());
+    }
+
+    #[test]
+    fn rr_unregistered_flow_ignored() {
+        let mut s = RoundRobinScheduler::new();
+        s.enqueue(FlowId(9));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn rr_remove_drops_pending() {
+        let mut s = RoundRobinScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 1);
+        s.add_flow(b, 1);
+        s.enqueue(a);
+        s.enqueue(a);
+        s.enqueue(b);
+        s.remove_flow(a);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(drain(&mut s, 2), vec![b]);
+    }
+
+    #[test]
+    fn rr_single_flow_back_to_back() {
+        let mut s = RoundRobinScheduler::new();
+        let a = FlowId(1);
+        s.add_flow(a, 1);
+        s.enqueue(a);
+        s.enqueue(a);
+        assert_eq!(drain(&mut s, 2), vec![a, a]);
+    }
+
+    #[test]
+    fn wrr_respects_weights() {
+        let mut s = WeightedRoundRobinScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 3);
+        s.add_flow(b, 1);
+        for _ in 0..30 {
+            s.enqueue(a);
+            s.enqueue(b);
+        }
+        let grants = drain(&mut s, 40);
+        assert_eq!(grants.len(), 40);
+        let ca = count(&grants, a);
+        let cb = count(&grants, b);
+        // 3:1 share over the first 40 grants (30 available each): a gets
+        // 30 and b gets 10.
+        assert_eq!(ca, 30);
+        assert_eq!(cb, 10);
+    }
+
+    #[test]
+    fn wrr_weight_update_takes_effect() {
+        let mut s = WeightedRoundRobinScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 1);
+        s.add_flow(b, 1);
+        s.set_weight(a, 2);
+        assert_eq!(s.weight_of(a), 2);
+        assert_eq!(s.total_weight(), 3);
+    }
+
+    #[test]
+    fn stride_proportional_share() {
+        let mut s = StrideScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 2);
+        s.add_flow(b, 1);
+        for _ in 0..60 {
+            s.enqueue(a);
+            s.enqueue(b);
+        }
+        let grants = drain(&mut s, 90);
+        let ca = count(&grants, a);
+        let cb = count(&grants, b);
+        // 2:1 proportional share: 60 vs 30 over 90 grants.
+        assert_eq!(ca, 60);
+        assert_eq!(cb, 30);
+    }
+
+    #[test]
+    fn stride_interleaving_is_smooth() {
+        let mut s = StrideScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 1);
+        s.add_flow(b, 1);
+        for _ in 0..10 {
+            s.enqueue(a);
+            s.enqueue(b);
+        }
+        let grants = drain(&mut s, 20);
+        // Equal weights: perfect alternation after the first pick.
+        for pair in grants.chunks(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn stride_late_joiner_not_starved_and_cannot_monopolize() {
+        let mut s = StrideScheduler::new();
+        let a = FlowId(1);
+        s.add_flow(a, 1);
+        for _ in 0..100 {
+            s.enqueue(a);
+        }
+        // Burn 50 grants so a's pass is large.
+        let _ = drain(&mut s, 50);
+        // b joins late; should not receive an unbounded run of grants.
+        let b = FlowId(2);
+        s.add_flow(b, 1);
+        for _ in 0..50 {
+            s.enqueue(b);
+        }
+        let grants = drain(&mut s, 20);
+        let cb = count(&grants, b);
+        assert!(cb >= 8 && cb <= 12, "late joiner got {cb} of 20");
+    }
+
+    #[test]
+    fn builder_returns_requested_kind() {
+        assert_eq!(build_scheduler(SchedulerKind::RoundRobin).name(), "round-robin");
+        assert_eq!(
+            build_scheduler(SchedulerKind::WeightedRoundRobin).name(),
+            "weighted-round-robin"
+        );
+        assert_eq!(build_scheduler(SchedulerKind::Stride).name(), "stride");
+    }
+}

@@ -1,0 +1,190 @@
+//! The simulation event queue.
+//!
+//! A binary min-heap ordered by `(time, sequence)`. The sequence number is
+//! a monotone counter assigned at insertion, so two events scheduled for
+//! the same instant always execute in insertion order — the property that
+//! makes whole-simulation determinism possible regardless of hash-map
+//! iteration order elsewhere.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use cm_util::Time;
+
+use crate::link::LinkId;
+use crate::packet::Packet;
+use crate::sim::NodeId;
+
+/// The events the simulator core understands.
+#[derive(Debug)]
+pub enum SimEvent {
+    /// A packet finished serializing onto `link`; the link should begin
+    /// transmitting the next queued packet.
+    LinkTxDone {
+        /// The transmitting link.
+        link: LinkId,
+    },
+    /// A packet finished propagating across `link` and arrives at the
+    /// link's destination node.
+    LinkDeliver {
+        /// The delivering link.
+        link: LinkId,
+        /// The arriving packet.
+        pkt: Packet,
+    },
+    /// A timer set by `node` fired.
+    Timer {
+        /// The owning node.
+        node: NodeId,
+        /// The node-chosen timer token.
+        token: u64,
+        /// The id used for cancellation checks.
+        timer_id: u64,
+    },
+}
+
+/// One scheduled entry in the queue.
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: SimEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, with its time.
+    pub fn pop(&mut self) -> Option<(Time, SimEvent)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> SimEvent {
+        SimEvent::Timer {
+            node: NodeId(node),
+            token,
+            timer_id: token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(30), timer(0, 3));
+        q.schedule(Time::from_millis(10), timer(0, 1));
+        q.schedule(Time::from_millis(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                SimEvent::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                SimEvent::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_secs(1), timer(0, 0));
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_secs(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(10), timer(0, 10));
+        q.schedule(Time::from_millis(5), timer(0, 5));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(5));
+        // Schedule an earlier event after popping; it must come out next.
+        q.schedule(Time::from_millis(7), timer(0, 7));
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(7));
+        match e {
+            SimEvent::Timer { token, .. } => assert_eq!(token, 7),
+            _ => panic!("wrong event"),
+        }
+    }
+}

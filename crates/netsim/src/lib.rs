@@ -1,0 +1,51 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! This crate is the testbed substitute for the paper's evaluation
+//! environment (the Utah Network Testbed with Dummynet channel emulation).
+//! It provides:
+//!
+//! * an event queue with deterministic tie-breaking ([`event`]),
+//! * packets with ECN codepoints and opaque transport payloads
+//!   ([`packet`]),
+//! * queueing disciplines: drop-tail and RED with ECN marking ([`queue`]),
+//! * links with a serialization rate, propagation delay, and Dummynet-style
+//!   Bernoulli loss ([`link`]),
+//! * the simulator proper — nodes, routing, timers ([`sim`]),
+//! * a virtual-CPU cost model for reproducing the paper's CPU-overhead
+//!   measurements ([`cpu`]),
+//! * topology builders for the paper's scenarios ([`topology`] and
+//!   [`channel`]), and
+//! * shared trace instrumentation ([`trace`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod cpu;
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+/// Convenient glob-import surface for simulator users.
+pub mod prelude {
+    pub use crate::channel::PathSpec;
+    pub use crate::cpu::{CostModel, Cpu};
+    pub use crate::link::{LinkId, LinkSpec};
+    pub use crate::packet::{Addr, Ecn, Packet, Payload, Protocol};
+    pub use crate::queue::{DropTailQueue, EnqueueOutcome, Queue, RedQueue};
+    pub use crate::sim::{Node, NodeCtx, NodeId, RouterNode, Simulator, TimerHandle};
+    pub use crate::topology::Topology;
+    pub use cm_util::{Duration, Rate, Time};
+}
+
+pub use channel::PathSpec;
+pub use cpu::{CostModel, Cpu};
+pub use link::{LinkId, LinkSpec};
+pub use packet::{Addr, Ecn, Packet, Payload, Protocol};
+pub use queue::{DropTailQueue, EnqueueOutcome, Queue, RedQueue};
+pub use sim::{Node, NodeCtx, NodeId, RouterNode, Simulator, TimerHandle};
+pub use topology::Topology;

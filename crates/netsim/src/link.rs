@@ -1,0 +1,309 @@
+//! Unidirectional links: serialization rate, propagation delay, a buffer
+//! discipline, and Dummynet-style Bernoulli loss.
+//!
+//! A link connects two nodes. Packets offered to the link first pass the
+//! loss stage (emulating Dummynet's `plr` knob used throughout the paper's
+//! evaluation), then the queueing discipline. The link serializes one
+//! packet at a time at its configured rate; a serialized packet arrives at
+//! the destination node after the propagation delay. Delay and rate are
+//! modelled separately, exactly as a real link behaves, so bandwidth-delay
+//! products and ACK clocking emerge naturally.
+
+use cm_util::{DetRng, Duration, Rate, Time};
+
+use crate::event::{EventQueue, SimEvent};
+use crate::packet::Packet;
+use crate::queue::{DropTailQueue, EnqueueOutcome, Queue, RedConfig, RedQueue};
+use crate::sim::NodeId;
+use crate::trace::LinkStats;
+
+/// Identifies a link within a simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// The buffer discipline to attach to a link.
+#[derive(Clone, Debug)]
+pub enum QueueSpec {
+    /// Drop-tail FIFO bounded by packet count.
+    DropTailPackets(usize),
+    /// Drop-tail FIFO bounded by bytes.
+    DropTailBytes(usize),
+    /// RED active queue management (with optional ECN marking).
+    Red(RedConfig),
+}
+
+impl QueueSpec {
+    fn build(&self) -> Box<dyn Queue> {
+        match self {
+            QueueSpec::DropTailPackets(n) => Box::new(DropTailQueue::with_packet_limit(*n)),
+            QueueSpec::DropTailBytes(n) => Box::new(DropTailQueue::with_byte_limit(*n)),
+            QueueSpec::Red(cfg) => Box::new(RedQueue::new(*cfg)),
+        }
+    }
+}
+
+/// Static description of a link, consumed by the topology builder.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Serialization rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Buffer discipline; Dummynet's default is a 50-slot drop-tail queue.
+    pub queue: QueueSpec,
+    /// Random loss probability applied to packets entering the link
+    /// (Dummynet `plr`).
+    pub loss_rate: f64,
+}
+
+impl LinkSpec {
+    /// A loss-free drop-tail link with a 50-packet buffer.
+    pub fn new(rate: Rate, delay: Duration) -> Self {
+        LinkSpec {
+            rate,
+            delay,
+            queue: QueueSpec::DropTailPackets(50),
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Sets the random loss probability (builder style).
+    pub fn with_loss(mut self, loss_rate: f64) -> Self {
+        self.loss_rate = loss_rate;
+        self
+    }
+
+    /// Sets the buffer discipline (builder style).
+    pub fn with_queue(mut self, queue: QueueSpec) -> Self {
+        self.queue = queue;
+        self
+    }
+}
+
+/// A live link inside the simulator.
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    rate: Rate,
+    delay: Duration,
+    queue: Box<dyn Queue>,
+    loss_rate: f64,
+    /// The packet currently being serialized, if any.
+    in_flight: Option<Packet>,
+    /// Traffic counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    /// Instantiates a link from its spec.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, spec: &LinkSpec) -> Self {
+        Link {
+            id,
+            from,
+            to,
+            rate: spec.rate,
+            delay: spec.delay,
+            queue: spec.queue.build(),
+            loss_rate: spec.loss_rate,
+            in_flight: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link's serialization rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The link's one-way propagation delay.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// Current queue occupancy in packets.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len_packets()
+    }
+
+    /// Changes the random loss probability mid-run (used by loss-sweep
+    /// experiments).
+    pub fn set_loss_rate(&mut self, loss_rate: f64) {
+        self.loss_rate = loss_rate;
+    }
+
+    /// Offers a packet to the link: loss stage, then queue, then (if the
+    /// transmitter is idle) serialization begins immediately.
+    pub fn offer(&mut self, pkt: Packet, now: Time, rng: &mut DetRng, evq: &mut EventQueue) {
+        self.stats.offered += 1;
+        if self.loss_rate > 0.0 && rng.chance(self.loss_rate) {
+            self.stats.dropped_random += 1;
+            return;
+        }
+        match self.queue.enqueue(pkt, now, rng) {
+            EnqueueOutcome::Enqueued => {
+                self.stats.enqueued += 1;
+            }
+            EnqueueOutcome::EnqueuedMarked => {
+                self.stats.enqueued += 1;
+                self.stats.marked += 1;
+            }
+            EnqueueOutcome::Dropped(_) => {
+                self.stats.dropped_queue += 1;
+                return;
+            }
+        }
+        self.stats.max_queue_pkts = self.stats.max_queue_pkts.max(self.queue.len_packets());
+        if self.in_flight.is_none() {
+            self.start_tx(now, evq);
+        }
+    }
+
+    /// Begins serializing the next queued packet, scheduling the
+    /// completion event.
+    fn start_tx(&mut self, now: Time, evq: &mut EventQueue) {
+        debug_assert!(self.in_flight.is_none(), "transmitter already busy");
+        if let Some(pkt) = self.queue.dequeue(now) {
+            let tx_time = self.rate.transmit_time(pkt.size);
+            self.in_flight = Some(pkt);
+            evq.schedule(now + tx_time, SimEvent::LinkTxDone { link: self.id });
+        }
+    }
+
+    /// Handles serialization completion: the packet departs on the wire
+    /// (arriving after the propagation delay) and the next packet starts.
+    pub fn on_tx_done(&mut self, now: Time, evq: &mut EventQueue) {
+        let pkt = self
+            .in_flight
+            .take()
+            .expect("LinkTxDone without a packet in flight");
+        self.stats.transmitted += 1;
+        self.stats.bytes_transmitted += pkt.size as u64;
+        evq.schedule(
+            now + self.delay,
+            SimEvent::LinkDeliver {
+                link: self.id,
+                pkt,
+            },
+        );
+        self.start_tx(now, evq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Addr, Payload, Protocol};
+
+    fn pkt(size: usize) -> Packet {
+        Packet::new(Addr(1), Addr(2), 1, 2, Protocol::Udp, size, Payload::empty())
+    }
+
+    fn test_link(spec: LinkSpec) -> Link {
+        Link::new(LinkId(0), NodeId(0), NodeId(1), &spec)
+    }
+
+    #[test]
+    fn serialization_then_propagation() {
+        // 1 Mbps, 10 ms delay: a 1250-byte packet serializes in 10 ms.
+        let mut link = test_link(LinkSpec::new(
+            Rate::from_mbps(1),
+            Duration::from_millis(10),
+        ));
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
+        // TxDone at 10 ms.
+        let (t, e) = evq.pop().unwrap();
+        assert_eq!(t, Time::from_millis(10));
+        assert!(matches!(e, SimEvent::LinkTxDone { .. }));
+        link.on_tx_done(t, &mut evq);
+        // Delivery at 20 ms.
+        let (t, e) = evq.pop().unwrap();
+        assert_eq!(t, Time::from_millis(20));
+        assert!(matches!(e, SimEvent::LinkDeliver { .. }));
+        assert_eq!(link.stats.transmitted, 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_pipeline() {
+        let mut link = test_link(LinkSpec::new(
+            Rate::from_mbps(1),
+            Duration::from_millis(5),
+        ));
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        // Two packets offered together: second serializes after the first.
+        link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
+        link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
+        assert_eq!(link.queue_len(), 1);
+        let (t1, _) = evq.pop().unwrap();
+        assert_eq!(t1, Time::from_millis(10));
+        link.on_tx_done(t1, &mut evq);
+        // Next TxDone at 20 ms; delivery of first at 15 ms.
+        let mut times: Vec<Time> = Vec::new();
+        while let Some((t, _)) = evq.pop() {
+            times.push(t);
+        }
+        assert!(times.contains(&Time::from_millis(15)));
+        assert!(times.contains(&Time::from_millis(20)));
+    }
+
+    #[test]
+    fn random_loss_drops_fraction() {
+        let mut link = test_link(
+            LinkSpec::new(Rate::from_mbps(100), Duration::ZERO).with_loss(0.3),
+        );
+        let mut rng = DetRng::seed(42);
+        let mut evq = EventQueue::new();
+        let mut t = Time::ZERO;
+        for _ in 0..10_000 {
+            link.offer(pkt(100), t, &mut rng, &mut evq);
+            // Drain the transmitter so the queue never fills.
+            while let Some((et, e)) = evq.pop() {
+                if matches!(e, SimEvent::LinkTxDone { .. }) {
+                    link.on_tx_done(et, &mut evq);
+                }
+                t = et;
+            }
+        }
+        let frac = link.stats.dropped_random as f64 / link.stats.offered as f64;
+        assert!((frac - 0.3).abs() < 0.02, "loss frac {frac}");
+        assert_eq!(
+            link.stats.offered,
+            link.stats.dropped_random + link.stats.enqueued
+        );
+    }
+
+    #[test]
+    fn queue_overflow_counted() {
+        let spec = LinkSpec::new(Rate::from_kbps(8), Duration::ZERO)
+            .with_queue(QueueSpec::DropTailPackets(2));
+        let mut link = test_link(spec);
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        // Offer 5 packets instantly: 1 in flight + 2 queued + 2 dropped.
+        for _ in 0..5 {
+            link.offer(pkt(100), Time::ZERO, &mut rng, &mut evq);
+        }
+        assert_eq!(link.stats.dropped_queue, 2);
+        assert_eq!(link.stats.enqueued, 3);
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut link = test_link(LinkSpec::new(Rate::from_mbps(10), Duration::ZERO));
+        let mut rng = DetRng::seed(7);
+        let mut evq = EventQueue::new();
+        for _ in 0..50 {
+            link.offer(pkt(10), Time::ZERO, &mut rng, &mut evq);
+            if let Some((t, SimEvent::LinkTxDone { .. })) = evq.pop() {
+                link.on_tx_done(t, &mut evq);
+            }
+        }
+        assert_eq!(link.stats.dropped_random, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Packets: addresses, protocol numbers, ECN codepoints, and opaque
+//! transport payloads.
+//!
+//! The simulator moves [`Packet`]s between nodes. A packet carries enough
+//! header information for routing (`src`/`dst` addresses), demultiplexing
+//! (ports and [`Protocol`]), congestion signalling ([`Ecn`]), and byte
+//! accounting (`size`, the full wire size used for serialization delay and
+//! queue occupancy). The transport protocols in `cm-transport` attach their
+//! segment structures as a type-erased [`Payload`], keeping this crate free
+//! of any knowledge of TCP or the CM.
+
+use core::any::Any;
+use core::fmt;
+
+/// A network-layer address (think IPv4 host address).
+///
+/// Addresses are dense small integers assigned by the topology builder;
+/// `Addr(0)` is reserved as "unspecified".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The unspecified address.
+    pub const UNSPECIFIED: Addr = Addr(0);
+
+    /// Returns true if this is the unspecified address.
+    pub fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "10.0.0.{}", self.0)
+    }
+}
+
+/// Transport protocol numbers understood by the host demultiplexers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+}
+
+/// ECN codepoints from RFC 3168 (the paper cites its precursor, RFC 2481).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    #[default]
+    NotEct,
+    /// ECN-capable transport (ECT(0)).
+    Ect,
+    /// Congestion experienced: set by a RED queue instead of dropping.
+    Ce,
+}
+
+impl Ecn {
+    /// Whether a router may mark this packet instead of dropping it.
+    pub fn is_capable(self) -> bool {
+        matches!(self, Ecn::Ect | Ecn::Ce)
+    }
+}
+
+/// A type-erased transport payload.
+///
+/// Transports put their segment headers (and logically, their data) here;
+/// the simulator treats it as opaque freight. The wire size of the packet
+/// is tracked separately in [`Packet::size`], so payloads need not contain
+/// actual data bytes — most carry only headers plus a byte count, which
+/// keeps multi-gigabyte transfer simulations cheap.
+pub struct Payload(Option<Box<dyn Any + Send>>);
+
+impl Payload {
+    /// Wraps a transport-defined value.
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        Payload(Some(Box::new(value)))
+    }
+
+    /// An empty payload (pure filler packets, e.g. cross traffic).
+    pub fn empty() -> Self {
+        Payload(None)
+    }
+
+    /// Returns true if there is no payload value.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Consumes the payload, returning the inner value if it has type `T`.
+    pub fn downcast<T: Any>(self) -> Option<T> {
+        match self.0 {
+            Some(b) => b.downcast::<T>().ok().map(|b| *b),
+            None => None,
+        }
+    }
+
+    /// Borrows the inner value if it has type `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_deref().and_then(|b| b.downcast_ref::<T>())
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_some() {
+            write!(f, "Payload(..)")
+        } else {
+            write!(f, "Payload(empty)")
+        }
+    }
+}
+
+/// A simulated network packet.
+#[derive(Debug)]
+pub struct Packet {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address; routing consults this.
+    pub dst: Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol for host demultiplexing.
+    pub proto: Protocol,
+    /// Full wire size in bytes (headers + data); drives serialization
+    /// delay and queue occupancy.
+    pub size: usize,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Unique id assigned at send time, for tracing.
+    pub id: u64,
+    /// Type-erased transport payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Creates a packet with an unassigned id (the simulator assigns ids
+    /// when the packet enters the network).
+    pub fn new(
+        src: Addr,
+        dst: Addr,
+        src_port: u16,
+        dst_port: u16,
+        proto: Protocol,
+        size: usize,
+        payload: Payload,
+    ) -> Self {
+        Packet {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto,
+            size,
+            ecn: Ecn::NotEct,
+            id: 0,
+            payload,
+        }
+    }
+
+    /// Sets the ECN codepoint (builder style).
+    pub fn with_ecn(mut self, ecn: Ecn) -> Self {
+        self.ecn = ecn;
+        self
+    }
+
+    /// The 4-tuple identifying the packet's flow, ordered (src, dst,
+    /// sport, dport) from the sender's point of view.
+    pub fn flow_tuple(&self) -> (Addr, Addr, u16, u16) {
+        (self.src, self.dst, self.src_port, self.dst_port)
+    }
+}
+
+/// Conventional wire overhead constants used throughout the experiments.
+pub mod wire {
+    /// Ethernet MTU in bytes.
+    pub const ETH_MTU: usize = 1500;
+    /// IP header size (no options).
+    pub const IP_HDR: usize = 20;
+    /// TCP header size (no options).
+    pub const TCP_HDR: usize = 20;
+    /// UDP header size.
+    pub const UDP_HDR: usize = 8;
+    /// Default TCP maximum segment size on Ethernet.
+    pub const DEFAULT_MSS: usize = ETH_MTU - IP_HDR - TCP_HDR;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct Seg {
+            seq: u32,
+        }
+        let p = Payload::new(Seg { seq: 9 });
+        assert!(!p.is_empty());
+        assert_eq!(p.downcast_ref::<Seg>().unwrap().seq, 9);
+        assert_eq!(p.downcast::<Seg>(), Some(Seg { seq: 9 }));
+    }
+
+    #[test]
+    fn payload_wrong_type_is_none() {
+        let p = Payload::new(17u32);
+        assert!(p.downcast_ref::<String>().is_none());
+        assert!(p.downcast::<String>().is_none());
+    }
+
+    #[test]
+    fn payload_empty() {
+        let p = Payload::empty();
+        assert!(p.is_empty());
+        assert!(p.downcast_ref::<u32>().is_none());
+    }
+
+    #[test]
+    fn ecn_capability() {
+        assert!(!Ecn::NotEct.is_capable());
+        assert!(Ecn::Ect.is_capable());
+        assert!(Ecn::Ce.is_capable());
+    }
+
+    #[test]
+    fn packet_flow_tuple() {
+        let pkt = Packet::new(
+            Addr(1),
+            Addr(2),
+            5000,
+            80,
+            Protocol::Tcp,
+            1500,
+            Payload::empty(),
+        );
+        assert_eq!(pkt.flow_tuple(), (Addr(1), Addr(2), 5000, 80));
+        assert_eq!(pkt.ecn, Ecn::NotEct);
+        let pkt = pkt.with_ecn(Ecn::Ect);
+        assert_eq!(pkt.ecn, Ecn::Ect);
+    }
+
+    #[test]
+    fn mss_is_consistent() {
+        assert_eq!(wire::DEFAULT_MSS, 1460);
+    }
+
+    #[test]
+    fn addr_display_and_unspecified() {
+        assert!(Addr::UNSPECIFIED.is_unspecified());
+        assert!(!Addr(3).is_unspecified());
+        assert_eq!(format!("{}", Addr(7)), "10.0.0.7");
+    }
+}

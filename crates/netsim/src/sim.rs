@@ -1,0 +1,608 @@
+//! The simulator core: nodes, routing, timers, and the run loop.
+//!
+//! A [`Simulator`] owns a set of [`Node`]s (hosts and routers), the
+//! [`Link`]s between them, a routing table, and the future-event list.
+//! Nodes interact with the world exclusively through a [`NodeCtx`] handed
+//! to their event handlers, which keeps the borrow structure simple and
+//! makes every interaction observable.
+//!
+//! Determinism: events at equal timestamps run in scheduling order, all
+//! randomness flows from one seeded generator, and node handlers run one
+//! at a time, so a simulation with the same inputs produces byte-identical
+//! traces on every platform.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use cm_util::{DetRng, Duration, Time};
+
+use crate::event::{EventQueue, SimEvent};
+use crate::link::{Link, LinkId, LinkSpec};
+use crate::packet::{Addr, Packet};
+use crate::trace::LinkStats;
+
+/// Identifies a node within a simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// A handle for cancelling a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle {
+    id: u64,
+}
+
+/// Behaviour attached to a simulated node.
+///
+/// Implementations are hosts (with full protocol stacks) or routers.
+/// Handlers receive a [`NodeCtx`] for sending packets and managing timers.
+pub trait Node: Any {
+    /// Called once when the simulation starts, before any event.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A packet addressed through this node arrived.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet);
+
+    /// A timer set via [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64);
+}
+
+/// A node that forwards every packet onward using the routing table; the
+/// interior nodes of a dumbbell.
+pub struct RouterNode;
+
+impl Node for RouterNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        ctx.send(pkt);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+}
+
+/// Everything in the simulator except the nodes themselves; node handlers
+/// borrow this through [`NodeCtx`] while the node is temporarily detached.
+struct World {
+    links: Vec<Link>,
+    routes: HashMap<(usize, Addr), LinkId>,
+    default_routes: Vec<Option<LinkId>>,
+    addrs: Vec<Addr>,
+    addr_to_node: HashMap<Addr, NodeId>,
+    rng: DetRng,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    next_pkt_id: u64,
+    /// Packets dropped because no route matched (a topology bug; counted
+    /// rather than panicking so experiments fail loudly but gracefully).
+    unrouted: u64,
+}
+
+impl World {
+    fn route_for(&self, node: NodeId, dst: Addr) -> Option<LinkId> {
+        self.routes
+            .get(&(node.0, dst))
+            .copied()
+            .or(self.default_routes[node.0])
+    }
+
+    fn send_from(&mut self, node: NodeId, mut pkt: Packet, now: Time, evq: &mut EventQueue) {
+        match self.route_for(node, pkt.dst) {
+            Some(link) => {
+                pkt.id = self.next_pkt_id;
+                self.next_pkt_id += 1;
+                let rng = &mut self.rng;
+                self.links[link.0].offer(pkt, now, rng, evq);
+            }
+            None => {
+                debug_assert!(false, "no route from {:?} to {}", node, pkt.dst);
+                self.unrouted += 1;
+            }
+        }
+    }
+}
+
+/// The mutable view of the simulation a node's handlers operate through.
+pub struct NodeCtx<'a> {
+    now: Time,
+    node: NodeId,
+    world: &'a mut World,
+    evq: &'a mut EventQueue,
+}
+
+impl NodeCtx<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the node this context belongs to.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's network address.
+    pub fn addr(&self) -> Addr {
+        self.world.addrs[self.node.0]
+    }
+
+    /// Sends a packet into the network along the routing table.
+    pub fn send(&mut self, pkt: Packet) {
+        self.world.send_from(self.node, pkt, self.now, self.evq);
+    }
+
+    /// Schedules `on_timer(token)` to fire after `after`.
+    pub fn set_timer(&mut self, after: Duration, token: u64) -> TimerHandle {
+        let id = self.world.next_timer_id;
+        self.world.next_timer_id += 1;
+        self.evq.schedule(
+            self.now + after,
+            SimEvent::Timer {
+                node: self.node,
+                token,
+                timer_id: id,
+            },
+        );
+        TimerHandle { id }
+    }
+
+    /// Cancels a pending timer; a no-op if it already fired.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.world.cancelled_timers.insert(handle.id);
+    }
+
+    /// The shared deterministic random number generator.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.world.rng
+    }
+
+    /// The address assigned to `node` (for composing destination fields).
+    pub fn addr_of(&self, node: NodeId) -> Addr {
+        self.world.addrs[node.0]
+    }
+}
+
+/// A discrete-event network simulator.
+pub struct Simulator {
+    now: Time,
+    evq: EventQueue,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    world: World,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: Time::ZERO,
+            evq: EventQueue::new(),
+            nodes: Vec::new(),
+            world: World {
+                links: Vec::new(),
+                routes: HashMap::new(),
+                default_routes: Vec::new(),
+                addrs: Vec::new(),
+                addr_to_node: HashMap::new(),
+                rng: DetRng::seed(seed).split("netsim"),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+                next_pkt_id: 0,
+                unrouted: 0,
+            },
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node; its address is assigned automatically and can be
+    /// retrieved with [`Simulator::addr_of`].
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let addr = Addr(id.0 as u32 + 1);
+        self.nodes.push(Some(node));
+        self.world.addrs.push(addr);
+        self.world.addr_to_node.insert(addr, id);
+        self.world.default_routes.push(None);
+        id
+    }
+
+    /// Adds a unidirectional link from `from` to `to`.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: &LinkSpec) -> LinkId {
+        let id = LinkId(self.world.links.len());
+        self.world.links.push(Link::new(id, from, to, spec));
+        id
+    }
+
+    /// Installs a host route: packets at `node` destined to `dst` leave
+    /// via `link`.
+    pub fn set_route(&mut self, node: NodeId, dst: Addr, link: LinkId) {
+        self.world.routes.insert((node.0, dst), link);
+    }
+
+    /// Installs the default route for `node`.
+    pub fn set_default_route(&mut self, node: NodeId, link: LinkId) {
+        self.world.default_routes[node.0] = Some(link);
+    }
+
+    /// The address assigned to `node`.
+    pub fn addr_of(&self, node: NodeId) -> Addr {
+        self.world.addrs[node.0]
+    }
+
+    /// The node owning `addr`, if any.
+    pub fn node_of_addr(&self, addr: Addr) -> Option<NodeId> {
+        self.world.addr_to_node.get(&addr).copied()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events dispatched so far (for throughput benchmarking).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Counters for a link.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.world.links[link.0].stats
+    }
+
+    /// Mutable link access, e.g. to change the loss rate mid-experiment.
+    pub fn link_mut(&mut self, link: LinkId) -> &mut Link {
+        &mut self.world.links[link.0]
+    }
+
+    /// Packets dropped for want of a route (should stay zero).
+    pub fn unrouted_packets(&self) -> u64 {
+        self.world.unrouted
+    }
+
+    /// Runs a closure against a node with full context, e.g. to start an
+    /// application or inject work from the experiment harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T` or is re-entered.
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx<'_>) -> R,
+    ) -> R {
+        self.start_if_needed();
+        let mut node = self.nodes[id.0]
+            .take()
+            .expect("node missing (re-entrant with_node?)");
+        let result = {
+            let any: &mut dyn Any = node.as_mut();
+            let typed = any
+                .downcast_mut::<T>()
+                .expect("with_node called with wrong node type");
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node: id,
+                world: &mut self.world,
+                evq: &mut self.evq,
+            };
+            f(typed, &mut ctx)
+        };
+        self.nodes[id.0] = Some(node);
+        result
+    }
+
+    /// Immutable typed access to a node, e.g. to read statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T` or is currently detached.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        let node = self.nodes[id.0]
+            .as_ref()
+            .expect("node missing (called during dispatch?)");
+        let any: &dyn Any = node.as_ref();
+        any.downcast_ref::<T>()
+            .expect("node_ref called with wrong node type")
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i);
+            let mut node = self.nodes[i].take().expect("node missing at start");
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node: id,
+                world: &mut self.world,
+                evq: &mut self.evq,
+            };
+            node.on_start(&mut ctx);
+            self.nodes[i] = Some(node);
+        }
+    }
+
+    /// Executes the next event, if any; returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        match self.evq.pop() {
+            None => false,
+            Some((at, ev)) => {
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                self.events_processed += 1;
+                self.dispatch(ev);
+                true
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty or `deadline` is reached;
+    /// advances the clock to `deadline` if it runs dry earlier... only when
+    /// events remain beyond it. Returns at `min(deadline, quiescence)`.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.start_if_needed();
+        while let Some(t) = self.evq.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain (natural quiescence), up to a safety
+    /// limit of `max_events` to guard against livelock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is exceeded, which indicates a runaway timer
+    /// loop in a node implementation.
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        self.start_if_needed();
+        let start = self.events_processed;
+        while self.step() {
+            assert!(
+                self.events_processed - start <= max_events,
+                "simulation exceeded {max_events} events without quiescing"
+            );
+        }
+    }
+
+    fn dispatch(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::LinkTxDone { link } => {
+                self.world.links[link.0].on_tx_done(self.now, &mut self.evq);
+            }
+            SimEvent::LinkDeliver { link, pkt } => {
+                let to = self.world.links[link.0].to;
+                self.deliver(to, pkt);
+            }
+            SimEvent::Timer {
+                node,
+                token,
+                timer_id,
+            } => {
+                if self.world.cancelled_timers.remove(&timer_id) {
+                    return;
+                }
+                let mut n = self.nodes[node.0].take().expect("node missing for timer");
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    node,
+                    world: &mut self.world,
+                    evq: &mut self.evq,
+                };
+                n.on_timer(&mut ctx, token);
+                self.nodes[node.0] = Some(n);
+            }
+        }
+    }
+
+    fn deliver(&mut self, to: NodeId, pkt: Packet) {
+        let mut n = self.nodes[to.0].take().expect("node missing for delivery");
+        let mut ctx = NodeCtx {
+            now: self.now,
+            node: to,
+            world: &mut self.world,
+            evq: &mut self.evq,
+        };
+        n.on_packet(&mut ctx, pkt);
+        self.nodes[to.0] = Some(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Payload, Protocol};
+    use cm_util::Rate;
+
+    /// Records every packet it receives, with arrival times.
+    struct Sink {
+        received: Vec<(Time, u64)>,
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+            self.received.push((ctx.now(), pkt.id));
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+    }
+
+    /// Sends `n` packets at start, optionally on a timer cadence.
+    struct Blaster {
+        dst: Addr,
+        n: usize,
+        size: usize,
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            for _ in 0..self.n {
+                let pkt = Packet::new(
+                    ctx.addr(),
+                    self.dst,
+                    1,
+                    2,
+                    Protocol::Udp,
+                    self.size,
+                    Payload::empty(),
+                );
+                ctx.send(pkt);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+    }
+
+    fn two_node_sim(rate: Rate, delay: Duration, n: usize, size: usize) -> (Simulator, NodeId) {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_node(Box::new(Sink { received: vec![] }));
+        let sink_addr = sim.addr_of(sink);
+        let src = sim.add_node(Box::new(Blaster {
+            dst: sink_addr,
+            n,
+            size,
+        }));
+        let link = sim.add_link(src, sink, &LinkSpec::new(rate, delay));
+        sim.set_default_route(src, link);
+        (sim, sink)
+    }
+
+    #[test]
+    fn delivery_time_is_serialization_plus_propagation() {
+        // 1250 bytes at 10 Mbps = 1 ms serialization; +9 ms propagation.
+        let (mut sim, sink) = two_node_sim(
+            Rate::from_mbps(10),
+            Duration::from_millis(9),
+            1,
+            1250,
+        );
+        sim.run_to_quiescence(1_000);
+        let sink = sim.node_ref::<Sink>(sink);
+        assert_eq!(sink.received.len(), 1);
+        assert_eq!(sink.received[0].0, Time::from_millis(10));
+    }
+
+    #[test]
+    fn back_to_back_deliveries_spaced_by_serialization() {
+        let (mut sim, sink) = two_node_sim(Rate::from_mbps(10), Duration::ZERO, 3, 1250);
+        sim.run_to_quiescence(1_000);
+        let sink = sim.node_ref::<Sink>(sink);
+        let times: Vec<u64> = sink.received.iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times.len(), 3);
+        assert_eq!(times[1] - times[0], 1_000_000);
+        assert_eq!(times[2] - times[1], 1_000_000);
+    }
+
+    #[test]
+    fn packets_get_unique_increasing_ids() {
+        let (mut sim, sink) = two_node_sim(Rate::from_mbps(100), Duration::ZERO, 5, 100);
+        sim.run_to_quiescence(1_000);
+        let sink = sim.node_ref::<Sink>(sink);
+        let ids: Vec<u64> = sink.received.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// A node that sets and cancels timers.
+    struct TimerNode {
+        fired: Vec<u64>,
+        cancel_next: Option<TimerHandle>,
+    }
+
+    impl Node for TimerNode {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_millis(10), 1);
+            let h = ctx.set_timer(Duration::from_millis(20), 2);
+            ctx.set_timer(Duration::from_millis(30), 3);
+            self.cancel_next = Some(h);
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            self.fired.push(token);
+            if token == 1 {
+                // Cancel timer 2 before it fires.
+                let h = self.cancel_next.take().unwrap();
+                ctx.cancel_timer(h);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_cancellation() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(TimerNode {
+            fired: vec![],
+            cancel_next: None,
+        }));
+        sim.run_to_quiescence(100);
+        let node = sim.node_ref::<TimerNode>(n);
+        assert_eq!(node.fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn router_forwards() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_node(Box::new(Sink { received: vec![] }));
+        let sink_addr = sim.addr_of(sink);
+        let router = sim.add_node(Box::new(RouterNode));
+        let src = sim.add_node(Box::new(Blaster {
+            dst: sink_addr,
+            n: 2,
+            size: 500,
+        }));
+        let spec = LinkSpec::new(Rate::from_mbps(100), Duration::from_millis(1));
+        let l1 = sim.add_link(src, router, &spec);
+        let l2 = sim.add_link(router, sink, &spec);
+        sim.set_default_route(src, l1);
+        sim.set_default_route(router, l2);
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.node_ref::<Sink>(sink).received.len(), 2);
+        assert_eq!(sim.unrouted_packets(), 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(sim.now(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let run = |seed| {
+            let (mut sim, sink) = two_node_sim(Rate::from_mbps(10), Duration::ZERO, 10, 700);
+            // Add loss to exercise the RNG path.
+            sim.link_mut(LinkId(0)).set_loss_rate(0.3);
+            let _ = seed;
+            sim.run_to_quiescence(10_000);
+            sim.node_ref::<Sink>(sink)
+                .received
+                .iter()
+                .map(|&(t, id)| (t.as_nanos(), id))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node type")]
+    fn node_ref_wrong_type_panics() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(RouterNode));
+        sim.run_until(Time::ZERO);
+        let _ = sim.node_ref::<Sink>(n);
+    }
+}

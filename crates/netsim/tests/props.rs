@@ -1,0 +1,179 @@
+//! Property-based tests for the simulator substrate.
+
+use cm_netsim::link::{LinkSpec, QueueSpec};
+use cm_netsim::packet::{Addr, Packet, Payload, Protocol};
+use cm_netsim::queue::{DropTailQueue, EnqueueOutcome, Queue, RedConfig, RedQueue};
+use cm_netsim::sim::{Node, NodeCtx, NodeId, Simulator};
+use cm_util::{DetRng, Duration, Rate, Time};
+use proptest::prelude::*;
+
+struct Sink {
+    times: Vec<Time>,
+    ids: Vec<u64>,
+}
+
+impl Node for Sink {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        self.times.push(ctx.now());
+        self.ids.push(pkt.id);
+    }
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+}
+
+struct Blaster {
+    dst: Addr,
+    sizes: Vec<u16>,
+}
+
+impl Node for Blaster {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for &s in &self.sizes {
+            let pkt = Packet::new(
+                ctx.addr(),
+                self.dst,
+                1,
+                2,
+                Protocol::Udp,
+                s as usize + 1,
+                Payload::empty(),
+            );
+            ctx.send(pkt);
+        }
+    }
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FIFO links never reorder: packets offered in order arrive in
+    /// order, regardless of sizes, and inter-arrival spacing is at least
+    /// each packet's serialization time.
+    #[test]
+    fn links_preserve_order_and_spacing(
+        sizes in proptest::collection::vec(1u16..1500, 2..40),
+        mbps in 1u64..1000,
+        delay_us in 0u64..100_000,
+    ) {
+        let rate = Rate::from_mbps(mbps);
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_node(Box::new(Sink { times: vec![], ids: vec![] }));
+        let sink_addr = sim.addr_of(sink);
+        let src = sim.add_node(Box::new(Blaster {
+            dst: sink_addr,
+            sizes: sizes.clone(),
+        }));
+        let spec = LinkSpec::new(rate, Duration::from_micros(delay_us))
+            .with_queue(QueueSpec::DropTailPackets(sizes.len() + 1));
+        let link = sim.add_link(src, sink, &spec);
+        sim.set_default_route(src, link);
+        sim.run_to_quiescence(1_000_000);
+        let s = sim.node_ref::<Sink>(sink);
+        prop_assert_eq!(s.ids.len(), sizes.len(), "no drops expected");
+        // In-order ids.
+        for w in s.ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Arrival spacing >= serialization time of the later packet.
+        for (i, w) in s.times.windows(2).enumerate() {
+            let tx = rate.transmit_time(sizes[i + 1] as usize + 1);
+            let gap = w[1].since(w[0]);
+            prop_assert!(
+                gap.as_nanos() + 1 >= tx.as_nanos(),
+                "gap {gap} < serialization {tx}"
+            );
+        }
+    }
+
+    /// Drop-tail conservation: enqueued + dropped == offered, and
+    /// occupancy never exceeds the configured bound.
+    #[test]
+    fn droptail_conserves_packets(
+        offers in proptest::collection::vec(1u16..2000, 1..100),
+        cap in 1usize..32,
+    ) {
+        let mut q = DropTailQueue::with_packet_limit(cap);
+        let mut rng = DetRng::seed(0);
+        let mut accepted = 0usize;
+        let mut dropped = 0usize;
+        for (i, &size) in offers.iter().enumerate() {
+            let pkt = Packet::new(Addr(1), Addr(2), 1, 2, Protocol::Udp, size as usize, Payload::empty());
+            match q.enqueue(pkt, Time::ZERO, &mut rng) {
+                EnqueueOutcome::Dropped(_) => dropped += 1,
+                _ => accepted += 1,
+            }
+            prop_assert!(q.len_packets() <= cap);
+            // Occasionally drain one.
+            if i % 3 == 0 {
+                if q.dequeue(Time::ZERO).is_some() {
+                    accepted -= 1;
+                }
+            }
+        }
+        prop_assert_eq!(accepted, q.len_packets());
+        prop_assert_eq!(q.len_packets() + dropped + (offers.len() - q.len_packets() - dropped), offers.len());
+    }
+
+    /// RED with ECN never drops an ECT packet in the probabilistic
+    /// region — it marks instead — and never exceeds capacity.
+    #[test]
+    fn red_marks_ect_probabilistically(
+        n in 10usize..200,
+        seed in 0u64..100,
+    ) {
+        use cm_netsim::packet::Ecn;
+        let cfg = RedConfig {
+            min_th: 2.0,
+            max_th: 8.0,
+            max_p: 0.3,
+            weight: 0.5,
+            capacity: 16,
+            ecn: true,
+        };
+        let mut q = RedQueue::new(cfg);
+        let mut rng = DetRng::seed(seed);
+        let mut dropped_ect_soft = 0;
+        for i in 0..n {
+            let pkt = Packet::new(Addr(1), Addr(2), 1, 2, Protocol::Udp, 500, Payload::empty())
+                .with_ecn(Ecn::Ect);
+            let at_capacity = q.len_packets() >= 16;
+            match q.enqueue(pkt, Time::ZERO, &mut rng) {
+                EnqueueOutcome::Dropped(_) if !at_capacity => dropped_ect_soft += 1,
+                _ => {}
+            }
+            prop_assert!(q.len_packets() <= 16);
+            if i % 4 == 0 {
+                let _ = q.dequeue(Time::ZERO);
+            }
+        }
+        prop_assert_eq!(dropped_ect_soft, 0, "ECT packets must be marked, not soft-dropped");
+    }
+
+    /// Simulator determinism: identical seeds and inputs produce
+    /// identical delivery traces, including under random loss.
+    #[test]
+    fn identical_seeds_identical_traces(
+        seed in any::<u64>(),
+        loss_pct in 0u32..60,
+        n in 5usize..60,
+    ) {
+        let run = || {
+            let mut sim = Simulator::new(seed);
+            let sink = sim.add_node(Box::new(Sink { times: vec![], ids: vec![] }));
+            let sink_addr = sim.addr_of(sink);
+            let src = sim.add_node(Box::new(Blaster {
+                dst: sink_addr,
+                sizes: vec![700; n],
+            }));
+            let spec = LinkSpec::new(Rate::from_mbps(10), Duration::from_millis(3))
+                .with_loss(loss_pct as f64 / 100.0);
+            let link = sim.add_link(src, sink, &spec);
+            sim.set_default_route(src, link);
+            sim.run_to_quiescence(1_000_000);
+            let s = sim.node_ref::<Sink>(sink);
+            (s.ids.clone(), s.times.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

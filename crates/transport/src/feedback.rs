@@ -1,0 +1,171 @@
+//! The application-level feedback protocol for UDP clients of the CM.
+//!
+//! "Note that all UDP-based clients must implement application level data
+//! acknowledgements in order to make use of the CM." (§3.1). This module
+//! defines the wire payloads both ends exchange; the receiver-side
+//! applications (per-packet and delayed/batched acknowledgers) live in
+//! `cm-apps`.
+
+use cm_util::Time;
+
+/// What a CM-using UDP sender stamps on each data packet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DataPayload {
+    /// Sender's per-flow sequence number, starting at zero.
+    pub seq: u64,
+    /// Payload bytes in this packet.
+    pub bytes: u32,
+    /// Send timestamp, echoed back for RTT measurement (the sender's
+    /// first `gettimeofday` in Table 1's accounting).
+    pub sent_at: Time,
+    /// The layered-streaming layer this packet belongs to (zero when
+    /// unused); lets experiment receivers compute per-layer goodput.
+    pub layer: u8,
+}
+
+/// What the receiver returns.
+///
+/// A per-packet acknowledger echoes one [`AckPayload`] per data packet; a
+/// delayed acknowledger batches (the Figure 10 configuration: feedback
+/// every `min(500 ACKs, 2000 ms)`), reporting cumulative counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AckPayload {
+    /// Highest sequence number received so far.
+    pub highest_seq: u64,
+    /// Cumulative count of packets received.
+    pub packets_received: u64,
+    /// Cumulative bytes received.
+    pub bytes_received: u64,
+    /// Echo of the newest data packet's send timestamp.
+    pub echo_sent_at: Time,
+    /// How many data packets this acknowledgement covers (1 for
+    /// per-packet feedback, up to the batch limit for delayed feedback).
+    pub acks_batched: u32,
+}
+
+/// Sender-side loss detection over the feedback stream.
+///
+/// Tracks the cumulative counters from successive [`AckPayload`]s and
+/// infers, for each new acknowledgement, how many bytes arrived and how
+/// many packets were lost (sequence-number gaps), which is exactly what
+/// `cm_update` wants to hear.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FeedbackTracker {
+    last_highest_seq: Option<u64>,
+    last_packets: u64,
+    last_bytes: u64,
+}
+
+/// What one acknowledgement tells the sender.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeedbackDelta {
+    /// Bytes newly confirmed received.
+    pub bytes_acked: u64,
+    /// Packets newly confirmed received.
+    pub packets_acked: u64,
+    /// Packets inferred lost (gap between sequence advance and receive
+    /// count).
+    pub packets_lost: u64,
+    /// ACK events represented.
+    pub ack_events: u32,
+}
+
+impl FeedbackTracker {
+    /// Creates a tracker with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs an acknowledgement, returning the delta since the last
+    /// one. Reordered (stale) acknowledgements return `None`.
+    pub fn absorb(&mut self, ack: &AckPayload) -> Option<FeedbackDelta> {
+        if let Some(last) = self.last_highest_seq {
+            if ack.highest_seq <= last && ack.packets_received <= self.last_packets {
+                return None;
+            }
+        }
+        let bytes_acked = ack.bytes_received.saturating_sub(self.last_bytes);
+        let packets_acked = ack.packets_received.saturating_sub(self.last_packets);
+        // Sequence space advanced by more than packets received => loss.
+        let seq_advance = match self.last_highest_seq {
+            None => ack.highest_seq + 1,
+            Some(last) => ack.highest_seq.saturating_sub(last),
+        };
+        let packets_lost = seq_advance.saturating_sub(packets_acked);
+        self.last_highest_seq = Some(ack.highest_seq);
+        self.last_packets = ack.packets_received;
+        self.last_bytes = ack.bytes_received;
+        Some(FeedbackDelta {
+            bytes_acked,
+            packets_acked,
+            packets_lost,
+            ack_events: ack.acks_batched,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(seq: u64, pkts: u64, bytes: u64, batched: u32) -> AckPayload {
+        AckPayload {
+            highest_seq: seq,
+            packets_received: pkts,
+            bytes_received: bytes,
+            echo_sent_at: Time::ZERO,
+            acks_batched: batched,
+        }
+    }
+
+    #[test]
+    fn clean_stream_reports_no_loss() {
+        let mut t = FeedbackTracker::new();
+        let d = t.absorb(&ack(0, 1, 1000, 1)).unwrap();
+        assert_eq!(d.bytes_acked, 1000);
+        assert_eq!(d.packets_lost, 0);
+        let d = t.absorb(&ack(1, 2, 2000, 1)).unwrap();
+        assert_eq!(d.bytes_acked, 1000);
+        assert_eq!(d.packets_acked, 1);
+        assert_eq!(d.packets_lost, 0);
+    }
+
+    #[test]
+    fn gap_reports_loss() {
+        let mut t = FeedbackTracker::new();
+        t.absorb(&ack(0, 1, 1000, 1)).unwrap();
+        // Sequence jumped 0 -> 3 but only one more packet received:
+        // two packets lost.
+        let d = t.absorb(&ack(3, 2, 2000, 1)).unwrap();
+        assert_eq!(d.packets_acked, 1);
+        assert_eq!(d.packets_lost, 2);
+    }
+
+    #[test]
+    fn batched_feedback_accumulates() {
+        let mut t = FeedbackTracker::new();
+        // One delayed ACK covering 500 packets.
+        let d = t.absorb(&ack(499, 500, 500 * 1000, 500)).unwrap();
+        assert_eq!(d.bytes_acked, 500_000);
+        assert_eq!(d.packets_acked, 500);
+        assert_eq!(d.packets_lost, 0);
+        assert_eq!(d.ack_events, 500);
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut t = FeedbackTracker::new();
+        t.absorb(&ack(10, 11, 11_000, 1)).unwrap();
+        assert_eq!(t.absorb(&ack(5, 6, 6_000, 1)), None);
+    }
+
+    #[test]
+    fn first_ack_with_initial_loss() {
+        let mut t = FeedbackTracker::new();
+        // First ack says highest_seq=4 but only 3 packets arrived: the
+        // five-packet prefix lost two.
+        let d = t.absorb(&ack(4, 3, 3_000, 3)).unwrap();
+        assert_eq!(d.packets_acked, 3);
+        assert_eq!(d.packets_lost, 2);
+    }
+}

@@ -1,0 +1,1080 @@
+//! The simulated end system.
+//!
+//! A [`Host`] is a [`cm_netsim::Node`] containing the pieces the paper's
+//! modified Linux kernel provided:
+//!
+//! * one [`CongestionManager`] shared by every flow leaving the host,
+//! * the TCP connections and UDP sockets,
+//! * the IP output path, whose transmissions are charged to the CM via
+//!   `cm_notify` (paper §2.1.3),
+//! * a virtual CPU that prices system calls, copies, interrupts, and
+//!   protocol processing (for the §4.1/§4.2 overhead experiments), and
+//! * the applications, which program against the [`HostOs`] syscall
+//!   surface.
+//!
+//! ## Event settling
+//!
+//! Kernel CM callbacks are synchronous function calls in the paper; here
+//! every CM call deposits notifications in the CM outbox, and the host
+//! runs a *settle loop* after each external event: drain CM notifications
+//! (dispatching send grants to TCP connections, CC-UDP sockets, or
+//! ALF applications), deliver queued application events, repeat until
+//! quiescent. This preserves the callback semantics without re-entrant
+//! borrows.
+
+use std::collections::{HashMap, VecDeque};
+
+use cm_core::api::{CmNotification, CongestionManager};
+use cm_core::config::CmConfig;
+use cm_core::types::{Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, Thresholds};
+use cm_netsim::cpu::{CostModel, Cpu};
+use cm_netsim::packet::{Addr, Ecn, Packet, Payload, Protocol};
+use cm_netsim::sim::{Node, NodeCtx};
+use cm_util::{Duration, Time};
+
+use crate::segment::{TcpSegment, UdpDatagram};
+use crate::tcp::{TcpAction, TcpConfig, TcpConnection, TcpStats};
+use crate::types::{AppId, CcMode, TcpConnId, TcpEvent, TcpTimer, UdpSocketId};
+use crate::udp::{QueuedDatagram, UdpSocket};
+
+/// IP + TCP header overhead, bytes.
+const TCP_OVERHEAD: usize = 40;
+/// IP + UDP header overhead, bytes.
+const UDP_OVERHEAD: usize = 28;
+
+/// Host-level configuration.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// CM configuration.
+    pub cm: CmConfig,
+    /// Default TCP parameters for new connections.
+    pub tcp: TcpConfig,
+    /// CPU cost model; [`CostModel::free`] for pure protocol-dynamics
+    /// experiments.
+    pub cost: CostModel,
+    /// Period of the CM maintenance timer.
+    pub cm_tick: Duration,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            cm: CmConfig::default(),
+            tcp: TcpConfig::default(),
+            cost: CostModel::free(),
+            cm_tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Who consumes a CM flow's grants.
+#[derive(Clone, Copy, Debug)]
+enum FlowOwner {
+    Tcp(TcpConnId),
+    CcUdp(UdpSocketId),
+    App(AppId),
+}
+
+/// Events queued for application delivery.
+#[derive(Debug)]
+enum AppEvent {
+    Tcp(TcpConnId, TcpEvent),
+    Udp(UdpSocketId, Addr, u16, UdpDatagram),
+    CmGrant(FlowId),
+    CmRate(FlowId, FlowInfo),
+    Timer(u64),
+}
+
+/// What a host timer token points at.
+#[derive(Clone, Copy, Debug)]
+enum TimerTarget {
+    Tcp(TcpConnId, TcpTimer),
+    App(AppId, u64),
+    TxDequeue,
+    CmTick,
+    /// Release pacing-deferred CM grants.
+    CmPace,
+}
+
+/// Per-socket ownership record: owning app plus the connected remote
+/// endpoint for CC-UDP sockets.
+type SockMeta = (AppId, Option<(Addr, u16)>);
+
+struct ConnMeta {
+    local_port: u16,
+    remote: Addr,
+    remote_port: u16,
+    owner: AppId,
+    flow: Option<FlowId>,
+}
+
+/// An application running on a host.
+///
+/// Applications are event driven, exactly like the select-loop programs
+/// §2.2 targets: the host invokes these hooks and the app responds
+/// through the [`HostOs`] it is handed.
+pub trait HostApp: std::any::Any {
+    /// Called once at simulation start.
+    fn on_start(&mut self, os: &mut HostOs<'_, '_>) {
+        let _ = os;
+    }
+    /// A timer set via [`HostOs::set_app_timer`] fired.
+    fn on_timer(&mut self, os: &mut HostOs<'_, '_>, token: u64) {
+        let _ = (os, token);
+    }
+    /// A TCP connection owned by this app raised an event.
+    fn on_tcp_event(&mut self, os: &mut HostOs<'_, '_>, conn: TcpConnId, ev: TcpEvent) {
+        let _ = (os, conn, ev);
+    }
+    /// A datagram arrived on a UDP socket owned by this app.
+    fn on_udp(
+        &mut self,
+        os: &mut HostOs<'_, '_>,
+        sock: UdpSocketId,
+        from: Addr,
+        from_port: u16,
+        dgram: UdpDatagram,
+    ) {
+        let _ = (os, sock, from, from_port, dgram);
+    }
+    /// `cmapp_send`: the CM granted this app's flow one MTU.
+    fn on_cm_grant(&mut self, os: &mut HostOs<'_, '_>, flow: FlowId) {
+        let _ = (os, flow);
+    }
+    /// `cmapp_update`: the flow's rate share crossed its thresholds.
+    fn on_cm_rate_change(&mut self, os: &mut HostOs<'_, '_>, flow: FlowId, info: FlowInfo) {
+        let _ = (os, flow, info);
+    }
+}
+
+/// The simulated end system.
+pub struct Host {
+    cfg: HostConfig,
+    /// The host's Congestion Manager.
+    pub cm: CongestionManager,
+    /// The host's virtual CPU.
+    pub cpu: Cpu,
+    addr: Option<Addr>,
+
+    conns: Vec<Option<TcpConnection>>,
+    conn_meta: Vec<Option<ConnMeta>>,
+    tcp_demux: HashMap<(u16, u32, u16), TcpConnId>,
+    tcp_listeners: HashMap<u16, (AppId, CcMode)>,
+
+    socks: Vec<Option<UdpSocket>>,
+    sock_meta: Vec<Option<SockMeta>>,
+    udp_demux: HashMap<u16, UdpSocketId>,
+
+    flow_owner: HashMap<FlowId, FlowOwner>,
+
+    apps: Vec<Option<Box<dyn HostApp>>>,
+
+    timer_targets: HashMap<u64, TimerTarget>,
+    next_token: u64,
+    tcp_timer_tokens: HashMap<(u32, TcpTimer), u64>,
+
+    txq: VecDeque<Packet>,
+    pending: VecDeque<(AppId, AppEvent)>,
+    next_ephemeral: u16,
+    /// The instant the armed pace timer fires, if any.
+    pace_timer_at: Option<Time>,
+}
+
+impl Host {
+    /// Creates a host.
+    pub fn new(cfg: HostConfig) -> Self {
+        let cm = CongestionManager::new(cfg.cm.clone());
+        Host {
+            cfg,
+            cm,
+            cpu: Cpu::new(),
+            addr: None,
+            conns: Vec::new(),
+            conn_meta: Vec::new(),
+            tcp_demux: HashMap::new(),
+            tcp_listeners: HashMap::new(),
+            socks: Vec::new(),
+            sock_meta: Vec::new(),
+            udp_demux: HashMap::new(),
+            flow_owner: HashMap::new(),
+            apps: Vec::new(),
+            timer_targets: HashMap::new(),
+            next_token: 0,
+            tcp_timer_tokens: HashMap::new(),
+            txq: VecDeque::new(),
+            pending: VecDeque::new(),
+            next_ephemeral: 40_000,
+            pace_timer_at: None,
+        }
+    }
+
+    /// Installs an application (before the simulation starts).
+    pub fn add_app(&mut self, app: Box<dyn HostApp>) -> AppId {
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(Some(app));
+        id
+    }
+
+    /// Typed access to an installed application (for reading results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not of type `T`.
+    pub fn app_ref<T: HostApp>(&self, id: AppId) -> &T {
+        let app = self.apps[id.0 as usize]
+            .as_ref()
+            .expect("app missing (called during dispatch?)");
+        let any: &dyn std::any::Any = app.as_ref();
+        any.downcast_ref::<T>().expect("app_ref called with wrong app type")
+    }
+
+    /// Statistics for a TCP connection.
+    pub fn tcp_stats(&self, conn: TcpConnId) -> Option<TcpStats> {
+        self.conns[conn.0 as usize].as_ref().map(|c| c.stats)
+    }
+
+    /// Immutable access to a TCP connection.
+    pub fn tcp_conn(&self, conn: TcpConnId) -> Option<&TcpConnection> {
+        self.conns.get(conn.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Immutable access to a UDP socket.
+    pub fn udp_sock(&self, sock: UdpSocketId) -> Option<&UdpSocket> {
+        self.socks.get(sock.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// This host's address (known after simulation start).
+    pub fn address(&self) -> Addr {
+        self.addr.expect("host address unknown before start")
+    }
+
+    // ------------------------------------------------------------------
+    // Settle machinery
+    // ------------------------------------------------------------------
+
+    fn settle(&mut self, ctx: &mut NodeCtx<'_>) {
+        let mut converged = false;
+        for _ in 0..1_000_000u32 {
+            // First convert CM notifications into work.
+            let notes = self.cm.drain_notifications();
+            if !notes.is_empty() {
+                for n in notes {
+                    self.route_cm_notification(ctx, n);
+                }
+                continue;
+            }
+            // Then deliver one pending app event.
+            let Some((app, ev)) = self.pending.pop_front() else {
+                converged = true;
+                break;
+            };
+            self.dispatch_app(ctx, app, ev);
+        }
+        assert!(converged, "host settle loop did not converge (runaway callbacks)");
+        // If pacing is holding grants back, make sure a timer will
+        // release them.
+        if let Some(at) = self.cm.next_grant_deadline() {
+            let now = ctx.now();
+            let fire_at = at.max(now);
+            let need_arm = match self.pace_timer_at {
+                Some(t) => fire_at < t || t <= now,
+                None => true,
+            };
+            if need_arm {
+                self.pace_timer_at = Some(fire_at);
+                let token = self.alloc_token(TimerTarget::CmPace);
+                ctx.set_timer(fire_at.since(now).max(Duration::from_nanos(1)), token);
+            }
+        }
+    }
+
+    fn route_cm_notification(&mut self, ctx: &mut NodeCtx<'_>, n: CmNotification) {
+        match n {
+            CmNotification::SendGrant { flow } => match self.flow_owner.get(&flow).copied() {
+                Some(FlowOwner::Tcp(conn)) => {
+                    let now = ctx.now();
+                    let actions = match self.conns[conn.0 as usize].as_mut() {
+                        Some(c) => c.on_cm_grant(now),
+                        None => {
+                            // Connection gone; release the grant.
+                            let _ = self.cm.notify(flow, 0, now);
+                            return;
+                        }
+                    };
+                    self.run_tcp_actions(ctx, conn, actions);
+                }
+                Some(FlowOwner::CcUdp(sock)) => {
+                    self.ccudp_grant(ctx, sock, flow);
+                }
+                Some(FlowOwner::App(app)) => {
+                    self.pending.push_back((app, AppEvent::CmGrant(flow)));
+                }
+                None => {
+                    let _ = self.cm.notify(flow, 0, ctx.now());
+                }
+            },
+            CmNotification::RateChange { flow, info } => {
+                match self.flow_owner.get(&flow).copied() {
+                    Some(FlowOwner::App(app)) => {
+                        self.pending.push_back((app, AppEvent::CmRate(flow, info)));
+                    }
+                    Some(FlowOwner::CcUdp(sock)) => {
+                        // Deliver to the application owning the socket
+                        // (the vat policer adapts on these).
+                        if let Some(&Some((owner, _))) = self.sock_meta.get(sock.0 as usize) {
+                            self.pending.push_back((owner, AppEvent::CmRate(flow, info)));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn dispatch_app(&mut self, ctx: &mut NodeCtx<'_>, app_id: AppId, ev: AppEvent) {
+        let Some(mut app) = self.apps[app_id.0 as usize].take() else {
+            return;
+        };
+        {
+            let mut os = HostOs {
+                host: self,
+                ctx,
+                app: app_id,
+            };
+            match ev {
+                AppEvent::Tcp(conn, tev) => app.on_tcp_event(&mut os, conn, tev),
+                AppEvent::Udp(sock, from, fport, d) => app.on_udp(&mut os, sock, from, fport, d),
+                AppEvent::CmGrant(flow) => app.on_cm_grant(&mut os, flow),
+                AppEvent::CmRate(flow, info) => app.on_cm_rate_change(&mut os, flow, info),
+                AppEvent::Timer(token) => app.on_timer(&mut os, token),
+            }
+        }
+        self.apps[app_id.0 as usize] = Some(app);
+    }
+
+    // ------------------------------------------------------------------
+    // TCP plumbing
+    // ------------------------------------------------------------------
+
+    fn run_tcp_actions(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        conn_id: TcpConnId,
+        actions: Vec<TcpAction>,
+    ) {
+        let now = ctx.now();
+        for act in actions {
+            match act {
+                TcpAction::Emit(seg) => self.emit_tcp_segment(ctx, conn_id, seg),
+                TcpAction::SetTimer(kind, after) => {
+                    self.cancel_tcp_timer(conn_id, kind);
+                    let token = self.alloc_token(TimerTarget::Tcp(conn_id, kind));
+                    self.tcp_timer_tokens.insert((conn_id.0, kind), token);
+                    ctx.set_timer(after, token);
+                }
+                TcpAction::CancelTimer(kind) => self.cancel_tcp_timer(conn_id, kind),
+                TcpAction::CmRequest => {
+                    if let Some(flow) = self.conn_flow(conn_id) {
+                        let _ = self.cm.request(flow, now);
+                    }
+                }
+                TcpAction::CmNotify(bytes) => {
+                    if let Some(flow) = self.conn_flow(conn_id) {
+                        // The IP output routine's cm_notify (its cost is
+                        // the CM accounting entry in the model).
+                        self.cpu.run(now, self.cfg.cost.cm_accounting);
+                        let _ = self.cm.notify(flow, bytes, now);
+                    }
+                }
+                TcpAction::CmUpdate(report) => {
+                    if let Some(flow) = self.conn_flow(conn_id) {
+                        self.cpu.run(now, self.cfg.cost.cm_accounting);
+                        let _ = self.cm.update(flow, report, now);
+                        // Push the shared RTT estimate back into the
+                        // connection for RTO computation (§3.2).
+                        if let Ok(mf) = self.cm.macroflow_of(flow) {
+                            if let Ok(info) = self.cm.flow_info(flow, mf) {
+                                if let Some(srtt) = info.srtt {
+                                    if let Some(c) = self.conns[conn_id.0 as usize].as_mut() {
+                                        c.set_shared_rtt(srtt, info.rttvar);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                TcpAction::Event(ev) => {
+                    if let Some(meta) = self.conn_meta[conn_id.0 as usize].as_ref() {
+                        self.pending.push_back((meta.owner, AppEvent::Tcp(conn_id, ev)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_tcp_segment(&mut self, ctx: &mut NodeCtx<'_>, conn_id: TcpConnId, seg: TcpSegment) {
+        let Some(meta) = self.conn_meta[conn_id.0 as usize].as_ref() else {
+            return;
+        };
+        let ecn_capable = seg.len > 0 && self.cfg.tcp.ecn;
+        let mut pkt = Packet::new(
+            ctx.addr(),
+            meta.remote,
+            meta.local_port,
+            meta.remote_port,
+            Protocol::Tcp,
+            seg.len as usize + TCP_OVERHEAD,
+            Payload::new(seg),
+        );
+        if ecn_capable {
+            pkt = pkt.with_ecn(Ecn::Ect);
+        }
+        // Kernel send path: TCP processing + IP output + the data copy.
+        let work = self.cfg.cost.tcp_proc
+            + self.cfg.cost.ip_output
+            + self.cfg.cost.copy(seg.len as usize);
+        self.emit_with_cpu(ctx, pkt, work);
+    }
+
+    fn cancel_tcp_timer(&mut self, conn: TcpConnId, kind: TcpTimer) {
+        if let Some(token) = self.tcp_timer_tokens.remove(&(conn.0, kind)) {
+            self.timer_targets.remove(&token);
+        }
+    }
+
+    fn conn_flow(&self, conn: TcpConnId) -> Option<FlowId> {
+        self.conn_meta[conn.0 as usize].as_ref().and_then(|m| m.flow)
+    }
+
+    fn alloc_token(&mut self, target: TimerTarget) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timer_targets.insert(token, target);
+        token
+    }
+
+    /// Emits a packet after the CPU finishes `work`; maintains FIFO order
+    /// through the deferred-transmit queue.
+    fn emit_with_cpu(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet, work: Duration) {
+        let now = ctx.now();
+        let done = self.cpu.run(now, work);
+        if done <= now && self.txq.is_empty() {
+            ctx.send(pkt);
+        } else {
+            self.txq.push_back(pkt);
+            let token = self.alloc_token(TimerTarget::TxDequeue);
+            ctx.set_timer(done.since(now), token);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CC-UDP grant path (§3.3's udp_ccappsend)
+    // ------------------------------------------------------------------
+
+    fn ccudp_grant(&mut self, ctx: &mut NodeCtx<'_>, sock_id: UdpSocketId, flow: FlowId) {
+        let now = ctx.now();
+        let Some(sock) = self.socks[sock_id.0 as usize].as_mut() else {
+            let _ = self.cm.notify(flow, 0, now);
+            return;
+        };
+        match sock.on_cm_grant() {
+            Some(q) => {
+                let local_port = sock.local_port;
+                let wire = q.dgram.len as usize + UDP_OVERHEAD;
+                let pkt = Packet::new(
+                    ctx.addr(),
+                    Addr(q.dst),
+                    local_port,
+                    q.dst_port,
+                    Protocol::Udp,
+                    wire,
+                    Payload::new(q.dgram),
+                );
+                let work = self.cfg.cost.udp_proc + self.cfg.cost.ip_output;
+                self.emit_with_cpu(ctx, pkt, work);
+                self.cpu.run(now, self.cfg.cost.cm_accounting);
+                let _ = self.cm.notify(flow, wire as u64, now);
+            }
+            None => {
+                let _ = self.cm.notify(flow, 0, now);
+            }
+        }
+    }
+}
+
+impl Node for Host {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.addr = Some(ctx.addr());
+        let token = self.alloc_token(TimerTarget::CmTick);
+        ctx.set_timer(self.cfg.cm_tick, token);
+        for i in 0..self.apps.len() {
+            let app_id = AppId(i as u32);
+            if let Some(mut app) = self.apps[i].take() {
+                {
+                    let mut os = HostOs {
+                        host: self,
+                        ctx,
+                        app: app_id,
+                    };
+                    app.on_start(&mut os);
+                }
+                self.apps[i] = Some(app);
+            }
+        }
+        self.settle(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        let now = ctx.now();
+        // Receive path: interrupt + driver.
+        self.cpu.run(now, self.cfg.cost.interrupt);
+        let ce = pkt.ecn == Ecn::Ce;
+        match pkt.proto {
+            Protocol::Tcp => {
+                let Some(seg) = pkt.payload.downcast_ref::<TcpSegment>().copied() else {
+                    return;
+                };
+                self.cpu.run(now, self.cfg.cost.tcp_proc);
+                let key = (pkt.dst_port, pkt.src.0, pkt.src_port);
+                let conn_id = match self.tcp_demux.get(&key) {
+                    Some(&id) => id,
+                    None if seg.flags.syn && !seg.flags.ack => {
+                        // Passive open on a listening port.
+                        let Some(&(owner, mode)) = self.tcp_listeners.get(&pkt.dst_port) else {
+                            return;
+                        };
+                        let (conn, actions) =
+                            TcpConnection::accept(self.cfg.tcp.clone(), mode, &seg, now);
+                        let id = TcpConnId(self.conns.len() as u32);
+                        // Open the CM flow for our sending direction.
+                        let flow = if mode == CcMode::Cm {
+                            let fkey = FlowKey::new(
+                                Endpoint::new(ctx.addr().0, pkt.dst_port),
+                                Endpoint::new(pkt.src.0, pkt.src_port),
+                            );
+                            let f = self.cm.open(fkey, now).ok();
+                            if let Some(f) = f {
+                                self.flow_owner.insert(f, FlowOwner::Tcp(id));
+                            }
+                            f
+                        } else {
+                            None
+                        };
+                        self.conns.push(Some(conn));
+                        self.conn_meta.push(Some(ConnMeta {
+                            local_port: pkt.dst_port,
+                            remote: pkt.src,
+                            remote_port: pkt.src_port,
+                            owner,
+                            flow,
+                        }));
+                        self.tcp_demux.insert(key, id);
+                        self.run_tcp_actions(ctx, id, actions);
+                        self.settle(ctx);
+                        return;
+                    }
+                    None => return,
+                };
+                let actions = match self.conns[conn_id.0 as usize].as_mut() {
+                    Some(c) => c.on_segment(&seg, ce, now),
+                    None => return,
+                };
+                self.run_tcp_actions(ctx, conn_id, actions);
+            }
+            Protocol::Udp => {
+                let Some(dgram) = pkt.payload.downcast_ref::<UdpDatagram>().copied() else {
+                    return;
+                };
+                self.cpu.run(now, self.cfg.cost.udp_proc);
+                let Some(&sock_id) = self.udp_demux.get(&pkt.dst_port) else {
+                    return;
+                };
+                let Some(sock) = self.socks[sock_id.0 as usize].as_mut() else {
+                    return;
+                };
+                sock.note_received();
+                if let Some((owner, _)) = self.sock_meta[sock_id.0 as usize] {
+                    self.pending.push_back((
+                        owner,
+                        AppEvent::Udp(sock_id, pkt.src, pkt.src_port, dgram),
+                    ));
+                }
+            }
+        }
+        self.settle(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let Some(target) = self.timer_targets.remove(&token) else {
+            return; // Cancelled or superseded.
+        };
+        let now = ctx.now();
+        match target {
+            TimerTarget::Tcp(conn, kind) => {
+                // Only fire if this token is still the registered one.
+                self.tcp_timer_tokens.remove(&(conn.0, kind));
+                let actions = match self.conns[conn.0 as usize].as_mut() {
+                    Some(c) => c.on_timer(kind, now),
+                    None => return,
+                };
+                self.run_tcp_actions(ctx, conn, actions);
+            }
+            TimerTarget::App(app, app_token) => {
+                self.pending.push_back((app, AppEvent::Timer(app_token)));
+            }
+            TimerTarget::TxDequeue => {
+                if let Some(pkt) = self.txq.pop_front() {
+                    ctx.send(pkt);
+                }
+            }
+            TimerTarget::CmTick => {
+                self.cm.tick(now);
+                let token = self.alloc_token(TimerTarget::CmTick);
+                ctx.set_timer(self.cfg.cm_tick, token);
+            }
+            TimerTarget::CmPace => {
+                self.pace_timer_at = None;
+                self.cm.release_paced(now);
+            }
+        }
+        self.settle(ctx);
+    }
+}
+
+/// The syscall surface applications program against.
+///
+/// Each method charges the virtual CPU according to the cost model, so
+/// the API-overhead experiments (Figure 6, Table 1) emerge from the same
+/// code paths the applications actually exercise.
+pub struct HostOs<'a, 'b> {
+    host: &'a mut Host,
+    ctx: &'a mut NodeCtx<'b>,
+    app: AppId,
+}
+
+impl HostOs<'_, '_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// This host's network address.
+    pub fn local_addr(&self) -> Addr {
+        self.ctx.addr()
+    }
+
+    /// Deterministic randomness for workloads.
+    pub fn rng(&mut self) -> &mut cm_util::DetRng {
+        self.ctx.rng()
+    }
+
+    /// Sets an application timer; `token` is returned to
+    /// [`HostApp::on_timer`].
+    pub fn set_app_timer(&mut self, after: Duration, token: u64) {
+        let t = self.host.alloc_token(TimerTarget::App(self.app, token));
+        self.ctx.set_timer(after, t);
+    }
+
+    // --- TCP ---
+
+    /// Active-opens a TCP connection.
+    pub fn tcp_connect(&mut self, remote: Addr, remote_port: u16, mode: CcMode) -> TcpConnId {
+        let now = self.ctx.now();
+        let local_port = self.host.next_ephemeral;
+        self.host.next_ephemeral += 1;
+        let (conn, actions) = TcpConnection::connect(self.host.cfg.tcp.clone(), mode, now);
+        let id = TcpConnId(self.host.conns.len() as u32);
+        let flow = if mode == CcMode::Cm {
+            let fkey = FlowKey::new(
+                Endpoint::new(self.ctx.addr().0, local_port),
+                Endpoint::new(remote.0, remote_port),
+            );
+            let f = self.host.cm.open(fkey, now).ok();
+            if let Some(f) = f {
+                self.host.flow_owner.insert(f, FlowOwner::Tcp(id));
+            }
+            f
+        } else {
+            None
+        };
+        self.host.conns.push(Some(conn));
+        self.host.conn_meta.push(Some(ConnMeta {
+            local_port,
+            remote,
+            remote_port,
+            owner: self.app,
+            flow,
+        }));
+        self.host
+            .tcp_demux
+            .insert((local_port, remote.0, remote_port), id);
+        self.host.cpu.run(now, self.host.cfg.cost.syscall);
+        self.host.run_tcp_actions(self.ctx, id, actions);
+        id
+    }
+
+    /// Listens for inbound connections on `port`; accepted connections
+    /// are owned by this app and use `mode`.
+    pub fn tcp_listen(&mut self, port: u16, mode: CcMode) {
+        self.host.tcp_listeners.insert(port, (self.app, mode));
+    }
+
+    /// Writes `bytes` of application data to a connection's send buffer.
+    pub fn tcp_send(&mut self, conn: TcpConnId, bytes: u64) {
+        let now = self.ctx.now();
+        // write() syscall + copy into the socket buffer.
+        let work = self.host.cfg.cost.syscall + self.host.cfg.cost.copy(bytes as usize);
+        self.host.cpu.run(now, work);
+        let actions = match self.host.conns[conn.0 as usize].as_mut() {
+            Some(c) => c.app_write(bytes, now),
+            None => return,
+        };
+        self.host.run_tcp_actions(self.ctx, conn, actions);
+    }
+
+    /// Half-closes a connection (FIN after queued data).
+    pub fn tcp_close(&mut self, conn: TcpConnId) {
+        let now = self.ctx.now();
+        self.host.cpu.run(now, self.host.cfg.cost.syscall);
+        let actions = match self.host.conns[conn.0 as usize].as_mut() {
+            Some(c) => c.app_close(now),
+            None => return,
+        };
+        self.host.run_tcp_actions(self.ctx, conn, actions);
+    }
+
+    /// Cumulative in-order bytes delivered on a connection.
+    pub fn tcp_delivered(&self, conn: TcpConnId) -> u64 {
+        self.host
+            .tcp_conn(conn)
+            .map(|c| c.bytes_delivered())
+            .unwrap_or(0)
+    }
+
+    // --- UDP ---
+
+    /// Opens a UDP socket bound to `local_port`.
+    pub fn udp_socket(&mut self, local_port: u16) -> UdpSocketId {
+        let id = UdpSocketId(self.host.socks.len() as u32);
+        self.host.socks.push(Some(UdpSocket::new(local_port)));
+        self.host.sock_meta.push(Some((self.app, None)));
+        self.host.udp_demux.insert(local_port, id);
+        id
+    }
+
+    /// Converts a socket to a congestion-controlled UDP socket bound to
+    /// `(remote, remote_port)` — `cm_open` + `setsockopt(CM_BUF)` (§3.3).
+    pub fn ccudp_connect(&mut self, sock: UdpSocketId, remote: Addr, remote_port: u16) -> FlowId {
+        let now = self.ctx.now();
+        let local_port = self.host.socks[sock.0 as usize]
+            .as_ref()
+            .expect("socket open")
+            .local_port;
+        let fkey = FlowKey::new(
+            Endpoint::new(self.ctx.addr().0, local_port),
+            Endpoint::new(remote.0, remote_port),
+        );
+        let flow = self
+            .host
+            .cm
+            .open(fkey, now)
+            .expect("ccudp flow open failed");
+        self.host.flow_owner.insert(flow, FlowOwner::CcUdp(sock));
+        if let Some(s) = self.host.socks[sock.0 as usize].as_mut() {
+            s.enable_cm(flow);
+        }
+        if let Some(m) = self.host.sock_meta[sock.0 as usize].as_mut() {
+            m.1 = Some((remote, remote_port));
+        }
+        self.host.cpu.run(now, self.host.cfg.cost.syscall);
+        flow
+    }
+
+    /// Sends a datagram. On a plain socket it transmits immediately; on a
+    /// congestion-controlled socket it enters the kernel queue and is
+    /// released by CM grants. Returns `false` if a CC queue dropped it.
+    pub fn udp_sendto(
+        &mut self,
+        sock: UdpSocketId,
+        dst: Addr,
+        dst_port: u16,
+        dgram: UdpDatagram,
+    ) -> bool {
+        let now = self.ctx.now();
+        // sendto() syscall + copy.
+        self.host.cpu.ops.syscalls += 1;
+        self.host.cpu.ops.bytes_copied += dgram.len as u64;
+        let work = self.host.cfg.cost.syscall + self.host.cfg.cost.copy(dgram.len as usize);
+        self.host.cpu.run(now, work);
+        let Some(s) = self.host.socks[sock.0 as usize].as_mut() else {
+            return false;
+        };
+        if s.is_cm() {
+            let flow = s.cm_flow.expect("cm socket has flow");
+            let ok = s.enqueue(QueuedDatagram {
+                dst: dst.0,
+                dst_port,
+                dgram,
+            });
+            if ok {
+                // "When data enters the packet queue, the kernel calls
+                // cm_request() on the flow" (§3.3).
+                let _ = self.host.cm.request(flow, now);
+            }
+            ok
+        } else {
+            s.note_sent();
+            let local_port = s.local_port;
+            let pkt = Packet::new(
+                self.ctx.addr(),
+                dst,
+                local_port,
+                dst_port,
+                Protocol::Udp,
+                dgram.len as usize + UDP_OVERHEAD,
+                Payload::new(dgram),
+            );
+            let work = self.host.cfg.cost.udp_proc + self.host.cfg.cost.ip_output;
+            self.host.emit_with_cpu(self.ctx, pkt, work);
+            true
+        }
+    }
+
+    /// Queue depth of a congestion-controlled socket.
+    pub fn ccudp_queue_len(&self, sock: UdpSocketId) -> usize {
+        self.host
+            .udp_sock(sock)
+            .map(|s| s.queue_len())
+            .unwrap_or(0)
+    }
+
+    // --- The CM API for ALF applications (§2.1) ---
+
+    /// `cm_open`: opens a CM flow owned by this application.
+    pub fn cm_open(&mut self, local_port: u16, remote: Addr, remote_port: u16) -> FlowId {
+        let now = self.ctx.now();
+        self.host.cpu.run(now, self.host.cfg.cost.syscall);
+        let fkey = FlowKey::new(
+            Endpoint::new(self.ctx.addr().0, local_port),
+            Endpoint::new(remote.0, remote_port),
+        );
+        let flow = self.host.cm.open(fkey, now).expect("cm_open failed");
+        self.host.flow_owner.insert(flow, FlowOwner::App(self.app));
+        flow
+    }
+
+    /// `cm_close`.
+    pub fn cm_close(&mut self, flow: FlowId) {
+        let now = self.ctx.now();
+        let _ = self.host.cm.close(flow, now);
+        self.host.flow_owner.remove(&flow);
+    }
+
+    /// `cm_mtu`.
+    pub fn cm_mtu(&self, flow: FlowId) -> usize {
+        self.host.cm.mtu(flow).unwrap_or(1460)
+    }
+
+    /// `cm_request`: one implicit MTU of send permission; the grant
+    /// arrives via [`HostApp::on_cm_grant`]. Costs one ioctl on the
+    /// control socket (Table 1's "1 cm_request (ioctl)").
+    pub fn cm_request(&mut self, flow: FlowId) {
+        let now = self.ctx.now();
+        self.host.cpu.ops.ioctls += 1;
+        self.host.cpu.run(now, self.host.cfg.cost.ioctl);
+        let _ = self.host.cm.request(flow, now);
+    }
+
+    /// `cm_notify`: reports `bytes` sent on an app-managed flow. With
+    /// `explicit: true` this is the unconnected-socket case where the
+    /// application itself must make the call (an extra ioctl — Table 1's
+    /// "1 cm_notify (ioctl)"); with `explicit: false` the kernel derived
+    /// the flow from the connected socket and charged only internal
+    /// accounting.
+    pub fn cm_notify(&mut self, flow: FlowId, bytes: u64, explicit: bool) {
+        let now = self.ctx.now();
+        let cost = if explicit {
+            self.host.cpu.ops.ioctls += 1;
+            self.host.cfg.cost.ioctl
+        } else {
+            self.host.cfg.cost.cm_accounting
+        };
+        self.host.cpu.run(now, cost);
+        let _ = self.host.cm.notify(flow, bytes, now);
+    }
+
+    /// `cm_update`: receiver feedback from an app-level ACK.
+    pub fn cm_update(&mut self, flow: FlowId, report: FeedbackReport) {
+        let now = self.ctx.now();
+        self.host.cpu.ops.ioctls += 1;
+        self.host.cpu.run(now, self.host.cfg.cost.ioctl);
+        let _ = self.host.cm.update(flow, report, now);
+    }
+
+    /// `cm_query`: current per-flow network state.
+    pub fn cm_query(&mut self, flow: FlowId) -> Option<FlowInfo> {
+        let now = self.ctx.now();
+        self.host.cpu.run(now, self.host.cfg.cost.ioctl);
+        self.host.cm.query(flow, now).ok()
+    }
+
+    /// `cm_thresh` + `cm_register_update`: rate callbacks for this flow.
+    pub fn cm_set_thresholds(&mut self, flow: FlowId, t: Option<Thresholds>) {
+        let _ = self.host.cm.set_thresholds(flow, t);
+    }
+
+    /// `gettimeofday`, charged per Table 1 (user-space RTT measurement
+    /// needs two per packet).
+    pub fn gettimeofday(&mut self) -> Time {
+        let now = self.ctx.now();
+        self.host.cpu.ops.gettimeofdays += 1;
+        self.host.cpu.run(now, self.host.cfg.cost.gettimeofday);
+        now
+    }
+
+    /// Charges one `select` over `nfds` descriptors (the app's event
+    /// loop; the CM control socket adds a descriptor — Table 1's
+    /// "1 extra socket").
+    pub fn charge_select(&mut self, nfds: usize) {
+        let now = self.ctx.now();
+        self.host.cpu.ops.selects += 1;
+        let work = self.host.cfg.cost.select(nfds);
+        self.host.cpu.run(now, work);
+    }
+
+    /// Charges one `recv` syscall plus the copy of `bytes`.
+    pub fn charge_recv(&mut self, bytes: usize) {
+        let now = self.ctx.now();
+        self.host.cpu.ops.syscalls += 1;
+        self.host.cpu.ops.bytes_copied += bytes as u64;
+        let work = self.host.cfg.cost.syscall + self.host.cfg.cost.copy(bytes);
+        self.host.cpu.run(now, work);
+    }
+
+    /// Direct access to the host CPU and cost model, for libraries (like
+    /// the libcm dispatcher) that charge composite costs themselves.
+    pub fn cpu_and_costs(&mut self) -> (&mut Cpu, &CostModel) {
+        (&mut self.host.cpu, &self.host.cfg.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_netsim::channel::PathSpec;
+    use cm_netsim::topology::Topology;
+    use cm_util::Rate;
+
+    /// Sends `total` bytes over TCP as soon as it starts.
+    struct BulkSender {
+        remote: Addr,
+        port: u16,
+        mode: CcMode,
+        total: u64,
+        done_at: Option<Time>,
+        acked: u64,
+    }
+
+    impl HostApp for BulkSender {
+        fn on_start(&mut self, os: &mut HostOs<'_, '_>) {
+            let conn = os.tcp_connect(self.remote, self.port, self.mode);
+            os.tcp_send(conn, self.total);
+        }
+        fn on_tcp_event(&mut self, os: &mut HostOs<'_, '_>, _conn: TcpConnId, ev: TcpEvent) {
+            if let TcpEvent::SendProgress(acked) = ev {
+                self.acked = acked;
+                if acked >= self.total && self.done_at.is_none() {
+                    self.done_at = Some(os.now());
+                }
+            }
+        }
+    }
+
+    /// Accepts connections and counts delivered bytes.
+    struct Receiver {
+        port: u16,
+        mode: CcMode,
+        delivered: u64,
+    }
+
+    impl HostApp for Receiver {
+        fn on_start(&mut self, os: &mut HostOs<'_, '_>) {
+            os.tcp_listen(self.port, self.mode);
+        }
+        fn on_tcp_event(&mut self, _os: &mut HostOs<'_, '_>, _conn: TcpConnId, ev: TcpEvent) {
+            if let TcpEvent::DataDelivered(n) = ev {
+                self.delivered = n;
+            }
+        }
+    }
+
+    fn bulk_transfer(mode: CcMode, loss: f64, total: u64) -> (u64, Time) {
+        let mut topo = Topology::new(42);
+        let mut server = Host::new(HostConfig::default());
+        server.add_app(Box::new(Receiver {
+            port: 80,
+            mode,
+            delivered: 0,
+        }));
+        let server_id = topo.add_host(Box::new(server));
+        let server_addr = topo.sim().addr_of(server_id);
+
+        let mut client = Host::new(HostConfig::default());
+        client.add_app(Box::new(BulkSender {
+            remote: server_addr,
+            port: 80,
+            mode,
+            total,
+            done_at: None,
+            acked: 0,
+        }));
+        let client_id = topo.add_host(Box::new(client));
+
+        let path = PathSpec::new(Rate::from_mbps(10), Duration::from_millis(40))
+            .with_forward_loss(loss);
+        topo.emulated_path(client_id, server_id, &path);
+        let mut sim = topo.build();
+        sim.run_until(Time::from_secs(120));
+        let server_host = sim.node_ref::<Host>(server_id);
+        let delivered = server_host
+            .tcp_conn(TcpConnId(0))
+            .map(|c| c.bytes_delivered())
+            .unwrap_or(0);
+        (delivered, sim.now())
+    }
+
+    #[test]
+    fn native_tcp_transfers_over_simulated_path() {
+        let total = 200 * 1460;
+        let (delivered, _) = bulk_transfer(CcMode::Native, 0.0, total);
+        assert_eq!(delivered, total);
+    }
+
+    #[test]
+    fn cm_tcp_transfers_over_simulated_path() {
+        let total = 200 * 1460;
+        let (delivered, _) = bulk_transfer(CcMode::Cm, 0.0, total);
+        assert_eq!(delivered, total);
+    }
+
+    #[test]
+    fn native_tcp_survives_loss() {
+        let total = 100 * 1460;
+        let (delivered, _) = bulk_transfer(CcMode::Native, 0.02, total);
+        assert_eq!(delivered, total);
+    }
+
+    #[test]
+    fn cm_tcp_survives_loss() {
+        let total = 100 * 1460;
+        let (delivered, _) = bulk_transfer(CcMode::Cm, 0.02, total);
+        assert_eq!(delivered, total);
+    }
+
+    #[test]
+    fn cm_tcp_survives_heavy_loss() {
+        let total = 30 * 1460;
+        let (delivered, _) = bulk_transfer(CcMode::Cm, 0.05, total);
+        assert_eq!(delivered, total);
+    }
+}

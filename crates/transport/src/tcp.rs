@@ -1,0 +1,1540 @@
+//! A packet-level TCP with pluggable congestion control.
+//!
+//! The connection object implements connection establishment and teardown,
+//! reliable in-order delivery with out-of-order reassembly, RTT estimation
+//! from timestamps, RTO with exponential backoff, fast retransmit on three
+//! duplicate ACKs with NewReno partial-ACK recovery, optional delayed
+//! ACKs, and ECN echo — everything the paper's §3.2 keeps *inside* TCP
+//! when the CM takes over congestion control:
+//!
+//! > "TCP/CM offloads all congestion control to the CM, while retaining
+//! > all other TCP functionality (connection establishment and
+//! > termination, loss recovery and protocol state handling)."
+//!
+//! Two [`CcMode`]s select who owns the window:
+//!
+//! * **Native** — the connection runs its own Reno-style AIMD with the
+//!   Linux 2.2 idiosyncrasies the paper calls out (§4): an initial window
+//!   of **2** segments and **ACK counting** ("it assumes that each ACK is
+//!   for a full MTU").
+//! * **Cm** — the connection emits [`TcpAction::CmRequest`] /
+//!   [`TcpAction::CmNotify`] / [`TcpAction::CmUpdate`] actions and
+//!   transmits exactly one segment per CM grant, with duplicate-ACK and
+//!   timeout events mapped to `cm_update` calls precisely as §3.2's
+//!   "Data acknowledgements" paragraph prescribes.
+//!
+//! The object is deliberately pure: every entry point returns a list of
+//! [`TcpAction`]s (segments to emit, timers to arm, CM calls to make,
+//! application events to raise) that the host stack executes. That makes
+//! the protocol directly unit-testable without a simulator, which the
+//! tests at the bottom of this file exploit.
+
+use std::collections::BTreeMap;
+
+use cm_core::types::{FeedbackReport, LossMode};
+use cm_util::ewma::RttEstimator;
+use cm_util::{Duration, Time};
+
+use crate::segment::{TcpFlags, TcpSegment};
+use crate::types::{CcMode, TcpEvent, TcpTimer};
+
+/// Tunables for one connection.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size, in bytes.
+    pub mss: usize,
+    /// Whether the receiver delays ACKs (200 ms / every-other-segment).
+    pub delayed_ack: bool,
+    /// The delayed-ACK timer.
+    pub delack_timeout: Duration,
+    /// Receive window advertised to the peer.
+    pub rwnd: u64,
+    /// Native mode's initial window, in segments (Linux 2.2 used 2).
+    pub initial_cwnd_segments: u32,
+    /// RTO clamp floor.
+    pub min_rto: Duration,
+    /// RTO clamp ceiling.
+    pub max_rto: Duration,
+    /// RTO before any RTT sample.
+    pub fallback_rto: Duration,
+    /// CM mode: cap on `cm_request`s outstanding at once (bounds the
+    /// scheduler queue during bulk transfers).
+    pub max_requests: u32,
+    /// Mark data packets ECN-capable and react to ECE echoes.
+    pub ecn: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            delayed_ack: true,
+            delack_timeout: Duration::from_millis(200),
+            rwnd: 1 << 24,
+            initial_cwnd_segments: 2,
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(120),
+            fallback_rto: Duration::from_secs(3),
+            max_requests: 64,
+            ecn: false,
+        }
+    }
+}
+
+/// Connection lifecycle states (simplified from RFC 793: no TIME_WAIT,
+/// since the simulator never reuses 4-tuples).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// Active opener: SYN sent, awaiting SYN|ACK.
+    SynSent,
+    /// Passive opener: SYN received, SYN|ACK sent.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Our FIN is queued/sent; still receiving.
+    Closing,
+    /// Fully closed.
+    Closed,
+}
+
+/// Counters for one connection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpStats {
+    /// Segments emitted (all kinds).
+    pub segs_sent: u64,
+    /// Segments received.
+    pub segs_rcvd: u64,
+    /// New data bytes sent (first transmission).
+    pub bytes_sent: u64,
+    /// Data bytes retransmitted.
+    pub bytes_rtx: u64,
+    /// Fast retransmits triggered.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Duplicate ACKs received.
+    pub dupacks: u64,
+    /// RTT samples taken.
+    pub rtt_samples: u64,
+    /// Pure ACKs emitted.
+    pub acks_sent: u64,
+}
+
+/// What the host must do on the connection's behalf.
+#[derive(Debug)]
+pub enum TcpAction {
+    /// Transmit a segment.
+    Emit(TcpSegment),
+    /// (Re)arm the given timer.
+    SetTimer(TcpTimer, Duration),
+    /// Disarm the given timer.
+    CancelTimer(TcpTimer),
+    /// CM mode: issue one `cm_request` for this connection's flow.
+    CmRequest,
+    /// CM mode: report `bytes` transmitted (0 = grant declined).
+    CmNotify(u64),
+    /// CM mode: deliver feedback to the CM.
+    CmUpdate(FeedbackReport),
+    /// Raise an event to the owning application.
+    Event(TcpEvent),
+}
+
+/// A TCP connection endpoint.
+pub struct TcpConnection {
+    cfg: TcpConfig,
+    mode: CcMode,
+    state: TcpState,
+
+    // --- Send side ---
+    /// Oldest unacknowledged offset.
+    snd_una: u64,
+    /// Next offset to transmit.
+    snd_nxt: u64,
+    /// Stream bytes the application has written (data occupies
+    /// `[1, 1 + app_written)`; offset 0 is the SYN).
+    app_written: u64,
+    /// Application requested close (FIN after all data).
+    fin_queued: bool,
+    /// FIN has been transmitted at `1 + app_written`.
+    fin_sent: bool,
+    /// Peer's advertised window.
+    peer_wnd: u64,
+    /// Duplicate-ACK counter.
+    dupacks: u32,
+    /// NewReno recovery: set while recovering, with the recovery point.
+    recover: Option<u64>,
+    /// Partial ACKs absorbed in the current recovery (the RFC 6582
+    /// "Impatient" variant re-arms the RTO only on the first).
+    partial_acks: u32,
+    /// SACK scoreboard: ranges above `snd_una` the receiver holds
+    /// (RFC 2018; Linux 2.2 shipped with SACK on).
+    sacked: BTreeMap<u64, u64>,
+    /// Recovery progress: holes below this offset were already
+    /// retransmitted in the current recovery episode.
+    rtx_next_hole: u64,
+    /// CM mode: bytes already drained from the CM's outstanding count by
+    /// per-dupack progress reports; the eventual cumulative ACK must not
+    /// drain them again.
+    recovery_credits: u64,
+    /// Native-mode congestion window (bytes).
+    cwnd: u64,
+    /// Native-mode slow-start threshold (bytes).
+    ssthresh: u64,
+    /// RTO backoff exponent.
+    backoff: u32,
+    /// Native-mode RTT estimator (CM mode uses the shared estimate).
+    rtt: RttEstimator,
+    /// CM mode: shared (srtt, rttvar) pushed in by the host from
+    /// `cm_query` — "the smoothed estimates ... calculated by the CM ...
+    /// useful in loss recovery" (§3.2).
+    shared_rtt: Option<(Duration, Duration)>,
+    /// CM mode: `cm_request`s issued and not yet granted.
+    requests_outstanding: u32,
+    /// Whether the RTO timer is currently armed (transmissions arm it
+    /// only when it is not; new ACKs restart it).
+    rto_armed: bool,
+    /// Highest offset ever transmitted; sends below it after a timeout's
+    /// go-back-N reset are retransmissions for accounting purposes.
+    highest_sent: u64,
+    /// ECN: highest offset at which we already reacted to an ECE.
+    ecn_reacted_at: u64,
+
+    // --- Receive side ---
+    /// Next expected offset.
+    rcv_nxt: u64,
+    /// Out-of-order ranges, keyed by start offset (values are ends).
+    ooo: BTreeMap<u64, u64>,
+    /// Cumulative in-order data bytes delivered to the application.
+    delivered: u64,
+    /// Whether the peer's SYN consumed offset 0 (always true once
+    /// connected; affects the data-byte accounting).
+    peer_fin_at: Option<u64>,
+    /// Segments received since the last ACK was sent.
+    segs_since_ack: u32,
+    /// A delayed ACK is pending.
+    ack_pending: bool,
+    /// Timestamp to echo on the next ACK.
+    echo_ts: Option<Time>,
+    /// An ECN CE mark awaits echoing.
+    ece_pending: bool,
+
+    /// Counters.
+    pub stats: TcpStats,
+}
+
+impl TcpConnection {
+    /// Creates an active-open connection; the returned actions transmit
+    /// the SYN and arm the handshake timer.
+    pub fn connect(cfg: TcpConfig, mode: CcMode, now: Time) -> (Self, Vec<TcpAction>) {
+        let mut conn = Self::new(cfg, mode, TcpState::SynSent);
+        let mut out = Vec::new();
+        let syn = conn.make_segment(0, 0, TcpFlags { syn: true, ..Default::default() }, now);
+        conn.snd_nxt = 1;
+        conn.emit(syn, &mut out);
+        conn.arm_rto(&mut out);
+        (conn, out)
+    }
+
+    /// Creates a passive-open connection in response to a SYN; the
+    /// returned actions transmit the SYN|ACK.
+    pub fn accept(cfg: TcpConfig, mode: CcMode, syn: &TcpSegment, now: Time) -> (Self, Vec<TcpAction>) {
+        debug_assert!(syn.flags.syn && !syn.flags.ack);
+        let mut conn = Self::new(cfg, mode, TcpState::SynRcvd);
+        conn.rcv_nxt = 1;
+        conn.echo_ts = Some(syn.ts);
+        let mut out = Vec::new();
+        let synack = conn.make_segment(
+            0,
+            0,
+            TcpFlags { syn: true, ack: true, ..Default::default() },
+            now,
+        );
+        conn.snd_nxt = 1;
+        conn.emit(synack, &mut out);
+        conn.arm_rto(&mut out);
+        (conn, out)
+    }
+
+    fn new(cfg: TcpConfig, mode: CcMode, state: TcpState) -> Self {
+        let cwnd = cfg.initial_cwnd_segments as u64 * cfg.mss as u64;
+        TcpConnection {
+            cfg,
+            mode,
+            state,
+            snd_una: 0,
+            snd_nxt: 0,
+            app_written: 0,
+            fin_queued: false,
+            fin_sent: false,
+            peer_wnd: u64::MAX / 2,
+            dupacks: 0,
+            recover: None,
+            partial_acks: 0,
+            sacked: BTreeMap::new(),
+            rtx_next_hole: 0,
+            recovery_credits: 0,
+            cwnd,
+            ssthresh: u64::MAX / 2,
+            backoff: 0,
+            rtt: RttEstimator::new(),
+            shared_rtt: None,
+            requests_outstanding: 0,
+            rto_armed: false,
+            highest_sent: 0,
+            ecn_reacted_at: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            delivered: 0,
+            peer_fin_at: None,
+            segs_since_ack: 0,
+            ack_pending: false,
+            echo_ts: None,
+            ece_pending: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Congestion mode.
+    pub fn mode(&self) -> CcMode {
+        self.mode
+    }
+
+    /// Bytes in flight (sequence space between `snd_una` and `snd_nxt`).
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt.saturating_sub(self.snd_una)
+    }
+
+    /// Cumulative in-order data bytes delivered to the application.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Cumulative stream bytes acknowledged by the peer (data only).
+    pub fn bytes_acked(&self) -> u64 {
+        // Exclude the SYN offset.
+        self.snd_una.saturating_sub(1).min(self.app_written)
+    }
+
+    /// True when every written byte (and FIN, if queued) is acknowledged.
+    pub fn send_complete(&self) -> bool {
+        self.snd_una >= self.stream_limit() + (self.fin_queued as u64)
+            && self.app_written > 0
+    }
+
+    /// Native-mode congestion window (meaningless in CM mode).
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// The host pushes the CM's shared RTT estimate here after feedback
+    /// (CM mode), for RTO computation.
+    pub fn set_shared_rtt(&mut self, srtt: Duration, rttvar: Duration) {
+        self.shared_rtt = Some((srtt, rttvar));
+    }
+
+    /// The connection's current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        let base = match (self.mode, self.shared_rtt) {
+            (CcMode::Cm, Some((srtt, rttvar))) => {
+                (srtt + rttvar * 4).clamp(self.cfg.min_rto, self.cfg.max_rto)
+            }
+            _ => self
+                .rtt
+                .rto(self.cfg.min_rto, self.cfg.max_rto, self.cfg.fallback_rto),
+        };
+        let scaled = base * (1u64 << self.backoff.min(6));
+        scaled.min(self.cfg.max_rto)
+    }
+
+    // ------------------------------------------------------------------
+    // Application entry points
+    // ------------------------------------------------------------------
+
+    /// The application wrote `bytes` more stream bytes.
+    pub fn app_write(&mut self, bytes: u64, now: Time) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.app_written += bytes;
+        self.pump(now, &mut out);
+        out
+    }
+
+    /// The application closed its sending direction (FIN after data).
+    pub fn app_close(&mut self, now: Time) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.fin_queued = true;
+        if self.state == TcpState::Established {
+            self.state = TcpState::Closing;
+        }
+        self.pump(now, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Segment arrival
+    // ------------------------------------------------------------------
+
+    /// Processes an incoming segment (`ce_marked` reports the IP-layer
+    /// ECN CE codepoint).
+    pub fn on_segment(&mut self, seg: &TcpSegment, ce_marked: bool, now: Time) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.stats.segs_rcvd += 1;
+        if ce_marked && self.cfg.ecn {
+            self.ece_pending = true;
+        }
+
+        // Handshake transitions.
+        match self.state {
+            TcpState::SynSent if seg.flags.syn && seg.flags.ack => {
+                self.rcv_nxt = 1;
+                self.snd_una = 1;
+                self.backoff = 0;
+                self.state = TcpState::Established;
+                self.echo_ts = Some(seg.ts);
+                if let Some(ecr) = seg.ts_ecr {
+                    self.take_rtt_sample(now.since(ecr), &mut out);
+                }
+                self.rto_armed = false;
+                out.push(TcpAction::CancelTimer(TcpTimer::Rto));
+                out.push(TcpAction::Event(TcpEvent::Connected));
+                self.send_ack(now, &mut out);
+                self.pump(now, &mut out);
+                return out;
+            }
+            TcpState::SynRcvd if seg.flags.ack && seg.ack >= 1 => {
+                self.snd_una = self.snd_una.max(1);
+                self.backoff = 0;
+                self.state = TcpState::Established;
+                self.rto_armed = false;
+                out.push(TcpAction::CancelTimer(TcpTimer::Rto));
+                out.push(TcpAction::Event(TcpEvent::Accepted));
+                // Fall through: the ACK may carry data.
+            }
+            _ => {}
+        }
+
+        if seg.flags.ack {
+            self.process_ack(seg, now, &mut out);
+        }
+        if seg.seq_space() > 0 && !seg.flags.syn {
+            self.process_data(seg, now, &mut out);
+        }
+        out
+    }
+
+    fn process_ack(&mut self, seg: &TcpSegment, now: Time, out: &mut Vec<TcpAction>) {
+        self.peer_wnd = seg.wnd;
+        self.absorb_sack(seg.sack_blocks());
+        // ECN echo: react at most once per window of data.
+        if seg.flags.ece && self.cfg.ecn && self.snd_una >= self.ecn_reacted_at {
+            self.ecn_reacted_at = self.snd_nxt;
+            match self.mode {
+                CcMode::Native => {
+                    self.ssthresh = (self.flight() / 2).max(2 * self.cfg.mss as u64);
+                    self.cwnd = self.ssthresh;
+                }
+                CcMode::Cm => {
+                    out.push(TcpAction::CmUpdate(FeedbackReport::loss(LossMode::Ecn, 0)));
+                }
+            }
+        }
+
+        if seg.ack > self.snd_una {
+            // --- New data acknowledged ---
+            let acked = seg.ack - self.snd_una;
+            let data_acked = self.data_bytes_in(self.snd_una, seg.ack);
+            self.snd_una = seg.ack;
+            // After a go-back-N rewind, a late ACK from a pre-reset
+            // transmission can pass the send point; jump forward.
+            self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            self.backoff = 0;
+            if !self.sacked.is_empty() {
+                self.merge_sacked();
+            }
+            let mut rtt_sample = None;
+            if let Some(ecr) = seg.ts_ecr {
+                let sample = now.since(ecr);
+                rtt_sample = Some(sample);
+                self.take_rtt_sample(sample, out);
+            }
+            let mut rearm_rto = true;
+            match self.recover {
+                Some(point) if seg.ack < point => {
+                    // NewReno partial ACK: retransmit the next hole
+                    // immediately, stay in recovery. Per the RFC 6582
+                    // "Impatient" variant, only the first partial ACK
+                    // re-arms the RTO, so a long burst-loss recovery
+                    // falls back to a timeout instead of crawling at one
+                    // retransmission per RTT.
+                    self.partial_acks += 1;
+                    rearm_rto = self.partial_acks == 1;
+                    match self.mode {
+                        CcMode::Native => {
+                            // Deflate by the amount acked, then
+                            // retransmit the next hole directly.
+                            self.cwnd =
+                                self.cwnd.saturating_sub(acked).max(self.cfg.mss as u64);
+                            self.retransmit_hole(now, out);
+                        }
+                        CcMode::Cm => {
+                            // The retransmission waits for a grant.
+                            self.maybe_request(out);
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Recovery complete.
+                    self.recover = None;
+                    self.partial_acks = 0;
+                    self.dupacks = 0;
+                    self.rtx_next_hole = 0;
+                    if self.mode == CcMode::Native {
+                        self.cwnd = self.ssthresh;
+                    }
+                }
+                None => {
+                    self.dupacks = 0;
+                    if self.mode == CcMode::Native {
+                        self.grow_cwnd(1);
+                    }
+                }
+            }
+            if self.mode == CcMode::Cm && data_acked > 0 {
+                // Bytes already drained by per-dupack progress reports
+                // must not drain the CM's outstanding count twice.
+                let credit = self.recovery_credits.min(data_acked);
+                self.recovery_credits -= credit;
+                let mut report = FeedbackReport::ack(data_acked - credit, 1);
+                if let Some(s) = rtt_sample {
+                    report = report.with_rtt(s);
+                }
+                out.push(TcpAction::CmUpdate(report));
+            }
+            out.push(TcpAction::Event(TcpEvent::SendProgress(self.bytes_acked())));
+            // Restart or cancel the RTO.
+            if self.flight() > 0 {
+                if rearm_rto {
+                    self.arm_rto(out);
+                }
+            } else {
+                self.rto_armed = false;
+                out.push(TcpAction::CancelTimer(TcpTimer::Rto));
+                if self.state == TcpState::Closing && self.send_complete() {
+                    self.state = TcpState::Closed;
+                    out.push(TcpAction::Event(TcpEvent::Closed));
+                }
+            }
+            self.pump(now, out);
+        } else if seg.ack == self.snd_una && self.flight() > 0 && seg.is_pure_ack() {
+            // --- Duplicate ACK ---
+            self.dupacks += 1;
+            self.stats.dupacks += 1;
+            if self.dupacks == 3 && self.recover.is_none() {
+                self.stats.fast_retransmits += 1;
+                self.recover = Some(self.snd_nxt);
+                self.rtx_next_hole = self.snd_una;
+                match self.mode {
+                    CcMode::Native => {
+                        self.ssthresh = (self.flight() / 2).max(2 * self.cfg.mss as u64);
+                        self.cwnd = self.ssthresh + 3 * self.cfg.mss as u64;
+                        self.retransmit_hole(now, out);
+                    }
+                    CcMode::Cm => {
+                        // "TCP assumes a simple, congestion-caused packet
+                        // loss, and calls cm_update" (§3.2). The byte
+                        // drain for lost segments rides on the per-hole
+                        // retransmission reports, so this is the
+                        // congestion signal only.
+                        out.push(TcpAction::CmUpdate(FeedbackReport::loss(
+                            LossMode::Transient,
+                            0,
+                        )));
+                        self.maybe_request(out);
+                    }
+                }
+            } else if self.dupacks > 3 {
+                match self.mode {
+                    CcMode::Native => {
+                        // Reno inflation; each duplicate means one more
+                        // packet left the pipe, so retransmit the next
+                        // scoreboard hole, or send new data.
+                        self.cwnd += self.cfg.mss as u64;
+                        if !self.retransmit_hole(now, out) {
+                            self.pump(now, out);
+                        }
+                    }
+                    CcMode::Cm => {
+                        // "TCP assumes that a segment reached the
+                        // receiver and caused this ACK ... calls
+                        // cm_update()" (§3.2). Remember the drain so the
+                        // cumulative ACK does not repeat it.
+                        self.recovery_credits += self.cfg.mss as u64;
+                        out.push(TcpAction::CmUpdate(FeedbackReport::ack(
+                            self.cfg.mss as u64,
+                            1,
+                        )));
+                        self.maybe_request(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_data(&mut self, seg: &TcpSegment, now: Time, out: &mut Vec<TcpAction>) {
+        let start = seg.seq;
+        let end = seg.seq_end();
+        if seg.flags.fin {
+            self.peer_fin_at = Some(end - 1);
+        }
+        let mut out_of_order = end <= self.rcv_nxt || start > self.rcv_nxt;
+        if end > self.rcv_nxt {
+            // Insert and merge into the out-of-order store.
+            self.ooo.insert(start.max(self.rcv_nxt), end);
+            self.merge_ooo();
+            // Advance rcv_nxt through any now-contiguous prefix.
+            let before = self.rcv_nxt;
+            while let Some((&s, &e)) = self.ooo.first_key_value() {
+                if s <= self.rcv_nxt {
+                    self.rcv_nxt = self.rcv_nxt.max(e);
+                    self.ooo.pop_first();
+                } else {
+                    break;
+                }
+            }
+            if self.rcv_nxt > before {
+                if start <= before {
+                    // In-order arrival (possibly filling a hole).
+                    if start < before || !self.ooo.is_empty() {
+                        // Filled a hole: ack immediately.
+                        out_of_order = true;
+                    } else {
+                        out_of_order = false;
+                    }
+                    self.echo_ts = Some(seg.ts);
+                }
+                let delivered_now = self.rcv_data_bytes_in(before, self.rcv_nxt);
+                if delivered_now > 0 {
+                    self.delivered += delivered_now;
+                    out.push(TcpAction::Event(TcpEvent::DataDelivered(self.delivered)));
+                }
+                if let Some(fin) = self.peer_fin_at {
+                    if self.rcv_nxt > fin {
+                        out.push(TcpAction::Event(TcpEvent::PeerClosed));
+                    }
+                }
+            }
+        }
+        // ACK generation (RFC 1122 delayed-ACK rules).
+        self.segs_since_ack += 1;
+        let force = out_of_order
+            || !self.ooo.is_empty()
+            || seg.flags.fin
+            || self.ece_pending
+            || !self.cfg.delayed_ack
+            || self.segs_since_ack >= 2;
+        if force {
+            self.send_ack(now, out);
+        } else if !self.ack_pending {
+            self.ack_pending = true;
+            out.push(TcpAction::SetTimer(TcpTimer::DelayedAck, self.cfg.delack_timeout));
+        }
+    }
+
+    fn merge_ooo(&mut self) {
+        let ranges: Vec<(u64, u64)> = self.ooo.iter().map(|(&s, &e)| (s, e)).collect();
+        self.ooo.clear();
+        let mut cur: Option<(u64, u64)> = None;
+        for (s, e) in ranges {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    self.ooo.insert(cs, ce);
+                    cur = Some((s, e));
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            self.ooo.insert(cs, ce);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Handles a fired timer.
+    pub fn on_timer(&mut self, timer: TcpTimer, now: Time) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        match timer {
+            TcpTimer::DelayedAck => {
+                if self.ack_pending {
+                    self.send_ack(now, &mut out);
+                }
+            }
+            TcpTimer::Rto => {
+                self.rto_armed = false;
+                if self.flight() == 0 && self.state != TcpState::SynSent {
+                    return out;
+                }
+                self.stats.timeouts += 1;
+                self.backoff = (self.backoff + 1).min(10);
+                self.dupacks = 0;
+                self.recover = None;
+                self.partial_acks = 0;
+                match self.state {
+                    TcpState::SynSent => {
+                        // Retransmit the SYN.
+                        let syn = self.make_segment(
+                            0,
+                            0,
+                            TcpFlags { syn: true, ..Default::default() },
+                            now,
+                        );
+                        self.emit(syn, &mut out);
+                    }
+                    TcpState::SynRcvd => {
+                        let synack = self.make_segment(
+                            0,
+                            0,
+                            TcpFlags { syn: true, ack: true, ..Default::default() },
+                            now,
+                        );
+                        self.emit(synack, &mut out);
+                    }
+                    _ => {
+                        // Go-back-N: rewind the send point to the oldest
+                        // unacknowledged byte; slow start (or CM grants)
+                        // re-cover the whole window, and the receiver's
+                        // reassembly discards duplicates.
+                        let flight = self.flight();
+                        self.snd_nxt = self.snd_una.max(1);
+                        self.fin_sent = false;
+                        self.rtx_next_hole = 0;
+                        match self.mode {
+                            CcMode::Native => {
+                                // Classic timeout response.
+                                self.ssthresh =
+                                    (flight / 2).max(2 * self.cfg.mss as u64);
+                                self.cwnd = self.cfg.mss as u64;
+                                self.pump(now, &mut out);
+                            }
+                            CcMode::Cm => {
+                                // "the expiration of the TCP retransmission
+                                // timer ... calls cm_update with the
+                                // CM_LOST_FEEDBACK option set" (§3.2). The
+                                // whole flight's charge drains here, so
+                                // dupack credits are void.
+                                let drained = flight.saturating_sub(self.recovery_credits);
+                                self.recovery_credits = 0;
+                                out.push(TcpAction::CmUpdate(FeedbackReport::loss(
+                                    LossMode::Persistent,
+                                    drained,
+                                )));
+                                self.maybe_request(&mut out);
+                            }
+                        }
+                    }
+                }
+                self.arm_rto(&mut out);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // CM grant handling
+    // ------------------------------------------------------------------
+
+    /// CM mode: a send grant arrived (`cmapp_send`). Transmits exactly
+    /// one segment — a pending retransmission takes priority over new
+    /// data, mirroring §3.2 — or declines with `cm_notify(0)`.
+    pub fn on_cm_grant(&mut self, now: Time) -> Vec<TcpAction> {
+        debug_assert_eq!(self.mode, CcMode::Cm);
+        let mut out = Vec::new();
+        self.requests_outstanding = self.requests_outstanding.saturating_sub(1);
+        if self.state != TcpState::Established && self.state != TcpState::Closing {
+            out.push(TcpAction::CmNotify(0));
+            return out;
+        }
+        if self.retransmit_hole(now, &mut out) {
+            // A recovery hole took this grant.
+        } else if let Some(seg) = self.next_new_segment(now) {
+            let wire = seg.seq_space();
+            self.snd_nxt = seg.seq_end();
+            if seg.seq_end() <= self.highest_sent {
+                self.stats.bytes_rtx += seg.len as u64;
+            } else {
+                self.stats.bytes_sent += seg.len as u64;
+                self.highest_sent = seg.seq_end();
+            }
+            self.emit(seg, &mut out);
+            out.push(TcpAction::CmNotify(wire));
+            self.arm_rto_if_idle(&mut out);
+        } else {
+            // Nothing to send: release the grant.
+            out.push(TcpAction::CmNotify(0));
+        }
+        self.maybe_request(&mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission machinery
+    // ------------------------------------------------------------------
+
+    /// Stream offset one past the last writable data byte.
+    fn stream_limit(&self) -> u64 {
+        1 + self.app_written
+    }
+
+    /// Sent-stream data bytes (excluding our SYN/FIN offsets) within
+    /// `[from, to)`; used to convert ACK advances into acked data.
+    fn data_bytes_in(&self, from: u64, to: u64) -> u64 {
+        let data_lo = from.max(1);
+        let data_hi = to.min(self.stream_limit().max(1));
+        data_hi.saturating_sub(data_lo)
+    }
+
+    /// Received-stream data bytes (excluding the peer's SYN/FIN offsets)
+    /// within `[from, to)`; used to convert `rcv_nxt` advances into
+    /// delivered data.
+    fn rcv_data_bytes_in(&self, from: u64, to: u64) -> u64 {
+        let lo = from.max(1);
+        let hi = match self.peer_fin_at {
+            Some(fin) => to.min(fin),
+            None => to,
+        };
+        hi.saturating_sub(lo)
+    }
+
+    /// Builds the next untransmitted segment, if data (or FIN) is
+    /// available and the peer window allows it.
+    fn next_new_segment(&mut self, now: Time) -> Option<TcpSegment> {
+        if self.snd_nxt < 1 {
+            return None; // Handshake not done.
+        }
+        // After a timeout's go-back-N rewind, skip ranges the receiver
+        // already holds (per the SACK scoreboard).
+        while let Some(end) = self.sacked_end_covering(self.snd_nxt) {
+            self.snd_nxt = end;
+        }
+        let limit = self.stream_limit();
+        let avail = limit.saturating_sub(self.snd_nxt);
+        let wnd_room = (self.snd_una + self.peer_wnd).saturating_sub(self.snd_nxt);
+        if avail > 0 && wnd_room > 0 {
+            let next_sacked = self
+                .sacked
+                .range(self.snd_nxt + 1..)
+                .next()
+                .map(|(&a, _)| a.saturating_sub(self.snd_nxt))
+                .unwrap_or(u64::MAX);
+            let len = avail.min(self.cfg.mss as u64).min(wnd_room).min(next_sacked) as u32;
+            let mut flags = TcpFlags { ack: true, ..Default::default() };
+            // Piggyback FIN on the last segment.
+            if self.fin_queued && self.snd_nxt + len as u64 == limit && !self.fin_sent {
+                flags.fin = true;
+                self.fin_sent = true;
+            }
+            return Some(self.make_segment(self.snd_nxt, len, flags, now));
+        }
+        if avail == 0 && self.fin_queued && !self.fin_sent && wnd_room > 0 {
+            self.fin_sent = true;
+            let flags = TcpFlags { ack: true, fin: true, ..Default::default() };
+            return Some(self.make_segment(self.snd_nxt, 0, flags, now));
+        }
+        None
+    }
+
+    /// Native mode: transmits as much as the window permits.
+    fn pump(&mut self, now: Time, out: &mut Vec<TcpAction>) {
+        match self.mode {
+            CcMode::Cm => {
+                self.maybe_request(out);
+            }
+            CcMode::Native => {
+                if self.state != TcpState::Established && self.state != TcpState::Closing {
+                    return;
+                }
+                let mut sent_any = false;
+                loop {
+                    let flight = self.flight();
+                    if flight + self.cfg.mss as u64 / 2 >= self.cwnd {
+                        break; // Window full (allow a final short segment).
+                    }
+                    let Some(seg) = self.next_new_segment(now) else {
+                        break;
+                    };
+                    self.snd_nxt = seg.seq_end();
+                    if seg.seq_end() <= self.highest_sent {
+                        self.stats.bytes_rtx += seg.len as u64;
+                    } else {
+                        self.stats.bytes_sent += seg.len as u64;
+                        self.highest_sent = seg.seq_end();
+                    }
+                    self.emit(seg, out);
+                    sent_any = true;
+                }
+                if sent_any {
+                    self.arm_rto_if_idle(out);
+                }
+            }
+        }
+    }
+
+    /// CM mode: tops up outstanding `cm_request`s to cover the work we
+    /// could do with more grants.
+    fn maybe_request(&mut self, out: &mut Vec<TcpAction>) {
+        if self.mode != CcMode::Cm
+            || (self.state != TcpState::Established && self.state != TcpState::Closing)
+        {
+            return;
+        }
+        // Request only for data the peer window lets us send; otherwise a
+        // grant would be declined and immediately re-requested, spinning.
+        let limit = self
+            .stream_limit()
+            .min(self.snd_una.saturating_add(self.peer_wnd).max(1));
+        let unsent = limit.saturating_sub(self.snd_nxt.max(1));
+        let mut want = unsent.div_ceil(self.cfg.mss as u64)
+            + self.next_hole().is_some() as u64
+            + (self.fin_queued && !self.fin_sent) as u64;
+        want = want.min(self.cfg.max_requests as u64);
+        while (self.requests_outstanding as u64) < want {
+            self.requests_outstanding += 1;
+            out.push(TcpAction::CmRequest);
+        }
+    }
+
+    /// Merges the receiver's SACK blocks into the scoreboard.
+    fn absorb_sack(&mut self, blocks: &[(u64, u64)]) {
+        for &(bs, be) in blocks {
+            if be <= bs || be <= self.snd_una {
+                continue;
+            }
+            self.sacked.insert(bs.max(self.snd_una), be);
+        }
+        if !self.sacked.is_empty() {
+            self.merge_sacked();
+        }
+    }
+
+    /// Coalesces overlapping scoreboard ranges and prunes ranges the
+    /// cumulative ACK has passed.
+    fn merge_sacked(&mut self) {
+        let ranges: Vec<(u64, u64)> = self.sacked.iter().map(|(&a, &b)| (a, b)).collect();
+        self.sacked.clear();
+        let mut cur: Option<(u64, u64)> = None;
+        for (a, b) in ranges {
+            if b <= self.snd_una {
+                continue;
+            }
+            let a = a.max(self.snd_una);
+            match cur {
+                None => cur = Some((a, b)),
+                Some((cs, ce)) if a <= ce => cur = Some((cs, ce.max(b))),
+                Some((cs, ce)) => {
+                    self.sacked.insert(cs, ce);
+                    cur = Some((a, b));
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            self.sacked.insert(cs, ce);
+        }
+    }
+
+    /// If `pos` lies inside a SACKed range, the range's end.
+    fn sacked_end_covering(&self, pos: u64) -> Option<u64> {
+        self.sacked
+            .range(..=pos)
+            .next_back()
+            .and_then(|(&a, &b)| if pos >= a && pos < b { Some(b) } else { None })
+    }
+
+    /// The next not-yet-retransmitted hole below the recovery point:
+    /// `(offset, len, fin)`.
+    fn next_hole(&self) -> Option<(u64, u32, bool)> {
+        let recover = self.recover?;
+        // FACK rule: only data below the highest SACKed edge is known
+        // missing; anything above may simply not have been reported yet,
+        // and retransmitting it would spray duplicates. With no SACK
+        // information, exactly the classic `snd_una` hole qualifies.
+        let fack = self
+            .sacked
+            .last_key_value()
+            .map(|(_, &e)| e)
+            .unwrap_or(self.snd_una + 1);
+        let mut pos = self.rtx_next_hole.max(self.snd_una).max(1);
+        loop {
+            if pos >= recover || pos >= fack {
+                return None;
+            }
+            if let Some(end) = self.sacked_end_covering(pos) {
+                pos = end;
+                continue;
+            }
+            let limit = self.stream_limit();
+            if pos >= limit {
+                // Only the FIN offset can remain.
+                if self.fin_sent && pos == limit {
+                    return Some((pos, 0, true));
+                }
+                return None;
+            }
+            let next_sacked = self
+                .sacked
+                .range(pos + 1..)
+                .next()
+                .map(|(&a, _)| a)
+                .unwrap_or(u64::MAX);
+            let hole_end = recover.min(next_sacked).min(limit);
+            let len = (hole_end - pos).min(self.cfg.mss as u64) as u32;
+            if len == 0 {
+                return None;
+            }
+            let fin = self.fin_sent && pos + len as u64 == limit;
+            return Some((pos, len, fin));
+        }
+    }
+
+    /// Retransmits the next scoreboard hole, if any; returns whether a
+    /// segment went out.
+    fn retransmit_hole(&mut self, now: Time, out: &mut Vec<TcpAction>) -> bool {
+        let Some((pos, len, fin)) = self.next_hole() else {
+            return false;
+        };
+        self.rtx_next_hole = pos + len as u64 + fin as u64;
+        let flags = TcpFlags {
+            ack: true,
+            fin,
+            ..Default::default()
+        };
+        let seg = self.make_segment(pos, len, flags, now);
+        self.stats.bytes_rtx += len as u64;
+        self.emit(seg, out);
+        if self.mode == CcMode::Cm {
+            // Charge the retransmission, and drain the original
+            // transmission's charge — it is lost (no congestion signal
+            // here; the episode already reported one).
+            out.push(TcpAction::CmNotify(seg_space(len, flags)));
+            out.push(TcpAction::CmUpdate(FeedbackReport::loss(
+                LossMode::None,
+                seg_space(len, flags),
+            )));
+        }
+        self.arm_rto_if_idle(out);
+        true
+    }
+
+    /// Arms (or restarts) the RTO timer.
+    fn arm_rto(&mut self, out: &mut Vec<TcpAction>) {
+        self.rto_armed = true;
+        let rto = self.rto();
+        out.push(TcpAction::SetTimer(TcpTimer::Rto, rto));
+    }
+
+    /// Arms the RTO timer only if it is not already running.
+    fn arm_rto_if_idle(&mut self, out: &mut Vec<TcpAction>) {
+        if !self.rto_armed {
+            self.arm_rto(out);
+        }
+    }
+
+    fn send_ack(&mut self, now: Time, out: &mut Vec<TcpAction>) {
+        let flags = TcpFlags {
+            ack: true,
+            ece: self.ece_pending,
+            ..Default::default()
+        };
+        self.ece_pending = false;
+        let ack = self.make_segment(self.snd_nxt, 0, flags, now);
+        self.stats.acks_sent += 1;
+        self.emit(ack, out);
+    }
+
+    fn make_segment(&self, seq: u64, len: u32, flags: TcpFlags, now: Time) -> TcpSegment {
+        // RFC 2018: report up to three out-of-order ranges so the peer's
+        // scoreboard can steer retransmissions.
+        let mut sack = [(0u64, 0u64); crate::segment::MAX_SACK_BLOCKS];
+        let mut sack_count = 0u8;
+        for (&a, &b) in self.ooo.iter().take(crate::segment::MAX_SACK_BLOCKS) {
+            sack[sack_count as usize] = (a, b);
+            sack_count += 1;
+        }
+        TcpSegment {
+            seq,
+            len,
+            ack: self.rcv_nxt,
+            flags,
+            wnd: self.cfg.rwnd,
+            ts: now,
+            ts_ecr: self.echo_ts,
+            sack,
+            sack_count,
+        }
+    }
+
+    fn emit(&mut self, seg: TcpSegment, out: &mut Vec<TcpAction>) {
+        self.segs_since_ack = 0;
+        self.ack_pending = false;
+        self.stats.segs_sent += 1;
+        out.push(TcpAction::Emit(seg));
+    }
+
+    fn take_rtt_sample(&mut self, sample: Duration, _out: &mut [TcpAction]) {
+        self.stats.rtt_samples += 1;
+        self.rtt.update(sample);
+    }
+
+    /// Native-mode window growth on `acks` new-data ACK arrivals — ACK
+    /// counting, per the Linux 2.2 behaviour the paper documents.
+    fn grow_cwnd(&mut self, acks: u32) {
+        let mss = self.cfg.mss as u64;
+        for _ in 0..acks {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += mss;
+            } else {
+                self.cwnd += (mss * mss / self.cwnd).max(1);
+            }
+        }
+    }
+}
+
+fn seg_space(len: u32, flags: TcpFlags) -> u64 {
+    len as u64 + flags.syn as u64 + flags.fin as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-endpoint harness that shuttles segments with a fixed one-way
+    /// delay and optional deterministic loss of specific data segments.
+    struct Wire {
+        a: TcpConnection,
+        b: TcpConnection,
+        now: Time,
+        delay: Duration,
+        /// In-flight (deliver_at, to_a, segment).
+        flight: Vec<(Time, bool, TcpSegment)>,
+        /// Timers: (fire_at, for_a, kind); re-armed timers replace.
+        timers: Vec<(Time, bool, TcpTimer)>,
+        /// Data segment sequence numbers to drop, once each (a->b).
+        drop_seqs: Vec<u64>,
+        /// Collected events per side.
+        events_a: Vec<TcpEvent>,
+        events_b: Vec<TcpEvent>,
+    }
+
+    impl Wire {
+        fn new(cfg: TcpConfig, delay: Duration) -> Self {
+            let now = Time::ZERO;
+            let (a, actions) = TcpConnection::connect(cfg.clone(), CcMode::Native, now);
+            let mut w = Wire {
+                a,
+                b: TcpConnection::new(cfg, CcMode::Native, TcpState::Closed),
+                now,
+                delay,
+                flight: Vec::new(),
+                timers: Vec::new(),
+                drop_seqs: Vec::new(),
+                events_a: Vec::new(),
+                events_b: Vec::new(),
+            };
+            w.apply(true, actions);
+            w
+        }
+
+        fn apply(&mut self, from_a: bool, actions: Vec<TcpAction>) {
+            for act in actions {
+                match act {
+                    TcpAction::Emit(seg) => {
+                        if from_a && seg.len > 0 {
+                            if let Some(pos) =
+                                self.drop_seqs.iter().position(|&s| s == seg.seq)
+                            {
+                                self.drop_seqs.remove(pos);
+                                continue;
+                            }
+                        }
+                        self.flight.push((self.now + self.delay, !from_a, seg));
+                    }
+                    TcpAction::SetTimer(kind, after) => {
+                        self.timers.retain(|&(_, fa, k)| !(fa == from_a && k == kind));
+                        self.timers.push((self.now + after, from_a, kind));
+                    }
+                    TcpAction::CancelTimer(kind) => {
+                        self.timers.retain(|&(_, fa, k)| !(fa == from_a && k == kind));
+                    }
+                    TcpAction::Event(ev) => {
+                        if from_a {
+                            self.events_a.push(ev);
+                        } else {
+                            self.events_b.push(ev);
+                        }
+                    }
+                    // CM actions unused in the native-mode harness.
+                    _ => {}
+                }
+            }
+        }
+
+        /// Runs until quiescent or the deadline.
+        fn run(&mut self, until: Time) {
+            for _ in 0..100_000 {
+                // Earliest of flights and timers.
+                let next_flight = self.flight.iter().map(|&(t, _, _)| t).min();
+                let next_timer = self.timers.iter().map(|&(t, _, _)| t).min();
+                let next = match (next_flight, next_timer) {
+                    (None, None) => break,
+                    (a, b) => a.unwrap_or(Time::MAX).min(b.unwrap_or(Time::MAX)),
+                };
+                if next > until {
+                    break;
+                }
+                self.now = next;
+                if next_flight == Some(next) {
+                    let idx = self
+                        .flight
+                        .iter()
+                        .position(|&(t, _, _)| t == next)
+                        .unwrap();
+                    let (_, to_a, seg) = self.flight.remove(idx);
+                    let actions = if to_a {
+                        self.a.on_segment(&seg, false, self.now)
+                    } else {
+                        // First delivery to a closed b: passive open.
+                        if self.b.state == TcpState::Closed && seg.flags.syn {
+                            let (nb, acts) =
+                                TcpConnection::accept(self.b.cfg.clone(), CcMode::Native, &seg, self.now);
+                            self.b = nb;
+                            acts
+                        } else {
+                            self.b.on_segment(&seg, false, self.now)
+                        }
+                    };
+                    self.apply(to_a, actions);
+                } else {
+                    let idx = self
+                        .timers
+                        .iter()
+                        .position(|&(t, _, _)| t == next)
+                        .unwrap();
+                    let (_, for_a, kind) = self.timers.remove(idx);
+                    let actions = if for_a {
+                        self.a.on_timer(kind, self.now)
+                    } else {
+                        self.b.on_timer(kind, self.now)
+                    };
+                    self.apply(for_a, actions);
+                }
+            }
+        }
+    }
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    #[test]
+    fn handshake_completes() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(10));
+        w.run(Time::from_secs(1));
+        assert_eq!(w.a.state(), TcpState::Established);
+        assert_eq!(w.b.state(), TcpState::Established);
+        assert!(w.events_a.contains(&TcpEvent::Connected));
+        assert!(w.events_b.contains(&TcpEvent::Accepted));
+    }
+
+    #[test]
+    fn transfers_data_in_order() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(5));
+        w.run(Time::from_millis(100));
+        let actions = w.a.app_write(10_000, w.now);
+        w.apply(true, actions);
+        w.run(Time::from_secs(5));
+        assert_eq!(w.b.bytes_delivered(), 10_000);
+        assert_eq!(w.a.bytes_acked(), 10_000);
+        assert_eq!(w.a.stats.timeouts, 0);
+        assert_eq!(w.a.stats.bytes_rtx, 0);
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_single_loss() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(5));
+        w.run(Time::from_millis(100));
+        // Drop a mid-stream segment late enough that the window already
+        // holds several segments behind it (three duplicate ACKs need
+        // three later arrivals; with a tiny window only an RTO can
+        // recover, which is the standard Reno limitation).
+        w.drop_seqs.push(1 + 15 * 1460);
+        let actions = w.a.app_write(60 * 1460, w.now);
+        w.apply(true, actions);
+        w.run(Time::from_secs(10));
+        assert_eq!(w.b.bytes_delivered(), 60 * 1460);
+        assert_eq!(w.a.stats.fast_retransmits, 1);
+        assert_eq!(w.a.stats.timeouts, 0, "loss should recover without RTO");
+    }
+
+    #[test]
+    fn timeout_recovers_tail_loss() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(5));
+        w.run(Time::from_millis(100));
+        // Drop the very last segment: no dupacks possible -> RTO.
+        let total: u64 = 5 * 1460;
+        w.drop_seqs.push(1 + 4 * 1460);
+        let actions = w.a.app_write(total, w.now);
+        w.apply(true, actions);
+        w.run(Time::from_secs(30));
+        assert_eq!(w.b.bytes_delivered(), total);
+        assert!(w.a.stats.timeouts >= 1);
+    }
+
+    #[test]
+    fn multiple_losses_eventually_deliver_everything() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(5));
+        w.run(Time::from_millis(100));
+        for k in [2u64, 7, 8, 15] {
+            w.drop_seqs.push(1 + k * 1460);
+        }
+        let total = 40 * 1460;
+        let actions = w.a.app_write(total, w.now);
+        w.apply(true, actions);
+        w.run(Time::from_secs(60));
+        assert_eq!(w.b.bytes_delivered(), total);
+        assert_eq!(w.a.bytes_acked(), total);
+    }
+
+    #[test]
+    fn slow_start_grows_window_exponentially() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(20));
+        w.run(Time::from_millis(200));
+        let w0 = w.a.cwnd();
+        assert_eq!(w0, 2 * 1460, "Linux-like IW of 2 segments");
+        let actions = w.a.app_write(200 * 1460, w.now);
+        w.apply(true, actions);
+        w.run(Time::from_secs(3));
+        assert!(w.a.cwnd() > 16 * 1460, "cwnd {} after bulk", w.a.cwnd());
+    }
+
+    #[test]
+    fn delayed_ack_halves_ack_count() {
+        let mut with_delack = Wire::new(cfg(), Duration::from_millis(5));
+        with_delack.run(Time::from_millis(100));
+        let a = with_delack.a.app_write(50 * 1460, with_delack.now);
+        with_delack.apply(true, a);
+        with_delack.run(Time::from_secs(10));
+
+        let mut no_delack = Wire::new(
+            TcpConfig { delayed_ack: false, ..cfg() },
+            Duration::from_millis(5),
+        );
+        no_delack.run(Time::from_millis(100));
+        let a = no_delack.a.app_write(50 * 1460, no_delack.now);
+        no_delack.apply(true, a);
+        no_delack.run(Time::from_secs(10));
+
+        assert!(with_delack.b.stats.acks_sent < no_delack.b.stats.acks_sent);
+        assert_eq!(no_delack.b.bytes_delivered(), 50 * 1460);
+        assert_eq!(with_delack.b.bytes_delivered(), 50 * 1460);
+    }
+
+    #[test]
+    fn fin_closes_cleanly() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(5));
+        w.run(Time::from_millis(100));
+        let a1 = w.a.app_write(5000, w.now);
+        w.apply(true, a1);
+        let a2 = w.a.app_close(w.now);
+        w.apply(true, a2);
+        w.run(Time::from_secs(5));
+        assert_eq!(w.b.bytes_delivered(), 5000);
+        assert!(w.events_b.contains(&TcpEvent::PeerClosed));
+        assert!(w.events_a.contains(&TcpEvent::Closed));
+        assert_eq!(w.a.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn rtt_estimator_learns_path_delay() {
+        let mut w = Wire::new(cfg(), Duration::from_millis(30));
+        w.run(Time::from_millis(200));
+        let a = w.a.app_write(30 * 1460, w.now);
+        w.apply(true, a);
+        w.run(Time::from_secs(5));
+        let srtt = w.a.rtt.srtt().expect("samples taken");
+        // One-way 30 ms => RTT 60 ms (plus delack wiggle).
+        assert!(
+            srtt >= Duration::from_millis(55) && srtt <= Duration::from_millis(300),
+            "srtt {srtt}"
+        );
+        assert!(w.a.stats.rtt_samples > 0);
+    }
+
+    #[test]
+    fn cm_mode_emits_cm_actions() {
+        let now = Time::ZERO;
+        let (mut conn, actions) = TcpConnection::connect(cfg(), CcMode::Cm, now);
+        // SYN goes out normally (handshake is not congestion controlled).
+        assert!(actions.iter().any(|a| matches!(a, TcpAction::Emit(s) if s.flags.syn)));
+        // Fake the SYN|ACK.
+        let synack = TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: 1,
+            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            wnd: 1 << 20,
+            ts: now,
+            ts_ecr: None,
+            sack: [(0, 0); 3],
+            sack_count: 0,
+        };
+        let actions = conn.on_segment(&synack, false, now);
+        assert!(actions.iter().any(|a| matches!(a, TcpAction::Event(TcpEvent::Connected))));
+        // Writing data issues cm_requests, not segments.
+        let actions = conn.app_write(5 * 1460, now);
+        let reqs = actions.iter().filter(|a| matches!(a, TcpAction::CmRequest)).count();
+        assert_eq!(reqs, 5);
+        assert!(!actions.iter().any(|a| matches!(a, TcpAction::Emit(_))));
+        // A grant sends exactly one MSS and notifies.
+        let actions = conn.on_cm_grant(now);
+        let emits: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                TcpAction::Emit(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(emits.len(), 1);
+        assert_eq!(emits[0].len, 1460);
+        assert!(actions.iter().any(|a| matches!(a, TcpAction::CmNotify(1460))));
+    }
+
+    #[test]
+    fn cm_mode_grant_with_nothing_to_send_notifies_zero() {
+        let now = Time::ZERO;
+        let (mut conn, _) = TcpConnection::connect(cfg(), CcMode::Cm, now);
+        let synack = TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: 1,
+            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            wnd: 1 << 20,
+            ts: now,
+            ts_ecr: None,
+            sack: [(0, 0); 3],
+            sack_count: 0,
+        };
+        let _ = conn.on_segment(&synack, false, now);
+        let actions = conn.on_cm_grant(now);
+        assert!(actions.iter().any(|a| matches!(a, TcpAction::CmNotify(0))));
+    }
+
+    #[test]
+    fn cm_mode_dupacks_report_to_cm() {
+        let now = Time::ZERO;
+        let (mut conn, _) = TcpConnection::connect(cfg(), CcMode::Cm, now);
+        let synack = TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: 1,
+            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            wnd: 1 << 20,
+            ts: now,
+            ts_ecr: None,
+            sack: [(0, 0); 3],
+            sack_count: 0,
+        };
+        let _ = conn.on_segment(&synack, false, now);
+        let _ = conn.app_write(20 * 1460, now);
+        // Send 6 segments via grants.
+        for _ in 0..6 {
+            let _ = conn.on_cm_grant(now);
+        }
+        // Three duplicate ACKs at snd_una = 1.
+        let dup = TcpSegment {
+            seq: 1,
+            len: 0,
+            ack: 1,
+            flags: TcpFlags { ack: true, ..Default::default() },
+            wnd: 1 << 20,
+            ts: now,
+            ts_ecr: None,
+            sack: [(0, 0); 3],
+            sack_count: 0,
+        };
+        let _ = conn.on_segment(&dup, false, now);
+        let _ = conn.on_segment(&dup, false, now);
+        let actions = conn.on_segment(&dup, false, now);
+        let transient = actions.iter().any(|a| {
+            matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::Transient)
+        });
+        assert!(transient, "third dupack must report transient congestion");
+        // Fourth dupack reports a received segment.
+        let actions = conn.on_segment(&dup, false, now);
+        let acked = actions.iter().any(|a| {
+            matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::None && r.bytes_acked == 1460)
+        });
+        assert!(acked, "later dupacks report one MSS received");
+    }
+
+    #[test]
+    fn cm_mode_timeout_reports_persistent() {
+        let now = Time::ZERO;
+        let (mut conn, _) = TcpConnection::connect(cfg(), CcMode::Cm, now);
+        let synack = TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: 1,
+            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            wnd: 1 << 20,
+            ts: now,
+            ts_ecr: None,
+            sack: [(0, 0); 3],
+            sack_count: 0,
+        };
+        let _ = conn.on_segment(&synack, false, now);
+        let _ = conn.app_write(5 * 1460, now);
+        let _ = conn.on_cm_grant(now);
+        let actions = conn.on_timer(TcpTimer::Rto, Time::from_secs(3));
+        let persistent = actions.iter().any(|a| {
+            matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::Persistent)
+        });
+        assert!(persistent);
+        // And a request to retransmit follows.
+        assert!(actions.iter().any(|a| matches!(a, TcpAction::CmRequest)));
+    }
+
+    #[test]
+    fn request_cap_bounds_outstanding_requests() {
+        let now = Time::ZERO;
+        let (mut conn, _) = TcpConnection::connect(
+            TcpConfig { max_requests: 8, ..cfg() },
+            CcMode::Cm,
+            now,
+        );
+        let synack = TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: 1,
+            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            wnd: 1 << 20,
+            ts: now,
+            ts_ecr: None,
+            sack: [(0, 0); 3],
+            sack_count: 0,
+        };
+        let _ = conn.on_segment(&synack, false, now);
+        let actions = conn.app_write(1_000_000, now);
+        let reqs = actions.iter().filter(|a| matches!(a, TcpAction::CmRequest)).count();
+        assert_eq!(reqs, 8);
+    }
+}

@@ -1,0 +1,184 @@
+//! TCP-style wrapping 32-bit sequence numbers.
+//!
+//! TCP sequence space is a 2^32 ring; comparisons are defined only within a
+//! half-ring window. [`Seq`] implements the classic `SEQ_LT`/`SEQ_GT`
+//! arithmetic so the TCP implementation in `cm-transport` handles
+//! wraparound correctly (and a proptest in this crate verifies the group
+//! properties).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit wrapping sequence number.
+///
+/// Ordering methods ([`Seq::lt`], [`Seq::leq`], ...) implement modular
+/// comparison: `a.lt(b)` iff `b - a` (mod 2^32) is in `(0, 2^31)`.
+///
+/// # Examples
+///
+/// ```
+/// use cm_util::Seq;
+///
+/// let a = Seq::new(u32::MAX - 10);
+/// let b = a + 20u32; // wraps past zero
+/// assert!(a.lt(b));
+/// assert_eq!(b - a, 20);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Seq(u32);
+
+impl Seq {
+    /// The zero sequence number.
+    pub const ZERO: Seq = Seq(0);
+
+    /// Creates a sequence number.
+    pub const fn new(v: u32) -> Self {
+        Seq(v)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Modular `self < other`.
+    pub const fn lt(self, other: Seq) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// Modular `self <= other`.
+    pub const fn leq(self, other: Seq) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) >= 0
+    }
+
+    /// Modular `self > other`.
+    pub const fn gt(self, other: Seq) -> bool {
+        other.lt(self)
+    }
+
+    /// Modular `self >= other`.
+    pub const fn geq(self, other: Seq) -> bool {
+        other.leq(self)
+    }
+
+    /// The forward distance `self - base` (mod 2^32); meaningful when
+    /// `base.leq(self)` within a half-ring.
+    pub const fn dist_from(self, base: Seq) -> u32 {
+        self.0.wrapping_sub(base.0)
+    }
+
+    /// Returns the modular maximum of two sequence numbers.
+    pub const fn max(self, other: Seq) -> Seq {
+        if self.geq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the modular minimum of two sequence numbers.
+    pub const fn min(self, other: Seq) -> Seq {
+        if self.leq(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u32> for Seq {
+    type Output = Seq;
+    fn add(self, rhs: u32) -> Seq {
+        Seq(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Add<usize> for Seq {
+    type Output = Seq;
+    fn add(self, rhs: usize) -> Seq {
+        Seq(self.0.wrapping_add(rhs as u32))
+    }
+}
+
+impl AddAssign<u32> for Seq {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<Seq> for Seq {
+    type Output = u32;
+    /// Forward modular distance, identical to [`Seq::dist_from`].
+    fn sub(self, rhs: Seq) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq:{}", self.0)
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = Seq::new(100);
+        let b = Seq::new(200);
+        assert!(a.lt(b));
+        assert!(b.gt(a));
+        assert!(a.leq(a));
+        assert!(a.geq(a));
+        assert!(!a.lt(a));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let a = Seq::new(u32::MAX - 5);
+        let b = Seq::new(10);
+        // b is "after" a across the wrap.
+        assert!(a.lt(b));
+        assert!(b.gt(a));
+        assert_eq!(b - a, 16);
+        assert_eq!(a + 16u32, b);
+    }
+
+    #[test]
+    fn half_ring_boundary() {
+        let a = Seq::new(0);
+        // Exactly 2^31 away is "not less than" in either direction per
+        // the signed comparison convention (difference == i32::MIN < 0).
+        let b = Seq::new(1 << 31);
+        assert!(!a.lt(b));
+        assert!(!b.lt(a));
+        // One less than the boundary is ordered.
+        let c = Seq::new((1 << 31) - 1);
+        assert!(a.lt(c));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Seq::new(u32::MAX);
+        let b = Seq::new(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn add_assign_wraps() {
+        let mut s = Seq::new(u32::MAX);
+        s += 2;
+        assert_eq!(s.raw(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: drive the Congestion Manager directly.
+//!
+//! Exercises the core API the way an in-kernel client would — open a
+//! flow, request permission, transmit, feed back — and shows the shared
+//! state a second flow inherits.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use congestion_manager::core::prelude::*;
+
+fn main() {
+    // Pacing off: this example drives the CM by hand rather than from a
+    // host event loop, so grants should release immediately.
+    let mut cm = CongestionManager::new(CmConfig {
+        pacing: false,
+        ..Default::default()
+    });
+    let now = Time::ZERO;
+
+    // cm_open: one flow from local port 5000 to 10.0.0.2:80.
+    let key = FlowKey::new(Endpoint::new(1, 5000), Endpoint::new(2, 80));
+    let flow = cm.open(key, now).expect("open");
+    println!("opened flow {flow:?} with MTU {}", cm.mtu(flow).unwrap());
+
+    // Drive one congestion-controlled "RTT" at a time.
+    let mut now = now;
+    for round in 1..=6u64 {
+        // Ask to send; grants arrive through the notification outbox.
+        for _ in 0..64 {
+            cm.request(flow, now).expect("request");
+        }
+        let grants: Vec<_> = cm
+            .drain_notifications()
+            .into_iter()
+            .filter(|n| matches!(n, CmNotification::SendGrant { .. }))
+            .collect();
+
+        // "Send" each grant and let the IP layer charge it.
+        let mut sent = 0u64;
+        for _ in &grants {
+            cm.notify(flow, 1460, now).expect("notify");
+            sent += 1460;
+        }
+
+        // The receiver acknowledged everything; one RTT elapsed.
+        now = now + Duration::from_millis(60);
+        cm.update(
+            flow,
+            FeedbackReport::ack(sent, grants.len() as u32)
+                .with_rtt(Duration::from_millis(60)),
+            now,
+        )
+        .expect("update");
+
+        let info = cm.query(flow, now).expect("query");
+        println!(
+            "round {round}: granted {:2} segments, cwnd {:6} B, rate {:8.1} KB/s, srtt {:?}",
+            grants.len(),
+            info.cwnd,
+            info.rate.as_kbytes_per_sec(),
+            info.srtt,
+        );
+    }
+
+    // A second flow to the same destination joins the same macroflow and
+    // shares the learned state — no slow start from scratch.
+    let key2 = FlowKey::new(Endpoint::new(1, 5001), Endpoint::new(2, 80));
+    let flow2 = cm.open(key2, now).expect("open second");
+    let info2 = cm.query(flow2, now).expect("query second");
+    println!(
+        "second flow to the same host starts with cwnd {} B and srtt {:?} (shared macroflow {:?})",
+        info2.cwnd,
+        info2.srtt,
+        cm.macroflow_of(flow2).unwrap(),
+    );
+    assert_eq!(
+        cm.macroflow_of(flow).unwrap(),
+        cm.macroflow_of(flow2).unwrap()
+    );
+}
