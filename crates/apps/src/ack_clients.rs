@@ -132,7 +132,10 @@ impl HostApp for AckReceiver {
         self.unacked += 1;
         match self.policy {
             FeedbackPolicy::PerPacket => self.flush(os),
-            FeedbackPolicy::Delayed { max_acks, max_delay } => {
+            FeedbackPolicy::Delayed {
+                max_acks,
+                max_delay,
+            } => {
                 if self.unacked >= max_acks {
                     self.flush(os);
                 } else if !self.timer_armed {

@@ -218,7 +218,10 @@ impl HostApp for BlastSender {
                     LossMode::Transient,
                     delta.packets_lost * (self.packet_size as u64 + 28),
                 )
-                .with_acked(delta.bytes_acked + delta.packets_acked * 28, delta.ack_events)
+                .with_acked(
+                    delta.bytes_acked + delta.packets_acked * 28,
+                    delta.ack_events,
+                )
                 .with_rtt(rtt)
             } else {
                 FeedbackReport::ack(

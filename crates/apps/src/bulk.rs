@@ -168,12 +168,7 @@ mod tests {
         let server_id = topo.add_host(Box::new(server));
         let server_addr = topo.sim().addr_of(server_id);
         let mut client = Host::new(HostConfig::default());
-        let tx_app = client.add_app(Box::new(BulkSender::new(
-            server_addr,
-            80,
-            mode,
-            1_000_000,
-        )));
+        let tx_app = client.add_app(Box::new(BulkSender::new(server_addr, 80, mode, 1_000_000)));
         let client_id = topo.add_host(Box::new(client));
         topo.emulated_path(
             client_id,
@@ -182,14 +177,13 @@ mod tests {
         );
         let mut sim = topo.build();
         sim.run_until(Time::from_secs(60));
-        let tx = sim.node_ref::<Host>(client_id).app_ref::<BulkSender>(tx_app);
+        let tx = sim
+            .node_ref::<Host>(client_id)
+            .app_ref::<BulkSender>(tx_app);
         let rx = sim
             .node_ref::<Host>(server_id)
             .app_ref::<BulkReceiver>(rx_app);
-        (
-            tx.goodput_bps().expect("transfer completes"),
-            rx.delivered,
-        )
+        (tx.goodput_bps().expect("transfer completes"), rx.delivered)
     }
 
     #[test]

@@ -173,7 +173,12 @@ impl LayeredStreamer {
         }
     }
 
-    fn apply_feedback(&mut self, os: &mut HostOs<'_, '_>, ack: &cm_transport::feedback::AckPayload, rtt: Duration) {
+    fn apply_feedback(
+        &mut self,
+        os: &mut HostOs<'_, '_>,
+        ack: &cm_transport::feedback::AckPayload,
+        rtt: Duration,
+    ) {
         let Some(flow) = self.flow else { return };
         if let Some(delta) = self.tracker.absorb(ack) {
             let wire_per_pkt = 28u64;

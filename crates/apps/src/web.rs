@@ -120,8 +120,7 @@ impl WebClient {
 
     /// True when every request completed.
     pub fn all_done(&self) -> bool {
-        self.records.len() == self.requests
-            && self.records.iter().all(|r| r.completed.is_some())
+        self.records.len() == self.requests && self.records.iter().all(|r| r.completed.is_some())
     }
 
     /// Completion latencies in milliseconds, one per request.

@@ -148,7 +148,11 @@ fn vat_polices_to_available_bandwidth() {
     sim.run_until(Time::from_secs(32));
     let vat = sim.node_ref::<Host>(tx_id).app_ref::<VatAudio>(tx_app);
     let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
-    assert!(vat.frames_generated >= 1_400, "{} frames", vat.frames_generated);
+    assert!(
+        vat.frames_generated >= 1_400,
+        "{} frames",
+        vat.frames_generated
+    );
     let df = vat.delivery_fraction();
     assert!(
         (0.2..=0.85).contains(&df),
@@ -211,13 +215,7 @@ fn blast_apis_complete_and_rank_by_overhead() {
             cost: cm_netsim::cpu::CostModel::default(),
             ..Default::default()
         });
-        let tx_app = tx_host.add_app(Box::new(BlastSender::new(
-            rx_addr,
-            9100,
-            api,
-            1000,
-            2_000,
-        )));
+        let tx_app = tx_host.add_app(Box::new(BlastSender::new(rx_addr, 9100, api, 1000, 2_000)));
         let tx_id = topo.add_host(Box::new(tx_host));
         topo.emulated_path(tx_id, rx_id, &PathSpec::lan());
         let mut sim = topo.build();
@@ -233,5 +231,8 @@ fn blast_apis_complete_and_rank_by_overhead() {
         alf_nc >= alf * 0.98,
         "noconnect {alf_nc:.2} vs alf {alf:.2}"
     );
-    assert!(alf >= buffered * 0.95, "alf {alf:.2} vs buffered {buffered:.2}");
+    assert!(
+        alf >= buffered * 0.95,
+        "alf {alf:.2} vs buffered {buffered:.2}"
+    );
 }

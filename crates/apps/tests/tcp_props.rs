@@ -43,7 +43,10 @@ fn transfer(
         .tcp_conn(TcpConnId(0))
         .map(|c| c.bytes_delivered())
         .unwrap_or(0);
-    let acked = sim.node_ref::<Host>(client_id).app_ref::<BulkSender>(app).acked;
+    let acked = sim
+        .node_ref::<Host>(client_id)
+        .app_ref::<BulkSender>(app)
+        .acked;
     (delivered, acked)
 }
 

@@ -1,0 +1,129 @@
+//! Flow-churn at scale: 10k flows joining and leaving a CM under load.
+//!
+//! The paper puts the CM on every packet's path, so its bookkeeping must
+//! stay cheap when thousands of short-lived flows (think a busy web
+//! server's connections) come and go. These benches stress exactly the
+//! paths a churn-heavy workload hits: open/request/close cycles, closes
+//! that strike mid-rotation while grants are queued, and the maintenance
+//! tick sweeping many macroflows.
+
+use cm_core::api::{CmNotification, CongestionManager};
+use cm_core::config::CmConfig;
+use cm_core::types::{Endpoint, FeedbackReport, FlowId, FlowKey};
+use cm_util::{Duration, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const FLOWS: usize = 10_000;
+const DESTS: u32 = 64;
+
+fn key(i: usize) -> FlowKey {
+    FlowKey::new(
+        Endpoint::new(1, (i % 60_000) as u16 + 1),
+        Endpoint::new(i as u32 % DESTS + 2, 80),
+    )
+}
+
+fn churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_10k");
+    g.sample_size(10);
+
+    // The full lifecycle at scale: open 10k flows across 64 destinations,
+    // queue a request on each, drain the grants, then close every flow.
+    g.bench_function("open_request_close_10k", |b| {
+        b.iter(|| {
+            let mut cm = CongestionManager::new(CmConfig {
+                pacing: false,
+                ..Default::default()
+            });
+            let now = Time::ZERO;
+            let mut flows: Vec<FlowId> = Vec::with_capacity(FLOWS);
+            for i in 0..FLOWS {
+                flows.push(cm.open(key(i), now).expect("open"));
+            }
+            for &f in &flows {
+                cm.request(f, now).expect("request");
+            }
+            let mut granted = 0usize;
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).expect("notify");
+                    granted += 1;
+                }
+            }
+            black_box(granted);
+            for &f in &flows {
+                cm.close(f, now).expect("close");
+            }
+            black_box(cm.flow_count());
+        });
+    });
+
+    // Steady-state churn: a warm CM with live traffic where a slice of
+    // flows leaves and a new slice joins every round — closes land
+    // mid-rotation with grants outstanding, the worst case for any
+    // scan-based scheduler or grant-queue bookkeeping.
+    g.bench_function("steady_churn_1k_of_10k", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let mut flows: Vec<FlowId> = (0..FLOWS)
+            .map(|i| cm.open(key(i), now).expect("open"))
+            .collect();
+        // Grow every macroflow's window so requests grant freely.
+        for &f in flows.iter().take(DESTS as usize) {
+            cm.update(
+                f,
+                FeedbackReport::ack(1 << 20, 64).with_rtt(Duration::from_millis(10)),
+                now,
+            )
+            .expect("update");
+        }
+        let mut next_key = FLOWS;
+        b.iter(|| {
+            now += Duration::from_millis(1);
+            // Every live flow asks to send; grants resolve immediately.
+            for &f in &flows {
+                cm.request(f, now).expect("request");
+            }
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    let _ = cm.notify(flow, 1460, now);
+                }
+            }
+            // 1k flows leave mid-rotation, 1k fresh ones join.
+            for f in flows.drain(..1_000) {
+                cm.close(f, now).expect("close");
+            }
+            for _ in 0..1_000 {
+                flows.push(cm.open(key(next_key), now).expect("open"));
+                next_key += 1;
+            }
+            black_box(cm.flow_count());
+        });
+    });
+
+    // The maintenance timer over many live macroflows.
+    g.bench_function("tick_10k_flows", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let _flows: Vec<FlowId> = (0..FLOWS)
+            .map(|i| cm.open(key(i), now).expect("open"))
+            .collect();
+        b.iter(|| {
+            now += Duration::from_millis(1);
+            cm.tick(now);
+            black_box(cm.macroflow_count());
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, churn);
+criterion_main!(benches);

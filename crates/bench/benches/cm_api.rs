@@ -66,7 +66,8 @@ fn api_costs(c: &mut Criterion) {
             })
             .collect();
         b.iter(|| {
-            cm.bulk_request(black_box(&flows), Time::ZERO).expect("bulk");
+            cm.bulk_request(black_box(&flows), Time::ZERO)
+                .expect("bulk");
             let _ = cm.drain_notifications();
             for &f in &flows {
                 let _ = cm.notify(f, 0, Time::ZERO);

@@ -1,29 +1,34 @@
 //! Event-queue throughput: schedule/pop cycles under realistic fan-out.
+//!
+//! Each case runs twice — once on the timer wheel (`EventQueue`), once on
+//! the reference `BinaryHeap` (`HeapEventQueue`) — in the same process,
+//! so the wheel/heap ratio is insulated from run-to-run machine noise.
 
 use cm_netsim::event::{EventQueue, SimEvent};
+use cm_netsim::reference::HeapEventQueue;
 use cm_netsim::sim::NodeId;
-use cm_util::Time;
+use cm_util::{Duration, Time};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn queue_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.sample_size(30);
+fn timer(i: u64) -> SimEvent {
+    SimEvent::Timer {
+        node: NodeId(0),
+        token: i,
+        slot: i as u32,
+        gen: 0,
+    }
+}
 
-    g.bench_function("schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
+/// Builds a queue, schedules 1k pseudo-shuffled events, pops them all.
+macro_rules! schedule_pop_1k {
+    ($new:expr) => {
+        || {
+            let mut q = $new;
             for i in 0..1_000u64 {
-                // Pseudo-shuffled times exercise heap reordering.
+                // Pseudo-shuffled times exercise queue reordering.
                 let t = (i * 7919) % 1_000;
-                q.schedule(
-                    Time::from_micros(t),
-                    SimEvent::Timer {
-                        node: NodeId(0),
-                        token: i,
-                        timer_id: i,
-                    },
-                );
+                q.schedule(Time::from_micros(t), timer(i));
             }
             let mut count = 0;
             while let Some((t, _)) = q.pop() {
@@ -31,7 +36,21 @@ fn queue_ops(c: &mut Criterion) {
                 count += 1;
             }
             assert_eq!(count, 1_000);
-        });
+        }
+    };
+}
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(30);
+
+    g.bench_function("schedule_pop_1k", |b| {
+        let f = schedule_pop_1k!(EventQueue::new());
+        b.iter(f);
+    });
+    g.bench_function("schedule_pop_1k_ref_heap", |b| {
+        let f = schedule_pop_1k!(HeapEventQueue::new());
+        b.iter(f);
     });
 
     g.bench_function("interleaved_64", |b| {
@@ -40,17 +59,68 @@ fn queue_ops(c: &mut Criterion) {
         b.iter(|| {
             for _ in 0..64 {
                 i += 1;
-                q.schedule(
-                    Time::from_micros(i % 512),
-                    SimEvent::Timer {
-                        node: NodeId(0),
-                        token: i,
-                        timer_id: i,
-                    },
-                );
+                q.schedule(Time::from_micros(i % 512), timer(i));
             }
             for _ in 0..64 {
                 black_box(q.pop());
+            }
+        });
+    });
+    g.bench_function("interleaved_64_ref_heap", |b| {
+        let mut q = HeapEventQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..64 {
+                i += 1;
+                q.schedule(Time::from_micros(i % 512), timer(i));
+            }
+            for _ in 0..64 {
+                black_box(q.pop());
+            }
+        });
+    });
+    // A realistic simulation regime: a deep future-event list (~1k
+    // pending events, as a loaded dumbbell produces) with interleaved
+    // schedule/pop batches. As in the simulator, every event is
+    // scheduled at now + delta for a pseudo-random non-negative delta.
+    // The heap pays O(log n) per operation here; the wheel stays flat.
+    g.bench_function("interleaved_deep_1k", |b| {
+        let mut q = EventQueue::new();
+        let mut i = 0u64;
+        let mut now = Time::ZERO;
+        for _ in 0..1_024 {
+            i += 1;
+            q.schedule(now + Duration::from_micros(i * 7919 % 4096), timer(i));
+        }
+        b.iter(|| {
+            for _ in 0..64 {
+                i += 1;
+                q.schedule(now + Duration::from_micros(i * 7919 % 4096), timer(i));
+            }
+            for _ in 0..64 {
+                if let Some((t, _)) = q.pop() {
+                    now = t;
+                }
+            }
+        });
+    });
+    g.bench_function("interleaved_deep_1k_ref_heap", |b| {
+        let mut q = HeapEventQueue::new();
+        let mut i = 0u64;
+        let mut now = Time::ZERO;
+        for _ in 0..1_024 {
+            i += 1;
+            q.schedule(now + Duration::from_micros(i * 7919 % 4096), timer(i));
+        }
+        b.iter(|| {
+            for _ in 0..64 {
+                i += 1;
+                q.schedule(now + Duration::from_micros(i * 7919 % 4096), timer(i));
+            }
+            for _ in 0..64 {
+                if let Some((t, _)) = q.pop() {
+                    now = t;
+                }
             }
         });
     });

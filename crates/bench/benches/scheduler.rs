@@ -46,6 +46,58 @@ fn schedulers(c: &mut Criterion) {
         b.iter(|| run_cycle(&mut s, N));
     });
     g.finish();
+
+    // Enqueue/dequeue under churn: flows leave mid-rotation with requests
+    // still pending and new flows take their place — the pattern a busy
+    // server's connection turnover produces. Scan-based removal makes
+    // this quadratic; the rotation must support O(1) unlink.
+    let mut g = c.benchmark_group("scheduler_churn");
+    g.sample_size(30);
+    const M: usize = 256;
+
+    g.bench_function("round_robin_churn_256", |b| {
+        let mut s = RoundRobinScheduler::new();
+        let mut live: Vec<FlowId> = (0..M as u32).map(FlowId).collect();
+        for &f in &live {
+            s.add_flow(f, 1);
+        }
+        // Freed ids are recycled, as the CM's flow slab does.
+        let mut free: Vec<FlowId> = Vec::new();
+        b.iter(|| {
+            // Everyone queues two requests.
+            for &f in &live {
+                s.enqueue(f);
+                s.enqueue(f);
+            }
+            // Drain a quarter, then remove half the flows mid-rotation.
+            for _ in 0..M / 4 {
+                black_box(s.dequeue());
+            }
+            let mut idx = 0u32;
+            live.retain(|&f| {
+                idx += 1;
+                if idx.is_multiple_of(2) {
+                    s.remove_flow(f);
+                    free.push(f);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Replacements join and queue.
+            for _ in 0..M / 2 {
+                let f = free.pop().expect("freed above");
+                s.add_flow(f, 1);
+                s.enqueue(f);
+                live.push(f);
+            }
+            // Drain to empty.
+            while let Some(f) = s.dequeue() {
+                black_box(f);
+            }
+        });
+    });
+    g.finish();
 }
 
 criterion_group!(benches, schedulers);

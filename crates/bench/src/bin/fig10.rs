@@ -30,6 +30,8 @@ fn main() {
     t.emit("Figure 10: rate callbacks with feedback delayed by min(500 ACKs, 2000 ms) (70 s)");
     println!("Layer changes: {:?}", o.layer_changes);
     println!("Delivered: {} KB", o.delivered / 1000);
-    println!("Paper shape: ~2 s of near-zero rate while the first feedback batch accumulates, then a");
+    println!(
+        "Paper shape: ~2 s of near-zero rate while the first feedback batch accumulates, then a"
+    );
     println!("large jump; afterwards the reported rate moves in bursts at each feedback batch.");
 }

@@ -14,7 +14,11 @@ use cm_transport::types::CcMode;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (total, seeds) = if quick { (1_000_000, 2) } else { (4_000_000, 3) };
+    let (total, seeds) = if quick {
+        (1_000_000, 2)
+    } else {
+        (4_000_000, 3)
+    };
     let losses = [0.0, 0.0025, 0.005, 0.01, 0.015, 0.02, 0.03, 0.04, 0.05];
 
     let mut t = Table::new(&["loss %", "TCP/CM KB/s", "TCP/Linux KB/s"]);
@@ -24,5 +28,7 @@ fn main() {
         t.row_f64(&format!("{:.2}", loss * 100.0), &[cm, linux]);
     }
     t.emit("Figure 3: throughput vs. loss (10 Mbps, 60 ms RTT)");
-    println!("Paper: both ~450-480 KB/s near 0.5% falling to ~50 KB/s at 5%; curves track each other.");
+    println!(
+        "Paper: both ~450-480 KB/s near 0.5% falling to ~50 KB/s at 5%; curves track each other."
+    );
 }

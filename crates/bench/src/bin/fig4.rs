@@ -30,12 +30,7 @@ fn main() {
     // observation holds.
     let path = PathSpec::lan().with_queue(QueueSpec::DropTailPackets(256));
 
-    let mut t = Table::new(&[
-        "buffers",
-        "TCP/CM KB/s",
-        "TCP/Linux KB/s",
-        "gap %",
-    ]);
+    let mut t = Table::new(&["buffers", "TCP/CM KB/s", "TCP/Linux KB/s", "gap %"]);
     for &n in &buffer_counts {
         let total = n * BUF;
         let cm = bulk_transfer(

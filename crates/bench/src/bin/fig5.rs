@@ -48,10 +48,7 @@ fn main() {
         );
         let cm_pct = cm.cpu_utilization * 100.0;
         let linux_pct = linux.cpu_utilization * 100.0;
-        t.row_f64(
-            &format!("{n}"),
-            &[cm_pct, linux_pct, cm_pct - linux_pct],
-        );
+        t.row_f64(&format!("{n}"), &[cm_pct, linux_pct, cm_pct - linux_pct]);
     }
     t.emit("Figure 5: CPU utilization during bulk transfers");
     println!("Paper: the TCP/CM - TCP/Linux difference converges to slightly under 1% for long transfers.");

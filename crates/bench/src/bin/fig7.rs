@@ -19,7 +19,13 @@ fn main() {
     let sweep = std::env::args().any(|a| a == "--sweep");
 
     let cm = web_sharing(CcMode::Cm, 9, Duration::from_millis(500), 128 * 1024, 42);
-    let linux = web_sharing(CcMode::Native, 9, Duration::from_millis(500), 128 * 1024, 42);
+    let linux = web_sharing(
+        CcMode::Native,
+        9,
+        Duration::from_millis(500),
+        128 * 1024,
+        42,
+    );
 
     let mut t = Table::new(&["request #", "TCP/CM ms", "TCP/Linux ms"]);
     for i in 0..cm.len().max(linux.len()) {
@@ -49,13 +55,7 @@ fn main() {
         let mut t = Table::new(&["file KB", "gap ms", "CM 1st ms", "CM 9th ms", "gain %"]);
         for &kb in &[32u64, 64, 128, 256] {
             for &gap_ms in &[250u64, 500, 1000] {
-                let lat = web_sharing(
-                    CcMode::Cm,
-                    9,
-                    Duration::from_millis(gap_ms),
-                    kb * 1024,
-                    42,
-                );
+                let lat = web_sharing(CcMode::Cm, 9, Duration::from_millis(gap_ms), kb * 1024, 42);
                 if lat.len() >= 9 {
                     let gain = (lat[0] - lat[8]) / lat[0] * 100.0;
                     t.row_f64(

@@ -29,6 +29,8 @@ fn main() {
     t.emit("Figure 8: layered streaming via the ALF API (25 s, cross traffic on at ~6 s/off at ~11 s/...)");
     println!("Layer changes: {:?}", o.layer_changes);
     println!("Delivered: {} KB", o.delivered / 1000);
-    println!("Paper shape: rate saturates near the available bandwidth (~2500 KB/s alone, ~1000 KB/s");
+    println!(
+        "Paper shape: rate saturates near the available bandwidth (~2500 KB/s alone, ~1000 KB/s"
+    );
     println!("under cross traffic) with rapid AIMD oscillation; the CM-reported rate tracks it.");
 }

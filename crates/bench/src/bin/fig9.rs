@@ -28,6 +28,8 @@ fn main() {
     t.emit("Figure 9: layered streaming via rate callbacks (20 s)");
     println!("Layer changes: {:?}", o.layer_changes);
     println!("Delivered: {} KB", o.delivered / 1000);
-    println!("Paper shape: the transmitted rate steps between layer rates (fewer oscillations than");
+    println!(
+        "Paper shape: the transmitted rate steps between layer rates (fewer oscillations than"
+    );
     println!("Figure 8's ALF mode); the CM-reported rate moves continuously underneath.");
 }

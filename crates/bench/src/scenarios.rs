@@ -10,12 +10,12 @@ use cm_apps::cross::{NullSink, OnOffSource};
 use cm_apps::layered::{AdaptMode, LayeredStreamer};
 use cm_apps::vat::{DropPolicy, VatAudio};
 use cm_apps::web::{WebClient, WebServer};
+use cm_core::config::CmConfig;
 use cm_netsim::channel::PathSpec;
 use cm_netsim::cpu::{CostModel, OpCounts};
 use cm_netsim::link::LinkSpec;
 use cm_netsim::topology::Topology;
 use cm_transport::host::{Host, HostConfig};
-use cm_core::config::CmConfig;
 use cm_transport::tcp::TcpConfig;
 use cm_transport::types::{CcMode, TcpConnId};
 use cm_util::{Duration, Rate, Time, TimeSeries};
@@ -195,13 +195,7 @@ pub fn blast(api: BlastApi, packet_size: u32, target: u64, seed: u64) -> BlastOu
 /// segments on the LAN; returns steady-state microseconds per data
 /// segment (the slow-start warmup quarter is discarded, matching the
 /// paper's long 200k-packet averaging).
-pub fn tcp_blast(
-    mode: CcMode,
-    mss: usize,
-    segments: u64,
-    delayed_ack: bool,
-    seed: u64,
-) -> f64 {
+pub fn tcp_blast(mode: CcMode, mss: usize, segments: u64, delayed_ack: bool, seed: u64) -> f64 {
     let total = mss as u64 * segments;
     let path = PathSpec::lan().with_queue(cm_netsim::link::QueueSpec::DropTailPackets(256));
     let o = bulk_transfer_steady(
@@ -329,7 +323,9 @@ pub fn layered_stream(
     let mut sim = topo.build();
     sim.run_until(stop + Duration::from_secs(1));
 
-    let tx = sim.node_ref::<Host>(tx_id).app_ref::<LayeredStreamer>(tx_app);
+    let tx = sim
+        .node_ref::<Host>(tx_id)
+        .app_ref::<LayeredStreamer>(tx_app);
     let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
 
     // Bin transmission events into rate samples.
@@ -422,12 +418,7 @@ pub fn connection_setup_times(mode: CcMode, n: usize, seed: u64) -> Vec<f64> {
 
 /// Runs the vat interactive-audio scenario; returns
 /// `(delivery_fraction, mean_send_age_ms, policer_drops, buffer_drops)`.
-pub fn vat_run(
-    policy: DropPolicy,
-    link: Rate,
-    secs: u64,
-    seed: u64,
-) -> (f64, f64, u64, u64) {
+pub fn vat_run(policy: DropPolicy, link: Rate, secs: u64, seed: u64) -> (f64, f64, u64, u64) {
     let stop = Time::from_secs(secs);
     let mut topo = Topology::new(seed);
     let mut rx_host = Host::new(HostConfig::default());

@@ -23,17 +23,15 @@
 //! macroflow can never have more data in flight than one well-behaved TCP
 //! would.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use cm_util::{Rate, Time};
+use cm_util::{FxHashMap, Rate, Time};
 
 use crate::config::CmConfig;
 use crate::error::{CmError, CmResult};
 use crate::flow::Flow;
 use crate::macroflow::{GrantEntry, Macroflow, MacroflowKey};
-use crate::types::{
-    FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,
-};
+use crate::types::{FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds};
 
 /// A deferred callback to a CM client.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -86,13 +84,28 @@ pub struct CmStats {
 /// a usage example.
 pub struct CongestionManager {
     cfg: CmConfig,
+    /// Flow slab: `FlowId` is the slot index; vacated slots are recycled
+    /// through `free_flows`, so the id space (and every `FlowId`-indexed
+    /// array, notably the schedulers') stays dense under churn.
     flows: Vec<Option<Flow>>,
-    key_to_flow: HashMap<FlowKey, FlowId>,
+    free_flows: Vec<u32>,
+    /// Per-slot generation, bumped whenever a slot's grant-queue entries
+    /// become invalid (close, split, merge); lets the grant queue drop
+    /// stale entries lazily instead of `retain`-scanning on every close.
+    flow_gens: Vec<u32>,
+    live_flows: usize,
+    key_to_flow: FxHashMap<FlowKey, FlowId>,
+    /// Macroflow slab with the same recycling scheme.
     mfs: Vec<Option<Macroflow>>,
-    dest_to_mf: HashMap<(u32, u8), MacroflowId>,
+    free_mfs: Vec<u32>,
+    live_mfs: usize,
+    dest_to_mf: FxHashMap<(u32, u8), MacroflowId>,
     outbox: VecDeque<CmNotification>,
     stats: CmStats,
     next_private_key: u32,
+    /// Pooled buffers so the hot entry points allocate nothing.
+    scratch_mfs: Vec<MacroflowId>,
+    scratch_flows: Vec<FlowId>,
 }
 
 impl CongestionManager {
@@ -101,12 +114,19 @@ impl CongestionManager {
         CongestionManager {
             cfg,
             flows: Vec::new(),
-            key_to_flow: HashMap::new(),
+            free_flows: Vec::new(),
+            flow_gens: Vec::new(),
+            live_flows: 0,
+            key_to_flow: FxHashMap::default(),
             mfs: Vec::new(),
-            dest_to_mf: HashMap::new(),
+            free_mfs: Vec::new(),
+            live_mfs: 0,
+            dest_to_mf: FxHashMap::default(),
             outbox: VecDeque::new(),
             stats: CmStats::default(),
             next_private_key: 0,
+            scratch_mfs: Vec::new(),
+            scratch_flows: Vec::new(),
         }
     }
 
@@ -147,14 +167,23 @@ impl CongestionManager {
                 id
             }
         };
-        let flow_id = FlowId(self.flows.len() as u32);
-        let flow = Flow::new(flow_id, key, mf_id, self.cfg.mtu, now);
-        self.flows.push(Some(flow));
+        let flow_id = match self.free_flows.pop() {
+            Some(slot) => FlowId(slot),
+            None => {
+                self.flow_gens.push(0);
+                self.flows.push(None);
+                FlowId(self.flows.len() as u32 - 1)
+            }
+        };
+        let mut flow = Flow::new(flow_id, key, mf_id, self.cfg.mtu, now);
         self.key_to_flow.insert(key, flow_id);
         let mf = self.mf_mut(mf_id)?;
+        flow.mf_pos = mf.flows.len() as u32;
         mf.flows.push(flow_id);
         mf.scheduler.add_flow(flow_id, 1);
         mf.empty_since = None;
+        self.flows[flow_id.0 as usize] = Some(flow);
+        self.live_flows += 1;
         self.stats.opens += 1;
         Ok(flow_id)
     }
@@ -168,15 +197,23 @@ impl CongestionManager {
         let key = f.key;
         let granted = f.granted;
         let mtu = f.mtu as u64;
+        let pos = f.mf_pos;
         self.flows[flow.0 as usize] = None;
+        self.free_flows.push(flow.0);
+        // Invalidate the flow's grant-queue entries; the reclamation
+        // sweep drops stale-generation entries lazily in O(1) each.
+        self.flow_gens[flow.0 as usize] = self.flow_gens[flow.0 as usize].wrapping_add(1);
+        self.live_flows -= 1;
         self.key_to_flow.remove(&key);
-        let mf = self.mf_mut(mf_id)?;
+        let Self { mfs, flows, .. } = self;
+        let mf = mfs
+            .get_mut(mf_id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownMacroflow(mf_id))?;
         mf.scheduler.remove_flow(flow);
-        mf.flows.retain(|&f| f != flow);
-        // Release window reserved by unresolved grants; their queue
-        // entries are dropped eagerly since the flow is gone.
+        remove_member(mf, flows, pos);
+        // Release window reserved by unresolved grants.
         mf.granted_unnotified = mf.granted_unnotified.saturating_sub(granted as u64 * mtu);
-        mf.grant_queue.retain(|e| e.flow != flow);
         if mf.flows.is_empty() {
             mf.empty_since = Some(now);
         }
@@ -229,19 +266,35 @@ impl CongestionManager {
     /// Batched [`CongestionManager::request`] (`cm_bulk_request`, paper
     /// §5 "Optimizations"): one call, many flows, one grant pass.
     pub fn bulk_request(&mut self, flows: &[FlowId], now: Time) -> CmResult<()> {
-        let mut touched: Vec<MacroflowId> = Vec::new();
+        let mut touched = std::mem::take(&mut self.scratch_mfs);
+        touched.clear();
+        let mut result = Ok(());
         for &flow in flows {
-            let mf_id = self.flow_ref(flow)?.macroflow;
+            let mf_id = match self.flow_ref(flow) {
+                Ok(f) => f.macroflow,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
             self.stats.requests += 1;
-            self.mf_mut(mf_id)?.scheduler.enqueue(flow);
+            match self.mf_mut(mf_id) {
+                Ok(mf) => mf.scheduler.enqueue(flow),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
             if !touched.contains(&mf_id) {
                 touched.push(mf_id);
             }
         }
-        for mf_id in touched {
+        for &mf_id in &touched {
             self.try_grants(mf_id, now);
         }
-        Ok(())
+        touched.clear();
+        self.scratch_mfs = touched;
+        result
     }
 
     // ------------------------------------------------------------------
@@ -275,7 +328,9 @@ impl CongestionManager {
             if pacing && bytes_sent < mtu {
                 let refund = mf.pacing_interval().mul_ratio(mtu - bytes_sent, mtu);
                 mf.next_grant_at = Time::from_nanos(
-                    mf.next_grant_at.as_nanos().saturating_sub(refund.as_nanos()),
+                    mf.next_grant_at
+                        .as_nanos()
+                        .saturating_sub(refund.as_nanos()),
                 );
             }
         }
@@ -347,11 +402,7 @@ impl CongestionManager {
     /// Registers (or, with `None`, cancels) interest in rate callbacks
     /// (`cm_register_update` + `cm_thresh`). The next threshold crossing
     /// emits a [`CmNotification::RateChange`].
-    pub fn set_thresholds(
-        &mut self,
-        flow: FlowId,
-        thresholds: Option<Thresholds>,
-    ) -> CmResult<()> {
+    pub fn set_thresholds(&mut self, flow: FlowId, thresholds: Option<Thresholds>) -> CmResult<()> {
         let mf_id = self.flow_ref(flow)?.macroflow;
         let current = self.mf_ref(mf_id)?.share_of(flow);
         let f = self.flow_mut(flow)?;
@@ -398,9 +449,12 @@ impl CongestionManager {
         self.detach_flow(flow, old_mf, now)?;
         let mf = self.mf_mut(new_mf)?;
         mf.rtt = rtt;
+        let pos = mf.flows.len() as u32;
         mf.flows.push(flow);
         mf.scheduler.add_flow(flow, weight);
-        self.flow_mut(flow)?.macroflow = new_mf;
+        let f = self.flow_mut(flow)?;
+        f.macroflow = new_mf;
+        f.mf_pos = pos;
         Ok(new_mf)
     }
 
@@ -424,12 +478,7 @@ impl CongestionManager {
     /// Moves `flow` onto `into` without the destination check —
     /// aggregating "multiple destination hosts behind the same shared
     /// bottleneck link" (paper §5). The caller asserts path sharing.
-    pub fn merge_unchecked(
-        &mut self,
-        flow: FlowId,
-        into: MacroflowId,
-        now: Time,
-    ) -> CmResult<()> {
+    pub fn merge_unchecked(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
         let f = self.flow_ref(flow)?;
         if f.granted > 0 {
             return Err(CmError::InvalidArgument(
@@ -445,10 +494,13 @@ impl CongestionManager {
         let _ = self.mf_ref(into)?;
         self.detach_flow(flow, old_mf, now)?;
         let mf = self.mf_mut(into)?;
+        let pos = mf.flows.len() as u32;
         mf.flows.push(flow);
         mf.scheduler.add_flow(flow, weight);
         mf.empty_since = None;
-        self.flow_mut(flow)?.macroflow = into;
+        let f = self.flow_mut(flow)?;
+        f.macroflow = into;
+        f.mf_pos = pos;
         Ok(())
     }
 
@@ -463,19 +515,21 @@ impl CongestionManager {
     /// timer (tens to hundreds of milliseconds).
     pub fn tick(&mut self, now: Time) {
         let cfg = self.cfg.clone();
-        let mf_ids: Vec<MacroflowId> = (0..self.mfs.len())
-            .filter(|&i| self.mfs[i].is_some())
-            .map(|i| MacroflowId(i as u32))
-            .collect();
-        for mf_id in mf_ids {
+        for i in 0..self.mfs.len() {
+            if self.mfs[i].is_none() {
+                continue;
+            }
+            let mf_id = MacroflowId(i as u32);
             self.reclaim_expired_grants(mf_id, now);
             let expired = {
-                let mf = self.mfs[mf_id.0 as usize].as_mut().expect("checked");
+                let mf = self.mfs[i].as_mut().expect("checked");
                 mf.age_if_idle(now, &cfg);
                 matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
             };
             if expired {
-                let mf = self.mfs[mf_id.0 as usize].take().expect("checked");
+                let mf = self.mfs[i].take().expect("checked");
+                self.free_mfs.push(i as u32);
+                self.live_mfs -= 1;
                 if let MacroflowKey::Destination { addr, dscp } = mf.key {
                     self.dest_to_mf.remove(&(addr, dscp));
                 }
@@ -498,21 +552,17 @@ impl CongestionManager {
         self.mfs
             .iter()
             .flatten()
-            .filter(|mf| {
-                mf.scheduler.pending() > 0 && mf.available_window() >= mf.mtu as u64
-            })
+            .filter(|mf| mf.scheduler.pending() > 0 && mf.available_window() >= mf.mtu as u64)
             .map(|mf| mf.next_grant_at)
             .min()
     }
 
     /// Releases any grants whose pacing deadline has passed.
     pub fn release_paced(&mut self, now: Time) {
-        let mf_ids: Vec<MacroflowId> = (0..self.mfs.len())
-            .filter(|&i| self.mfs[i].is_some())
-            .map(|i| MacroflowId(i as u32))
-            .collect();
-        for mf_id in mf_ids {
-            self.try_grants(mf_id, now);
+        for i in 0..self.mfs.len() {
+            if self.mfs[i].is_some() {
+                self.try_grants(MacroflowId(i as u32), now);
+            }
         }
     }
 
@@ -521,6 +571,14 @@ impl CongestionManager {
     /// (the control-socket readiness model from §2.2).
     pub fn drain_notifications(&mut self) -> Vec<CmNotification> {
         self.outbox.drain(..).collect()
+    }
+
+    /// Drains all pending notifications into `out` (appending), reusing
+    /// the caller's buffer — the allocation-free form of
+    /// [`CongestionManager::drain_notifications`] the host's settle loop
+    /// runs on every event.
+    pub fn drain_notifications_into(&mut self, out: &mut Vec<CmNotification>) {
+        out.extend(self.outbox.drain(..));
     }
 
     /// True if notifications are waiting (the control socket's readable
@@ -535,12 +593,19 @@ impl CongestionManager {
 
     /// Number of open flows.
     pub fn flow_count(&self) -> usize {
-        self.flows.iter().filter(|f| f.is_some()).count()
+        self.live_flows
     }
 
     /// Number of live macroflows (including empty, lingering ones).
     pub fn macroflow_count(&self) -> usize {
-        self.mfs.iter().filter(|m| m.is_some()).count()
+        self.live_mfs
+    }
+
+    /// Capacity of the flow slab (live + recyclable slots). Bounded by
+    /// the peak number of concurrently open flows, regardless of churn —
+    /// the regression tests assert this stays flat.
+    pub fn flow_slab_capacity(&self) -> usize {
+        self.flows.len()
     }
 
     /// The macroflow's congestion window in bytes.
@@ -577,21 +642,40 @@ impl CongestionManager {
     // ------------------------------------------------------------------
 
     fn alloc_macroflow(&mut self, key: MacroflowKey, now: Time) -> MacroflowId {
-        let id = MacroflowId(self.mfs.len() as u32);
-        self.mfs
-            .push(Some(Macroflow::new(id, key, &self.cfg, now)));
+        let id = match self.free_mfs.pop() {
+            Some(slot) => {
+                let id = MacroflowId(slot);
+                self.mfs[slot as usize] = Some(Macroflow::new(id, key, &self.cfg, now));
+                id
+            }
+            None => {
+                let id = MacroflowId(self.mfs.len() as u32);
+                self.mfs.push(Some(Macroflow::new(id, key, &self.cfg, now)));
+                id
+            }
+        };
+        self.live_mfs += 1;
         self.stats.macroflows_created += 1;
         id
     }
 
     fn detach_flow(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<()> {
-        let mf = self.mf_mut(from)?;
+        let pos = self.flow_ref(flow)?.mf_pos;
+        let Self { mfs, flows, .. } = self;
+        let mf = mfs
+            .get_mut(from.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownMacroflow(from))?;
         mf.scheduler.remove_flow(flow);
-        mf.flows.retain(|&f| f != flow);
-        mf.grant_queue.retain(|e| e.flow != flow);
+        remove_member(mf, flows, pos);
         if mf.flows.is_empty() {
             mf.empty_since = Some(now);
         }
+        // The flow moves with zero unresolved grants (callers enforce
+        // this), so its entries still in the old queue are all dead:
+        // stale their generation and reset the lazy-deletion counter.
+        self.flow_gens[flow.0 as usize] = self.flow_gens[flow.0 as usize].wrapping_add(1);
+        self.flow_mut(flow)?.dead_grant_entries = 0;
         Ok(())
     }
 
@@ -605,6 +689,7 @@ impl CongestionManager {
         let Self {
             mfs,
             flows,
+            flow_gens,
             outbox,
             stats,
             ..
@@ -619,16 +704,14 @@ impl CongestionManager {
             let Some(flow_id) = mf.scheduler.dequeue() else {
                 break;
             };
-            let Some(flow) = flows
-                .get_mut(flow_id.0 as usize)
-                .and_then(Option::as_mut)
-            else {
+            let Some(flow) = flows.get_mut(flow_id.0 as usize).and_then(Option::as_mut) else {
                 continue; // Flow closed with requests still queued.
             };
             flow.granted += 1;
             mf.granted_unnotified += mf.mtu as u64;
             mf.grant_queue.push_back(GrantEntry {
                 flow: flow_id,
+                gen: flow_gens[flow_id.0 as usize],
                 issued: now,
             });
             outbox.push_back(CmNotification::SendGrant { flow: flow_id });
@@ -645,15 +728,28 @@ impl CongestionManager {
     /// notify); the paper's timer-driven "error handling".
     fn reclaim_expired_grants(&mut self, mf_id: MacroflowId, now: Time) {
         let timeout = self.cfg.grant_timeout;
-        let Self { mfs, flows, stats, .. } = self;
+        let Self {
+            mfs,
+            flows,
+            flow_gens,
+            stats,
+            ..
+        } = self;
         let Some(mf) = mfs.get_mut(mf_id.0 as usize).and_then(Option::as_mut) else {
             return;
         };
         while let Some(front) = mf.grant_queue.front().copied() {
-            let flow = flows.get_mut(front.flow.0 as usize).and_then(Option::as_mut);
+            let idx = front.flow.0 as usize;
+            // A generation mismatch means the flow closed or moved
+            // macroflow after this grant was issued; its reservation was
+            // released then, so the entry is dropped with no accounting.
+            let flow = if flow_gens[idx] == front.gen {
+                flows.get_mut(idx).and_then(Option::as_mut)
+            } else {
+                None
+            };
             match flow {
                 None => {
-                    // Closed flow; reservation already released in close.
                     mf.grant_queue.pop_front();
                 }
                 Some(f) if f.dead_grant_entries > 0 => {
@@ -666,8 +762,7 @@ impl CongestionManager {
                         break;
                     }
                     f.granted = f.granted.saturating_sub(1);
-                    mf.granted_unnotified =
-                        mf.granted_unnotified.saturating_sub(mf.mtu as u64);
+                    mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mf.mtu as u64);
                     mf.grants_reclaimed += 1;
                     stats.grants_reclaimed += 1;
                     mf.grant_queue.pop_front();
@@ -679,9 +774,14 @@ impl CongestionManager {
     /// Emits `cmapp_update`-style callbacks for flows whose rate share
     /// crossed their registered thresholds.
     fn emit_rate_callbacks(&mut self, mf_id: MacroflowId) {
-        let Ok(mf) = self.mf_ref(mf_id) else { return };
-        let member_flows: Vec<FlowId> = mf.flows.clone();
-        for flow_id in member_flows {
+        let mut member_flows = std::mem::take(&mut self.scratch_flows);
+        member_flows.clear();
+        let Ok(mf) = self.mf_ref(mf_id) else {
+            self.scratch_flows = member_flows;
+            return;
+        };
+        member_flows.extend_from_slice(&mf.flows);
+        for &flow_id in &member_flows {
             let Ok(f) = self.flow_ref(flow_id) else {
                 continue;
             };
@@ -695,14 +795,18 @@ impl CongestionManager {
                 let info = self
                     .flow_info(flow_id, mf_id)
                     .expect("flow and macroflow exist");
-                self.outbox
-                    .push_back(CmNotification::RateChange { flow: flow_id, info });
+                self.outbox.push_back(CmNotification::RateChange {
+                    flow: flow_id,
+                    info,
+                });
                 self.stats.rate_callbacks += 1;
                 if let Ok(f) = self.flow_mut(flow_id) {
                     f.last_reported_rate = Some(current);
                 }
             }
         }
+        member_flows.clear();
+        self.scratch_flows = member_flows;
     }
 
     fn flow_ref(&self, id: FlowId) -> CmResult<&Flow> {
@@ -734,6 +838,18 @@ impl CongestionManager {
     }
 }
 
+/// Swap-removes the member at `pos` from `mf.flows`, repairing the moved
+/// flow's back-pointer so membership removal stays O(1).
+fn remove_member(mf: &mut Macroflow, flows: &mut [Option<Flow>], pos: u32) {
+    mf.flows.swap_remove(pos as usize);
+    if (pos as usize) < mf.flows.len() {
+        let moved = mf.flows[pos as usize];
+        if let Some(f) = flows.get_mut(moved.0 as usize).and_then(Option::as_mut) {
+            f.mf_pos = pos;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -760,14 +876,8 @@ mod tests {
         let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
         let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
         let f3 = cm.open(key(1002, 7), Time::ZERO).unwrap();
-        assert_eq!(
-            cm.macroflow_of(f1).unwrap(),
-            cm.macroflow_of(f2).unwrap()
-        );
-        assert_ne!(
-            cm.macroflow_of(f1).unwrap(),
-            cm.macroflow_of(f3).unwrap()
-        );
+        assert_eq!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+        assert_ne!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f3).unwrap());
         assert_eq!(cm.macroflow_count(), 2);
         assert_eq!(cm.flow_count(), 3);
     }
@@ -842,7 +952,7 @@ mod tests {
             let cwnd = cm.window_of(mf).unwrap();
             let used = cm.outstanding_of(mf).unwrap() + cm.reserved_of(mf).unwrap();
             assert!(used <= cwnd, "round {round}: used {used} > cwnd {cwnd}");
-            now = now + Duration::from_millis(40);
+            now += Duration::from_millis(40);
         }
     }
 
@@ -884,7 +994,7 @@ mod tests {
                 now,
             )
             .unwrap();
-            now = now + Duration::from_millis(10);
+            now += Duration::from_millis(10);
         }
         // Window is now several MTUs; queue 2 requests per flow.
         for _ in 0..2 {
@@ -917,7 +1027,7 @@ mod tests {
                 now,
             )
             .unwrap();
-            now = now + Duration::from_millis(10);
+            now += Duration::from_millis(10);
         }
         assert!(cm.window_of(mf).unwrap() > 1460);
         cm.update(f, FeedbackReport::loss(LossMode::Persistent, 1460), now)
@@ -946,13 +1056,13 @@ mod tests {
                 now,
             )
             .unwrap();
-            now = now + Duration::from_millis(20);
+            now += Duration::from_millis(20);
         }
         let learned = cm.window_of(mf).unwrap();
         assert!(learned >= 4 * 1460);
         cm.close(f1, now).unwrap();
         // Reopen 100 ms later (well within linger).
-        now = now + Duration::from_millis(100);
+        now += Duration::from_millis(100);
         let f2 = cm.open(key(1001, 9), now).unwrap();
         assert_eq!(cm.macroflow_of(f2).unwrap(), mf);
         let w = cm.window_of(mf).unwrap();
@@ -999,7 +1109,8 @@ mod tests {
     fn rate_callbacks_fire_on_threshold_crossing() {
         let mut cm = CongestionManager::new(CmConfig::default());
         let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
-        cm.set_thresholds(f, Some(Thresholds::new(0.5, 2.0))).unwrap();
+        cm.set_thresholds(f, Some(Thresholds::new(0.5, 2.0)))
+            .unwrap();
         let mut now = Time::ZERO;
         let mut rate_notes = Vec::new();
         // Drive traffic so the rate rises from zero.
@@ -1019,7 +1130,7 @@ mod tests {
                 now,
             )
             .unwrap();
-            now = now + Duration::from_millis(20);
+            now += Duration::from_millis(20);
         }
         rate_notes.extend(
             cm.drain_notifications()
@@ -1065,7 +1176,7 @@ mod tests {
                 now,
             )
             .unwrap();
-            now = now + Duration::from_millis(30);
+            now += Duration::from_millis(30);
         }
         let old_mf = cm.macroflow_of(f2).unwrap();
         let new_mf = cm.split(f2, now).unwrap();
@@ -1146,6 +1257,69 @@ mod tests {
         assert_eq!(grants_in(&cm.drain_notifications()), vec![f2]);
     }
 
+    /// Regression for unbounded flow-table growth: the slab must recycle
+    /// slots, keeping capacity at the peak concurrent count no matter how
+    /// many flows have come and gone.
+    #[test]
+    fn flow_slab_recycles_slots_under_churn() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let mut now = Time::ZERO;
+        for round in 0..200u64 {
+            let flows: Vec<FlowId> = (0..8)
+                .map(|i| cm.open(key(1000 + i, 9 + (round % 4) as u32), now).unwrap())
+                .collect();
+            for &f in &flows {
+                cm.request(f, now).unwrap();
+            }
+            let _ = cm.drain_notifications();
+            for &f in &flows {
+                cm.close(f, now).unwrap();
+            }
+            now += Duration::from_millis(10);
+        }
+        assert_eq!(cm.flow_count(), 0);
+        assert!(
+            cm.flow_slab_capacity() <= 8,
+            "flow slab grew to {} slots after 1600 opens",
+            cm.flow_slab_capacity()
+        );
+    }
+
+    /// A recycled flow slot must not inherit the previous tenant's
+    /// grant-queue entries: the old flow's unresolved grant (released at
+    /// close) must not cause the new tenant's fresh grant to be
+    /// mis-reclaimed or double-released.
+    #[test]
+    fn recycled_slot_not_charged_for_predecessor_grants() {
+        let mut cm = CongestionManager::new(CmConfig {
+            grant_timeout: Duration::from_millis(100),
+            pacing: false,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.request(f1, Time::ZERO).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f1]);
+        // Close while holding the grant: the reservation is released and
+        // the queue entry goes stale.
+        cm.close(f1, Time::ZERO).unwrap();
+        // Reopen to the same destination: the slot (and FlowId) recycle.
+        let f2 = cm.open(key(1001, 9), Time::from_millis(10)).unwrap();
+        assert_eq!(f2, f1, "slab should recycle the freed slot");
+        let mf = cm.macroflow_of(f2).unwrap();
+        cm.request(f2, Time::from_millis(10)).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f2]);
+        assert_eq!(cm.reserved_of(mf).unwrap(), 1460);
+        // Sweep before f2's grant times out: the stale f1 entry must be
+        // dropped with no accounting, and f2's grant left alone.
+        cm.tick(Time::from_millis(50));
+        assert_eq!(cm.stats().grants_reclaimed, 0);
+        assert_eq!(cm.reserved_of(mf).unwrap(), 1460);
+        // After the timeout, exactly f2's grant is reclaimed.
+        cm.tick(Time::from_millis(200));
+        assert_eq!(cm.stats().grants_reclaimed, 1);
+        assert_eq!(cm.reserved_of(mf).unwrap(), 0);
+    }
+
     #[test]
     fn ecn_report_halves_without_loss() {
         let mut cm = CongestionManager::new(CmConfig::default());
@@ -1165,10 +1339,11 @@ mod tests {
                 now,
             )
             .unwrap();
-            now = now + Duration::from_millis(10);
+            now += Duration::from_millis(10);
         }
         let before = cm.window_of(mf).unwrap();
-        cm.update(f, FeedbackReport::loss(LossMode::Ecn, 0), now).unwrap();
+        cm.update(f, FeedbackReport::loss(LossMode::Ecn, 0), now)
+            .unwrap();
         assert_eq!(cm.window_of(mf).unwrap(), before / 2);
     }
 }

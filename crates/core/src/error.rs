@@ -54,8 +54,6 @@ mod tests {
         assert!(format!("{}", CmError::DuplicateFlow).contains("already open"));
         assert!(format!("{}", CmError::InvalidArgument("mtu")).contains("mtu"));
         assert!(format!("{}", CmError::DestinationMismatch).contains("merge"));
-        assert!(
-            format!("{}", CmError::UnknownMacroflow(MacroflowId(1))).contains("macroflow")
-        );
+        assert!(format!("{}", CmError::UnknownMacroflow(MacroflowId(1))).contains("macroflow"));
     }
 }

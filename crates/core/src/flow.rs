@@ -17,6 +17,9 @@ pub struct Flow {
     pub key: FlowKey,
     /// The macroflow whose congestion state this flow shares.
     pub macroflow: MacroflowId,
+    /// This flow's index in its macroflow's member list, maintained so
+    /// membership changes are O(1) swap-removes.
+    pub mf_pos: u32,
     /// Maximum transmission unit for this flow (`cm_mtu`).
     pub mtu: usize,
     /// Scheduler weight.
@@ -49,6 +52,7 @@ impl Flow {
             id,
             key,
             macroflow,
+            mf_pos: 0,
             mtu,
             weight: 1,
             granted: 0,

@@ -43,6 +43,11 @@ pub enum MacroflowKey {
 pub struct GrantEntry {
     /// The flow the grant went to.
     pub flow: FlowId,
+    /// The flow slot's generation at issue time. Flow slots are recycled
+    /// on close, so a stale generation marks an entry whose reservation
+    /// was already released (by `close` or a macroflow move) rather than
+    /// one belonging to the slot's current tenant.
+    pub gen: u32,
     /// When the grant was issued (for timeout reclamation).
     pub issued: Time,
 }

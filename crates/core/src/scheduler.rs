@@ -9,8 +9,17 @@
 //! the natural extensions: [`WeightedRoundRobinScheduler`] and
 //! [`StrideScheduler`] give proportional shares, exercised by the
 //! scheduler ablation benchmark.
-
-use std::collections::{HashMap, VecDeque};
+//!
+//! # Flat state
+//!
+//! Every scheduler here stores per-flow state in dense arrays indexed by
+//! `FlowId` (the CM allocates flow ids from a slab, so ids stay compact
+//! under churn). The round-robin rotations are intrusive doubly-linked
+//! rings threaded through those arrays: `enqueue`, `dequeue`, and —
+//! critically for flow churn — `remove_flow` are all O(1), with no
+//! per-operation allocation and no `retain` scans. Rotation order is
+//! identical to the original `VecDeque` implementation: the head is
+//! served, then rotated to the tail while it still has requests.
 
 use crate::config::SchedulerKind;
 use crate::types::FlowId;
@@ -60,6 +69,225 @@ pub fn build_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
     }
 }
 
+/// "Not linked" sentinel for ring pointers.
+const NIL: u32 = u32::MAX;
+
+/// Rotation state for one member flow, stored at a member-local slot.
+#[derive(Clone, Copy, Debug)]
+struct RingSlot {
+    /// The global flow id this local slot belongs to.
+    flow: u32,
+    /// Outstanding requests; the flow sits in the rotation iff > 0.
+    pending: u32,
+    weight: u32,
+    next: u32,
+    prev: u32,
+}
+
+/// The intrusive circular rotation shared by RR and WRR: `head` is the
+/// flow served next; the tail is `head`'s `prev`.
+///
+/// Member state lives in `slots`, sized by the macroflow's member count,
+/// not by the global flow-id space; `index` maps global `FlowId` to the
+/// local slot in O(1) with 4 bytes per global id, so a CM with many
+/// macroflows does not pay per-scheduler arrays proportional to the
+/// whole flow table.
+struct Ring {
+    /// Global flow id -> local slot ([`NIL`] when not registered here).
+    index: Vec<u32>,
+    slots: Vec<RingSlot>,
+    free: Vec<u32>,
+    head: u32,
+    /// Total pending requests.
+    total: usize,
+    /// Sum of registered flows' weights.
+    weight_sum: u64,
+    registered: usize,
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Ring::new()
+    }
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            index: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            total: 0,
+            weight_sum: 0,
+            registered: 0,
+        }
+    }
+
+    #[inline]
+    fn local(&self, flow: FlowId) -> Option<u32> {
+        self.index
+            .get(flow.0 as usize)
+            .copied()
+            .filter(|&l| l != NIL)
+    }
+
+    fn slot(&self, flow: FlowId) -> Option<&RingSlot> {
+        self.local(flow).map(|l| &self.slots[l as usize])
+    }
+
+    fn add(&mut self, flow: FlowId, weight: u32) {
+        let g = flow.0 as usize;
+        if self.index.len() <= g {
+            self.index.resize(g + 1, NIL);
+        }
+        if self.index[g] != NIL {
+            // Re-registration updates the weight but keeps queue state.
+            let s = &mut self.slots[self.index[g] as usize];
+            let old = s.weight;
+            s.weight = weight;
+            self.weight_sum = self.weight_sum - old as u64 + weight as u64;
+            return;
+        }
+        let slot = RingSlot {
+            flow: flow.0,
+            pending: 0,
+            weight,
+            next: NIL,
+            prev: NIL,
+        };
+        let local = match self.free.pop() {
+            Some(l) => {
+                self.slots[l as usize] = slot;
+                l
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() as u32 - 1
+            }
+        };
+        self.index[g] = local;
+        self.weight_sum += weight as u64;
+        self.registered += 1;
+    }
+
+    /// Unlinks and unregisters; returns true if the flow was the head.
+    fn remove(&mut self, flow: FlowId) -> bool {
+        let Some(l) = self.local(flow) else {
+            return false;
+        };
+        let s = self.slots[l as usize];
+        self.index[flow.0 as usize] = NIL;
+        self.free.push(l);
+        self.weight_sum -= s.weight as u64;
+        self.registered -= 1;
+        self.total -= s.pending as usize;
+        if s.pending > 0 {
+            self.unlink(l)
+        } else {
+            false
+        }
+    }
+
+    fn set_weight(&mut self, flow: FlowId, weight: u32) {
+        if let Some(l) = self.local(flow) {
+            let s = &mut self.slots[l as usize];
+            let old = s.weight;
+            s.weight = weight;
+            self.weight_sum = self.weight_sum - old as u64 + weight as u64;
+        }
+    }
+
+    /// Counts one request; links the flow at the rotation tail when it
+    /// transitions idle -> pending.
+    fn enqueue(&mut self, flow: FlowId) -> bool {
+        let Some(l) = self.local(flow) else {
+            return false;
+        };
+        let s = &mut self.slots[l as usize];
+        s.pending += 1;
+        self.total += 1;
+        if s.pending == 1 {
+            self.link_tail(l);
+            return true;
+        }
+        false
+    }
+
+    fn link_tail(&mut self, l: u32) {
+        if self.head == NIL {
+            self.slots[l as usize].next = l;
+            self.slots[l as usize].prev = l;
+            self.head = l;
+        } else {
+            let h = self.head;
+            let t = self.slots[h as usize].prev;
+            self.slots[t as usize].next = l;
+            self.slots[l as usize].prev = t;
+            self.slots[l as usize].next = h;
+            self.slots[h as usize].prev = l;
+        }
+    }
+
+    /// Unlinks local slot `l` from the rotation; returns true if it was
+    /// the head (the head moves to its successor).
+    fn unlink(&mut self, l: u32) -> bool {
+        let s = self.slots[l as usize];
+        let was_head = self.head == l;
+        if s.next == l {
+            self.head = NIL;
+        } else {
+            self.slots[s.prev as usize].next = s.next;
+            self.slots[s.next as usize].prev = s.prev;
+            if was_head {
+                self.head = s.next;
+            }
+        }
+        was_head
+    }
+
+    /// Serves the head: consumes one request, unlinking when its pending
+    /// count runs dry. Returns `(flow, exhausted)`.
+    fn serve_head(&mut self) -> Option<(FlowId, bool)> {
+        let l = self.head;
+        if l == NIL {
+            return None;
+        }
+        let s = &mut self.slots[l as usize];
+        let flow = FlowId(s.flow);
+        s.pending -= 1;
+        self.total -= 1;
+        let exhausted = s.pending == 0;
+        if exhausted {
+            self.unlink(l);
+        }
+        Some((flow, exhausted))
+    }
+
+    fn head_weight(&self) -> u32 {
+        if self.head == NIL {
+            0
+        } else {
+            self.slots[self.head as usize].weight
+        }
+    }
+
+    fn head_flow(&self) -> Option<FlowId> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(FlowId(self.slots[self.head as usize].flow))
+        }
+    }
+
+    /// Rotates the head to the tail (circular: head := head.next).
+    fn rotate(&mut self) {
+        if self.head != NIL {
+            self.head = self.slots[self.head as usize].next;
+        }
+    }
+}
+
 /// The paper's default: unweighted round-robin.
 ///
 /// Flows with pending requests sit in a rotation; each dequeue takes the
@@ -67,10 +295,7 @@ pub fn build_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
 /// has more.
 #[derive(Default)]
 pub struct RoundRobinScheduler {
-    rotation: VecDeque<FlowId>,
-    pending: HashMap<FlowId, u32>,
-    registered: HashMap<FlowId, u32>,
-    total: usize,
+    ring: Ring,
 }
 
 impl RoundRobinScheduler {
@@ -82,15 +307,11 @@ impl RoundRobinScheduler {
 
 impl Scheduler for RoundRobinScheduler {
     fn add_flow(&mut self, flow: FlowId, _weight: u32) {
-        self.registered.insert(flow, 1);
+        self.ring.add(flow, 1);
     }
 
     fn remove_flow(&mut self, flow: FlowId) {
-        self.registered.remove(&flow);
-        if let Some(n) = self.pending.remove(&flow) {
-            self.total -= n as usize;
-        }
-        self.rotation.retain(|&f| f != flow);
+        self.ring.remove(flow);
     }
 
     fn set_weight(&mut self, _flow: FlowId, _weight: u32) {
@@ -98,32 +319,19 @@ impl Scheduler for RoundRobinScheduler {
     }
 
     fn enqueue(&mut self, flow: FlowId) {
-        if !self.registered.contains_key(&flow) {
-            return;
-        }
-        let n = self.pending.entry(flow).or_insert(0);
-        *n += 1;
-        self.total += 1;
-        if *n == 1 {
-            self.rotation.push_back(flow);
-        }
+        self.ring.enqueue(flow);
     }
 
     fn dequeue(&mut self) -> Option<FlowId> {
-        let flow = self.rotation.pop_front()?;
-        let n = self.pending.get_mut(&flow).expect("rotation/pending sync");
-        *n -= 1;
-        self.total -= 1;
-        if *n > 0 {
-            self.rotation.push_back(flow);
-        } else {
-            self.pending.remove(&flow);
+        let (flow, exhausted) = self.ring.serve_head()?;
+        if !exhausted {
+            self.ring.rotate();
         }
         Some(flow)
     }
 
     fn pending(&self) -> usize {
-        self.total
+        self.ring.total
     }
 
     fn weight_of(&self, _flow: FlowId) -> u32 {
@@ -131,7 +339,7 @@ impl Scheduler for RoundRobinScheduler {
     }
 
     fn total_weight(&self) -> u64 {
-        self.registered.len() as u64
+        self.ring.registered as u64
     }
 
     fn name(&self) -> &'static str {
@@ -143,12 +351,9 @@ impl Scheduler for RoundRobinScheduler {
 /// `weight` grants of credit.
 #[derive(Default)]
 pub struct WeightedRoundRobinScheduler {
-    rotation: VecDeque<FlowId>,
-    pending: HashMap<FlowId, u32>,
-    weights: HashMap<FlowId, u32>,
+    ring: Ring,
     /// Remaining credit in the current pass for the head flow.
     credit: u32,
-    total: usize,
 }
 
 impl WeightedRoundRobinScheduler {
@@ -160,78 +365,57 @@ impl WeightedRoundRobinScheduler {
 
 impl Scheduler for WeightedRoundRobinScheduler {
     fn add_flow(&mut self, flow: FlowId, weight: u32) {
-        self.weights.insert(flow, weight.max(1));
+        self.ring.add(flow, weight.max(1));
     }
 
     fn remove_flow(&mut self, flow: FlowId) {
-        self.weights.remove(&flow);
-        if let Some(n) = self.pending.remove(&flow) {
-            self.total -= n as usize;
-        }
-        if self.rotation.front() == Some(&flow) {
+        if self.ring.remove(flow) {
+            // The head left mid-pass; the next dequeue refills from the
+            // new head's full weight.
             self.credit = 0;
         }
-        self.rotation.retain(|&f| f != flow);
     }
 
     fn set_weight(&mut self, flow: FlowId, weight: u32) {
-        if let Some(w) = self.weights.get_mut(&flow) {
-            *w = weight.max(1);
-        }
+        self.ring.set_weight(flow, weight.max(1));
     }
 
     fn enqueue(&mut self, flow: FlowId) {
-        if !self.weights.contains_key(&flow) {
-            return;
-        }
-        let n = self.pending.entry(flow).or_insert(0);
-        *n += 1;
-        self.total += 1;
-        if *n == 1 {
-            self.rotation.push_back(flow);
-            if self.rotation.len() == 1 {
-                self.credit = self.weights[&flow];
-            }
+        let became_linked = self.ring.enqueue(flow);
+        if became_linked && self.ring.head_flow() == Some(flow) {
+            // First flow in an empty rotation starts a fresh pass.
+            self.credit = self.ring.head_weight();
         }
     }
 
     fn dequeue(&mut self) -> Option<FlowId> {
-        let &flow = self.rotation.front()?;
+        if self.ring.head == NIL {
+            return None;
+        }
         if self.credit == 0 {
-            self.credit = self.weights.get(&flow).copied().unwrap_or(1);
+            self.credit = self.ring.head_weight();
         }
-        let n = self.pending.get_mut(&flow).expect("rotation/pending sync");
-        *n -= 1;
-        self.total -= 1;
+        let (flow, exhausted) = self.ring.serve_head()?;
         self.credit -= 1;
-        let exhausted = *n == 0;
         if exhausted {
-            self.pending.remove(&flow);
-        }
-        if exhausted || self.credit == 0 {
-            self.rotation.pop_front();
-            if !exhausted {
-                self.rotation.push_back(flow);
-            }
-            self.credit = self
-                .rotation
-                .front()
-                .and_then(|f| self.weights.get(f).copied())
-                .unwrap_or(0);
+            self.credit = self.ring.head_weight();
+        } else if self.credit == 0 {
+            self.ring.rotate();
+            self.credit = self.ring.head_weight();
         }
         Some(flow)
     }
 
     fn pending(&self) -> usize {
-        self.total
+        self.ring.total
     }
 
     fn weight_of(&self, flow: FlowId) -> u32 {
-        self.weights.get(&flow).copied().unwrap_or(1)
+        self.ring.slot(flow).map(|s| s.weight).unwrap_or(1)
     }
 
     fn total_weight(&self) -> u64 {
-        self.weights.values().map(|&w| w as u64).sum()
+        self.ring.weight_sum
     }
 
     fn name(&self) -> &'static str {
@@ -242,14 +426,23 @@ impl Scheduler for WeightedRoundRobinScheduler {
 /// Stride scheduling: each flow advances a pass value by `STRIDE1/weight`
 /// per grant; the lowest pass goes next. Deterministic proportional share
 /// with tighter short-term fairness than WRR.
+///
+/// Member state is stored in member-local slots (like [`Ring`]), so the
+/// min-pass scan in `dequeue` touches only this scheduler's flows.
 #[derive(Default)]
 pub struct StrideScheduler {
-    flows: HashMap<FlowId, StrideState>,
+    /// Global flow id -> local slot ([`NIL`] when not registered here).
+    index: Vec<u32>,
+    flows: Vec<StrideSlot>,
+    free: Vec<u32>,
     total: usize,
+    weight_sum: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
-struct StrideState {
+struct StrideSlot {
+    /// The global flow id, or [`NIL`] for a vacant slot.
+    flow: u32,
     weight: u32,
     pending: u32,
     pass: u64,
@@ -264,10 +457,18 @@ impl StrideScheduler {
         Self::default()
     }
 
+    #[inline]
+    fn local(&self, flow: FlowId) -> Option<u32> {
+        self.index
+            .get(flow.0 as usize)
+            .copied()
+            .filter(|&l| l != NIL)
+    }
+
     fn min_active_pass(&self) -> Option<u64> {
         self.flows
-            .values()
-            .filter(|s| s.pending > 0)
+            .iter()
+            .filter(|s| s.flow != NIL && s.pending > 0)
             .map(|s| s.pass)
             .min()
     }
@@ -278,63 +479,92 @@ impl Scheduler for StrideScheduler {
         // New flows start at the current minimum pass so they cannot
         // monopolize (standard stride join rule).
         let pass = self.min_active_pass().unwrap_or(0);
-        self.flows.insert(
-            flow,
-            StrideState {
-                weight: weight.max(1),
-                pending: 0,
-                pass,
-            },
-        );
+        let g = flow.0 as usize;
+        if self.index.len() <= g {
+            self.index.resize(g + 1, NIL);
+        }
+        let slot = StrideSlot {
+            flow: flow.0,
+            weight: weight.max(1),
+            pending: 0,
+            pass,
+        };
+        if self.index[g] != NIL {
+            // Re-registration resets the flow's stride state.
+            let s = &mut self.flows[self.index[g] as usize];
+            self.total -= s.pending as usize;
+            self.weight_sum -= s.weight as u64;
+            *s = slot;
+        } else {
+            let local = match self.free.pop() {
+                Some(l) => {
+                    self.flows[l as usize] = slot;
+                    l
+                }
+                None => {
+                    self.flows.push(slot);
+                    self.flows.len() as u32 - 1
+                }
+            };
+            self.index[g] = local;
+        }
+        self.weight_sum += weight.max(1) as u64;
     }
 
     fn remove_flow(&mut self, flow: FlowId) {
-        if let Some(s) = self.flows.remove(&flow) {
+        if let Some(l) = self.local(flow) {
+            let s = &mut self.flows[l as usize];
             self.total -= s.pending as usize;
+            self.weight_sum -= s.weight as u64;
+            s.flow = NIL;
+            s.pending = 0;
+            self.index[flow.0 as usize] = NIL;
+            self.free.push(l);
         }
     }
 
     fn set_weight(&mut self, flow: FlowId, weight: u32) {
-        if let Some(s) = self.flows.get_mut(&flow) {
+        if let Some(l) = self.local(flow) {
+            let s = &mut self.flows[l as usize];
+            self.weight_sum = self.weight_sum - s.weight as u64 + weight.max(1) as u64;
             s.weight = weight.max(1);
         }
     }
 
     fn enqueue(&mut self, flow: FlowId) {
-        if let Some(s) = self.flows.get_mut(&flow) {
-            if s.pending == 0 {
-                // Rejoin at the current minimum pass.
-                let min = self
-                    .flows
-                    .values()
-                    .filter(|t| t.pending > 0)
-                    .map(|t| t.pass)
-                    .min()
-                    .unwrap_or(0);
-                let s = self.flows.get_mut(&flow).expect("just checked");
-                s.pass = s.pass.max(min);
-                s.pending += 1;
-            } else {
-                s.pending += 1;
-            }
-            self.total += 1;
+        let Some(l) = self.local(flow) else {
+            return;
+        };
+        if self.flows[l as usize].pending == 0 {
+            // Rejoin at the current minimum pass.
+            let min = self.min_active_pass().unwrap_or(0);
+            let s = &mut self.flows[l as usize];
+            s.pass = s.pass.max(min);
         }
+        self.flows[l as usize].pending += 1;
+        self.total += 1;
     }
 
     fn dequeue(&mut self) -> Option<FlowId> {
-        // Lowest pass among flows with work; FlowId breaks ties so the
-        // choice is deterministic despite HashMap iteration order.
-        let flow = self
-            .flows
-            .iter()
-            .filter(|(_, s)| s.pending > 0)
-            .min_by_key(|(id, s)| (s.pass, id.0))
-            .map(|(&id, _)| id)?;
-        let s = self.flows.get_mut(&flow).expect("selected above");
+        // Lowest pass among flows with work; ties break by the smaller
+        // flow id so the choice is deterministic regardless of slot
+        // allocation order.
+        let mut best: Option<(u64, u32, u32)> = None;
+        for (l, s) in self.flows.iter().enumerate() {
+            if s.flow != NIL && s.pending > 0 {
+                let cand = (s.pass, s.flow, l as u32);
+                match best {
+                    Some((pass, flow, _)) if (pass, flow) <= (cand.0, cand.1) => {}
+                    _ => best = Some(cand),
+                }
+            }
+        }
+        let (_, flow, l) = best?;
+        let s = &mut self.flows[l as usize];
         s.pending -= 1;
         s.pass += STRIDE1 / s.weight as u64;
         self.total -= 1;
-        Some(flow)
+        Some(FlowId(flow))
     }
 
     fn pending(&self) -> usize {
@@ -342,11 +572,13 @@ impl Scheduler for StrideScheduler {
     }
 
     fn weight_of(&self, flow: FlowId) -> u32 {
-        self.flows.get(&flow).map(|s| s.weight).unwrap_or(1)
+        self.local(flow)
+            .map(|l| self.flows[l as usize].weight)
+            .unwrap_or(1)
     }
 
     fn total_weight(&self) -> u64 {
-        self.flows.values().map(|s| s.weight as u64).sum()
+        self.weight_sum
     }
 
     fn name(&self) -> &'static str {
@@ -414,6 +646,105 @@ mod tests {
         assert_eq!(drain(&mut s, 2), vec![a, a]);
     }
 
+    /// Churn regression: flows leave mid-rotation (head, middle, and tail
+    /// positions) with requests still queued; the pending count and
+    /// rotation order must stay exact and removal must not disturb the
+    /// surviving flows' relative order.
+    #[test]
+    fn rr_remove_mid_rotation_keeps_invariants() {
+        let mut s = RoundRobinScheduler::new();
+        let flows: Vec<FlowId> = (0..8).map(FlowId).collect();
+        for &f in &flows {
+            s.add_flow(f, 1);
+            s.enqueue(f);
+            s.enqueue(f);
+        }
+        assert_eq!(s.pending(), 16);
+        // Serve three grants: rotation is now [3,4,5,6,7,0,1,2] with
+        // flows 0-2 holding one pending request each.
+        assert_eq!(drain(&mut s, 3), vec![FlowId(0), FlowId(1), FlowId(2)]);
+        assert_eq!(s.pending(), 13);
+        // Remove the current head (3), a middle flow (5), and the last
+        // flow (2) mid-rotation.
+        s.remove_flow(FlowId(3));
+        s.remove_flow(FlowId(5));
+        s.remove_flow(FlowId(2));
+        assert_eq!(s.pending(), 13 - 2 - 2 - 1);
+        // Survivors rotate in order, skipping removed flows.
+        let grants = drain(&mut s, 8);
+        assert_eq!(
+            grants,
+            vec![
+                FlowId(4),
+                FlowId(6),
+                FlowId(7),
+                FlowId(0),
+                FlowId(1),
+                FlowId(4),
+                FlowId(6),
+                FlowId(7),
+            ]
+        );
+        assert_eq!(s.pending(), 0);
+        assert!(s.dequeue().is_none());
+        // Removed flows are gone: enqueues for them are ignored.
+        s.enqueue(FlowId(3));
+        assert_eq!(s.pending(), 0);
+        // Re-adding a removed id starts fresh.
+        s.add_flow(FlowId(3), 1);
+        s.enqueue(FlowId(3));
+        assert_eq!(drain(&mut s, 1), vec![FlowId(3)]);
+        assert_eq!(s.total_weight(), 6);
+    }
+
+    /// Interleaved add/remove/enqueue/dequeue across many rounds keeps
+    /// the pending count consistent with a reference model.
+    #[test]
+    fn rr_churn_pending_matches_reference() {
+        let mut s = RoundRobinScheduler::new();
+        let mut expected: Vec<u32> = Vec::new();
+        let mut pending = vec![0u32; 64];
+        let mut x: u64 = 42;
+        let mut rand = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as u32
+        };
+        for round in 0..2_000 {
+            let f = rand() % 64;
+            match rand() % 4 {
+                0 => {
+                    if !expected.contains(&f) {
+                        expected.push(f);
+                        s.add_flow(FlowId(f), 1);
+                    }
+                }
+                1 => {
+                    s.enqueue(FlowId(f));
+                    if expected.contains(&f) {
+                        pending[f as usize] += 1;
+                    }
+                }
+                2 => {
+                    let total: u32 = pending.iter().sum();
+                    let got = s.dequeue();
+                    assert_eq!(got.is_some(), total > 0, "round {round}");
+                    if let Some(g) = got {
+                        pending[g.0 as usize] -= 1;
+                    }
+                }
+                _ => {
+                    if s.weight_of(FlowId(f)) == 1 && expected.contains(&f) {
+                        expected.retain(|&e| e != f);
+                        pending[f as usize] = 0;
+                        s.remove_flow(FlowId(f));
+                    }
+                }
+            }
+            let total: usize = pending.iter().map(|&p| p as usize).sum();
+            assert_eq!(s.pending(), total, "round {round}");
+        }
+    }
+
     #[test]
     fn wrr_respects_weights() {
         let mut s = WeightedRoundRobinScheduler::new();
@@ -443,6 +774,24 @@ mod tests {
         s.set_weight(a, 2);
         assert_eq!(s.weight_of(a), 2);
         assert_eq!(s.total_weight(), 3);
+    }
+
+    #[test]
+    fn wrr_remove_head_mid_pass_recovers() {
+        let mut s = WeightedRoundRobinScheduler::new();
+        let (a, b) = (FlowId(1), FlowId(2));
+        s.add_flow(a, 4);
+        s.add_flow(b, 2);
+        for _ in 0..4 {
+            s.enqueue(a);
+            s.enqueue(b);
+        }
+        // One grant into a's pass of 4, remove a: b proceeds with its
+        // own full credit.
+        assert_eq!(drain(&mut s, 1), vec![a]);
+        s.remove_flow(a);
+        assert_eq!(s.pending(), 4);
+        assert_eq!(drain(&mut s, 4), vec![b, b, b, b]);
     }
 
     #[test]
@@ -498,12 +847,15 @@ mod tests {
         }
         let grants = drain(&mut s, 20);
         let cb = count(&grants, b);
-        assert!(cb >= 8 && cb <= 12, "late joiner got {cb} of 20");
+        assert!((8..=12).contains(&cb), "late joiner got {cb} of 20");
     }
 
     #[test]
     fn builder_returns_requested_kind() {
-        assert_eq!(build_scheduler(SchedulerKind::RoundRobin).name(), "round-robin");
+        assert_eq!(
+            build_scheduler(SchedulerKind::RoundRobin).name(),
+            "round-robin"
+        );
         assert_eq!(
             build_scheduler(SchedulerKind::WeightedRoundRobin).name(),
             "weighted-round-robin"

@@ -50,7 +50,7 @@ proptest! {
         let mut flows: Vec<FlowId> = Vec::new();
         let mut granted: Vec<FlowId> = Vec::new();
         for op in ops {
-            now = now + Duration::from_millis(7);
+            now += Duration::from_millis(7);
             match op {
                 Op::Open(port, dst) => {
                     let key = FlowKey::new(
@@ -108,7 +108,7 @@ proptest! {
                     }
                 }
                 Op::Tick(ms) => {
-                    now = now + Duration::from_millis(ms as u64);
+                    now += Duration::from_millis(ms as u64);
                     cm.tick(now);
                 }
             }

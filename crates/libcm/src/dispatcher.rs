@@ -237,10 +237,7 @@ mod tests {
         assert_eq!(w.ready.len(), 1);
         assert_eq!(d.stats.signals, 1);
         // Signal + ioctl.
-        assert_eq!(
-            cpu.total_busy(),
-            costs.signal_delivery + costs.ioctl
-        );
+        assert_eq!(cpu.total_busy(), costs.signal_delivery + costs.ioctl);
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod control_socket;
 pub mod dispatcher;
 
 pub use control_socket::{ControlSocket, SelectBits};
-pub use dispatcher::{Dispatcher, DispatchStats, NotifyMode, Wakeup};
+pub use dispatcher::{DispatchStats, Dispatcher, NotifyMode, Wakeup};

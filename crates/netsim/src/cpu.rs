@@ -216,7 +216,10 @@ mod tests {
         // Clamped at 1 even if accounting overshoots.
         let u = Cpu::utilization(Duration::from_secs(2), Duration::from_secs(1));
         assert_eq!(u, 1.0);
-        assert_eq!(Cpu::utilization(Duration::from_secs(1), Duration::ZERO), 0.0);
+        assert_eq!(
+            Cpu::utilization(Duration::from_secs(1), Duration::ZERO),
+            0.0
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod event;
 pub mod link;
 pub mod packet;
 pub mod queue;
+pub mod reference;
 pub mod sim;
 pub mod topology;
 pub mod trace;

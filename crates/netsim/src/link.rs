@@ -184,10 +184,7 @@ impl Link {
         self.stats.bytes_transmitted += pkt.size as u64;
         evq.schedule(
             now + self.delay,
-            SimEvent::LinkDeliver {
-                link: self.id,
-                pkt,
-            },
+            SimEvent::LinkDeliver { link: self.id, pkt },
         );
         self.start_tx(now, evq);
     }
@@ -199,7 +196,15 @@ mod tests {
     use crate::packet::{Addr, Payload, Protocol};
 
     fn pkt(size: usize) -> Packet {
-        Packet::new(Addr(1), Addr(2), 1, 2, Protocol::Udp, size, Payload::empty())
+        Packet::new(
+            Addr(1),
+            Addr(2),
+            1,
+            2,
+            Protocol::Udp,
+            size,
+            Payload::empty(),
+        )
     }
 
     fn test_link(spec: LinkSpec) -> Link {
@@ -209,10 +214,7 @@ mod tests {
     #[test]
     fn serialization_then_propagation() {
         // 1 Mbps, 10 ms delay: a 1250-byte packet serializes in 10 ms.
-        let mut link = test_link(LinkSpec::new(
-            Rate::from_mbps(1),
-            Duration::from_millis(10),
-        ));
+        let mut link = test_link(LinkSpec::new(Rate::from_mbps(1), Duration::from_millis(10)));
         let mut rng = DetRng::seed(0);
         let mut evq = EventQueue::new();
         link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
@@ -230,10 +232,7 @@ mod tests {
 
     #[test]
     fn back_to_back_packets_pipeline() {
-        let mut link = test_link(LinkSpec::new(
-            Rate::from_mbps(1),
-            Duration::from_millis(5),
-        ));
+        let mut link = test_link(LinkSpec::new(Rate::from_mbps(1), Duration::from_millis(5)));
         let mut rng = DetRng::seed(0);
         let mut evq = EventQueue::new();
         // Two packets offered together: second serializes after the first.
@@ -254,9 +253,8 @@ mod tests {
 
     #[test]
     fn random_loss_drops_fraction() {
-        let mut link = test_link(
-            LinkSpec::new(Rate::from_mbps(100), Duration::ZERO).with_loss(0.3),
-        );
+        let mut link =
+            test_link(LinkSpec::new(Rate::from_mbps(100), Duration::ZERO).with_loss(0.3));
         let mut rng = DetRng::seed(42);
         let mut evq = EventQueue::new();
         let mut t = Time::ZERO;

@@ -298,7 +298,15 @@ mod tests {
     use crate::packet::{Addr, Payload, Protocol};
 
     fn pkt(size: usize) -> Packet {
-        Packet::new(Addr(1), Addr(2), 1, 2, Protocol::Udp, size, Payload::empty())
+        Packet::new(
+            Addr(1),
+            Addr(2),
+            1,
+            2,
+            Protocol::Udp,
+            size,
+            Payload::empty(),
+        )
     }
 
     fn ect_pkt(size: usize) -> Packet {

@@ -12,7 +12,6 @@
 //! traces on every platform.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
 
 use cm_util::{DetRng, Duration, Time};
 
@@ -25,10 +24,23 @@ use crate::trace::LinkStats;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub usize);
 
-/// A handle for cancelling a pending timer.
+/// A handle for cancelling a pending timer: a slab slot plus the
+/// generation stamped when the timer was armed.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerHandle {
-    id: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// One slab entry for a pending timer. Slots are recycled when their
+/// event pops (fired or skipped), so the slab's size is bounded by the
+/// number of timer events actually in flight — unlike the old
+/// `cancelled_timers: HashSet<u64>`, which grew without bound because
+/// ids of fired-but-never-cancelled timers were never pruned.
+#[derive(Clone, Copy, Debug)]
+struct TimerSlot {
+    gen: u32,
+    armed: bool,
 }
 
 /// Behaviour attached to a simulated node.
@@ -64,13 +76,18 @@ impl Node for RouterNode {
 /// borrow this through [`NodeCtx`] while the node is temporarily detached.
 struct World {
     links: Vec<Link>,
-    routes: HashMap<(usize, Addr), LinkId>,
+    /// Per-node dense route tables indexed by destination address value.
+    /// Addresses are assigned densely (node index + 1), so this replaces
+    /// a `HashMap<(usize, Addr), LinkId>` lookup on every forwarded
+    /// packet with two array indexes.
+    routes: Vec<Vec<Option<LinkId>>>,
     default_routes: Vec<Option<LinkId>>,
     addrs: Vec<Addr>,
-    addr_to_node: HashMap<Addr, NodeId>,
+    /// Dense reverse map from address value to node.
+    addr_to_node: Vec<Option<NodeId>>,
     rng: DetRng,
-    cancelled_timers: HashSet<u64>,
-    next_timer_id: u64,
+    timer_slots: Vec<TimerSlot>,
+    free_timer_slots: Vec<u32>,
     next_pkt_id: u64,
     /// Packets dropped because no route matched (a topology bug; counted
     /// rather than panicking so experiments fail loudly but gracefully).
@@ -79,10 +96,29 @@ struct World {
 
 impl World {
     fn route_for(&self, node: NodeId, dst: Addr) -> Option<LinkId> {
-        self.routes
-            .get(&(node.0, dst))
+        self.routes[node.0]
+            .get(dst.0 as usize)
             .copied()
+            .flatten()
             .or(self.default_routes[node.0])
+    }
+
+    fn alloc_timer_slot(&mut self) -> (u32, u32) {
+        match self.free_timer_slots.pop() {
+            Some(slot) => {
+                let s = &mut self.timer_slots[slot as usize];
+                s.armed = true;
+                (slot, s.gen)
+            }
+            None => {
+                let slot = self.timer_slots.len() as u32;
+                self.timer_slots.push(TimerSlot {
+                    gen: 0,
+                    armed: true,
+                });
+                (slot, 0)
+            }
+        }
     }
 
     fn send_from(&mut self, node: NodeId, mut pkt: Packet, now: Time, evq: &mut EventQueue) {
@@ -132,22 +168,27 @@ impl NodeCtx<'_> {
 
     /// Schedules `on_timer(token)` to fire after `after`.
     pub fn set_timer(&mut self, after: Duration, token: u64) -> TimerHandle {
-        let id = self.world.next_timer_id;
-        self.world.next_timer_id += 1;
+        let (slot, gen) = self.world.alloc_timer_slot();
         self.evq.schedule(
             self.now + after,
             SimEvent::Timer {
                 node: self.node,
                 token,
-                timer_id: id,
+                slot,
+                gen,
             },
         );
-        TimerHandle { id }
+        TimerHandle { slot, gen }
     }
 
-    /// Cancels a pending timer; a no-op if it already fired.
+    /// Cancels a pending timer; a no-op if it already fired. O(1): the
+    /// slot is disarmed in place and recycled when its event pops.
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.world.cancelled_timers.insert(handle.id);
+        if let Some(s) = self.world.timer_slots.get_mut(handle.slot as usize) {
+            if s.gen == handle.gen {
+                s.armed = false;
+            }
+        }
     }
 
     /// The shared deterministic random number generator.
@@ -180,13 +221,13 @@ impl Simulator {
             nodes: Vec::new(),
             world: World {
                 links: Vec::new(),
-                routes: HashMap::new(),
+                routes: Vec::new(),
                 default_routes: Vec::new(),
                 addrs: Vec::new(),
-                addr_to_node: HashMap::new(),
+                addr_to_node: Vec::new(),
                 rng: DetRng::seed(seed).split("netsim"),
-                cancelled_timers: HashSet::new(),
-                next_timer_id: 0,
+                timer_slots: Vec::new(),
+                free_timer_slots: Vec::new(),
                 next_pkt_id: 0,
                 unrouted: 0,
             },
@@ -202,8 +243,12 @@ impl Simulator {
         let addr = Addr(id.0 as u32 + 1);
         self.nodes.push(Some(node));
         self.world.addrs.push(addr);
-        self.world.addr_to_node.insert(addr, id);
+        if self.world.addr_to_node.len() <= addr.0 as usize {
+            self.world.addr_to_node.resize(addr.0 as usize + 1, None);
+        }
+        self.world.addr_to_node[addr.0 as usize] = Some(id);
         self.world.default_routes.push(None);
+        self.world.routes.push(Vec::new());
         id
     }
 
@@ -217,7 +262,11 @@ impl Simulator {
     /// Installs a host route: packets at `node` destined to `dst` leave
     /// via `link`.
     pub fn set_route(&mut self, node: NodeId, dst: Addr, link: LinkId) {
-        self.world.routes.insert((node.0, dst), link);
+        let table = &mut self.world.routes[node.0];
+        if table.len() <= dst.0 as usize {
+            table.resize(dst.0 as usize + 1, None);
+        }
+        table[dst.0 as usize] = Some(link);
     }
 
     /// Installs the default route for `node`.
@@ -232,7 +281,24 @@ impl Simulator {
 
     /// The node owning `addr`, if any.
     pub fn node_of_addr(&self, addr: Addr) -> Option<NodeId> {
-        self.world.addr_to_node.get(&addr).copied()
+        self.world
+            .addr_to_node
+            .get(addr.0 as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Timer-slab slots currently armed or awaiting their queued event
+    /// (for leak regression tests).
+    pub fn timer_slots_in_use(&self) -> usize {
+        self.world.timer_slots.len() - self.world.free_timer_slots.len()
+    }
+
+    /// Total timer-slab capacity ever allocated. Stays bounded by the
+    /// peak number of concurrently pending timers, regardless of how many
+    /// timers have been set and cancelled over the simulation's lifetime.
+    pub fn timer_slot_capacity(&self) -> usize {
+        self.world.timer_slots.len()
     }
 
     /// The current simulated time.
@@ -392,9 +458,18 @@ impl Simulator {
             SimEvent::Timer {
                 node,
                 token,
-                timer_id,
+                slot,
+                gen,
             } => {
-                if self.world.cancelled_timers.remove(&timer_id) {
+                // Resolve and recycle the slot; skip dispatch if the
+                // timer was cancelled after arming.
+                let s = &mut self.world.timer_slots[slot as usize];
+                debug_assert_eq!(s.gen, gen, "timer slot reused before its event popped");
+                let armed = s.gen == gen && s.armed;
+                s.armed = false;
+                s.gen = s.gen.wrapping_add(1);
+                self.world.free_timer_slots.push(slot);
+                if !armed {
                     return;
                 }
                 let mut n = self.nodes[node.0].take().expect("node missing for timer");
@@ -484,12 +559,7 @@ mod tests {
     #[test]
     fn delivery_time_is_serialization_plus_propagation() {
         // 1250 bytes at 10 Mbps = 1 ms serialization; +9 ms propagation.
-        let (mut sim, sink) = two_node_sim(
-            Rate::from_mbps(10),
-            Duration::from_millis(9),
-            1,
-            1250,
-        );
+        let (mut sim, sink) = two_node_sim(Rate::from_mbps(10), Duration::from_millis(9), 1, 1250);
         sim.run_to_quiescence(1_000);
         let sink = sim.node_ref::<Sink>(sink);
         assert_eq!(sink.received.len(), 1);
@@ -604,5 +674,56 @@ mod tests {
         let n = sim.add_node(Box::new(RouterNode));
         sim.run_until(Time::ZERO);
         let _ = sim.node_ref::<Sink>(n);
+    }
+
+    /// A node that endlessly sets a short timer, plus a longer one it
+    /// immediately cancels — the arm/cancel churn a transport's RTO
+    /// management produces on every ACK.
+    struct TimerChurn {
+        rounds: u32,
+        max_rounds: u32,
+    }
+
+    impl Node for TimerChurn {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            self.rounds += 1;
+            if self.rounds >= self.max_rounds {
+                return;
+            }
+            let h = ctx.set_timer(Duration::from_millis(5), 1);
+            ctx.cancel_timer(h);
+            // Cancelling twice (or after reuse) must stay harmless.
+            ctx.cancel_timer(h);
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+    }
+
+    /// Regression for the unbounded `cancelled_timers: HashSet<u64>` the
+    /// timer slab replaced: long simulations with heavy set/cancel churn
+    /// must keep timer bookkeeping bounded by the number of timers
+    /// actually pending, not by the number ever created.
+    #[test]
+    fn timer_state_stays_bounded_under_cancel_churn() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(TimerChurn {
+            rounds: 0,
+            max_rounds: 10_000,
+        }));
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.node_ref::<TimerChurn>(n).rounds, 10_000);
+        // Only a handful of timers are ever pending at once (the 1 ms
+        // ticker plus the few cancelled 5 ms timers whose events have
+        // not popped yet), so the slab stays a handful of slots — 20k
+        // set/cancel cycles must not leave 20k dead entries behind.
+        assert!(
+            sim.timer_slot_capacity() <= 16,
+            "timer slab grew to {} slots",
+            sim.timer_slot_capacity()
+        );
+        assert_eq!(sim.timer_slots_in_use(), 0);
     }
 }

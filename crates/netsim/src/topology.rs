@@ -48,13 +48,7 @@ impl Topology {
     }
 
     /// Connects `a` and `b` with a duplex pair of differing links.
-    pub fn duplex_asym(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        fwd: &LinkSpec,
-        rev: &LinkSpec,
-    ) -> Duplex {
+    pub fn duplex_asym(&mut self, a: NodeId, b: NodeId, fwd: &LinkSpec, rev: &LinkSpec) -> Duplex {
         let forward = self.sim.add_link(a, b, fwd);
         let reverse = self.sim.add_link(b, a, rev);
         Duplex { forward, reverse }

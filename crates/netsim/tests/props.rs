@@ -3,7 +3,7 @@
 use cm_netsim::link::{LinkSpec, QueueSpec};
 use cm_netsim::packet::{Addr, Packet, Payload, Protocol};
 use cm_netsim::queue::{DropTailQueue, EnqueueOutcome, Queue, RedConfig, RedQueue};
-use cm_netsim::sim::{Node, NodeCtx, NodeId, Simulator};
+use cm_netsim::sim::{Node, NodeCtx, Simulator};
 use cm_util::{DetRng, Duration, Rate, Time};
 use proptest::prelude::*;
 
@@ -105,11 +105,10 @@ proptest! {
             }
             prop_assert!(q.len_packets() <= cap);
             // Occasionally drain one.
-            if i % 3 == 0 {
-                if q.dequeue(Time::ZERO).is_some() {
+            if i % 3 == 0
+                && q.dequeue(Time::ZERO).is_some() {
                     accepted -= 1;
                 }
-            }
         }
         prop_assert_eq!(accepted, q.len_packets());
         prop_assert_eq!(q.len_packets() + dropped + (offers.len() - q.len_packets() - dropped), offers.len());
@@ -175,5 +174,98 @@ proptest! {
             (s.ids.clone(), s.times.clone())
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel vs. reference heap
+// ---------------------------------------------------------------------
+
+mod event_queue_differential {
+    use cm_netsim::event::{EventQueue, SimEvent};
+    use cm_netsim::reference::HeapEventQueue;
+    use cm_netsim::sim::NodeId;
+    use cm_util::Time;
+    use proptest::prelude::*;
+
+    fn timer(token: u64) -> SimEvent {
+        SimEvent::Timer {
+            node: NodeId(0),
+            token,
+            slot: 0,
+            gen: 0,
+        }
+    }
+
+    fn token_of(e: &SimEvent) -> u64 {
+        match e {
+            SimEvent::Timer { token, .. } => *token,
+            _ => unreachable!("only timers are scheduled here"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Determinism contract: under randomized interleavings of
+        /// schedules (near, mid, and far deltas — exercising the wheel's
+        /// current bucket, slots, and overflow heap) and pops, the timer
+        /// wheel yields a byte-identical `(time, token)` stream to the
+        /// reference `BinaryHeap` implementation.
+        #[test]
+        fn wheel_pops_identical_to_reference_heap(
+            ops in proptest::collection::vec((0u8..5, 0u64..1_000), 1..500),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut now: u64 = 0;
+            let mut next_token = 0u64;
+            for (kind, d) in ops {
+                if kind < 3 {
+                    // Simulator contract: schedules are at now + delta.
+                    // kind selects the delta scale: sub-slot (ns),
+                    // in-wheel (us), beyond the horizon (ms..s).
+                    let delta = match kind {
+                        0 => d,                     // within one slot
+                        1 => d * 10_000,            // across wheel slots
+                        _ => d * 200_000_000,       // far: overflow heap
+                    };
+                    let at = Time::from_nanos(now + delta);
+                    wheel.schedule(at, timer(next_token));
+                    heap.schedule(at, timer(next_token));
+                    next_token += 1;
+                } else {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    match (&a, &b) {
+                        (None, None) => {}
+                        (Some((ta, ea)), Some((tb, eb))) => {
+                            prop_assert_eq!(ta, tb, "pop times diverge");
+                            prop_assert_eq!(token_of(ea), token_of(eb), "pop order diverges");
+                        }
+                        _ => prop_assert!(false, "one queue empty, the other not"),
+                    }
+                    if let Some((t, _)) = a {
+                        now = t.as_nanos();
+                    }
+                    prop_assert_eq!(wheel.len(), heap.len());
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                }
+            }
+            // Drain both to the end: the full remaining streams match.
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                match (&a, &b) {
+                    (None, None) => break,
+                    (Some((ta, ea)), Some((tb, eb))) => {
+                        prop_assert_eq!(ta, tb, "drain times diverge");
+                        prop_assert_eq!(token_of(ea), token_of(eb), "drain order diverges");
+                    }
+                    _ => prop_assert!(false, "queues drained to different lengths"),
+                }
+            }
+            prop_assert!(wheel.is_empty() && heap.is_empty());
+        }
     }
 }

@@ -22,7 +22,7 @@
 //! quiescent. This preserves the callback semantics without re-entrant
 //! borrows.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use cm_core::api::{CmNotification, CongestionManager};
 use cm_core::config::CmConfig;
@@ -30,7 +30,7 @@ use cm_core::types::{Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, Thresh
 use cm_netsim::cpu::{CostModel, Cpu};
 use cm_netsim::packet::{Addr, Ecn, Packet, Payload, Protocol};
 use cm_netsim::sim::{Node, NodeCtx};
-use cm_util::{Duration, Time};
+use cm_util::{Duration, FxHashMap, Time};
 
 use crate::segment::{TcpSegment, UdpDatagram};
 use crate::tcp::{TcpAction, TcpConfig, TcpConnection, TcpStats};
@@ -158,26 +158,29 @@ pub struct Host {
 
     conns: Vec<Option<TcpConnection>>,
     conn_meta: Vec<Option<ConnMeta>>,
-    tcp_demux: HashMap<(u16, u32, u16), TcpConnId>,
-    tcp_listeners: HashMap<u16, (AppId, CcMode)>,
+    tcp_demux: FxHashMap<(u16, u32, u16), TcpConnId>,
+    tcp_listeners: FxHashMap<u16, (AppId, CcMode)>,
 
     socks: Vec<Option<UdpSocket>>,
     sock_meta: Vec<Option<SockMeta>>,
-    udp_demux: HashMap<u16, UdpSocketId>,
+    udp_demux: FxHashMap<u16, UdpSocketId>,
 
-    flow_owner: HashMap<FlowId, FlowOwner>,
+    flow_owner: FxHashMap<FlowId, FlowOwner>,
 
     apps: Vec<Option<Box<dyn HostApp>>>,
 
-    timer_targets: HashMap<u64, TimerTarget>,
+    timer_targets: FxHashMap<u64, TimerTarget>,
     next_token: u64,
-    tcp_timer_tokens: HashMap<(u32, TcpTimer), u64>,
+    tcp_timer_tokens: FxHashMap<(u32, TcpTimer), u64>,
 
     txq: VecDeque<Packet>,
     pending: VecDeque<(AppId, AppEvent)>,
     next_ephemeral: u16,
     /// The instant the armed pace timer fires, if any.
     pace_timer_at: Option<Time>,
+    /// Reused buffer for draining CM notifications; the settle loop runs
+    /// after every event, so it must not allocate per pass.
+    notes_buf: Vec<CmNotification>,
 }
 
 impl Host {
@@ -191,20 +194,21 @@ impl Host {
             addr: None,
             conns: Vec::new(),
             conn_meta: Vec::new(),
-            tcp_demux: HashMap::new(),
-            tcp_listeners: HashMap::new(),
+            tcp_demux: FxHashMap::default(),
+            tcp_listeners: FxHashMap::default(),
             socks: Vec::new(),
             sock_meta: Vec::new(),
-            udp_demux: HashMap::new(),
-            flow_owner: HashMap::new(),
+            udp_demux: FxHashMap::default(),
+            flow_owner: FxHashMap::default(),
             apps: Vec::new(),
-            timer_targets: HashMap::new(),
+            timer_targets: FxHashMap::default(),
             next_token: 0,
-            tcp_timer_tokens: HashMap::new(),
+            tcp_timer_tokens: FxHashMap::default(),
             txq: VecDeque::new(),
             pending: VecDeque::new(),
             next_ephemeral: 40_000,
             pace_timer_at: None,
+            notes_buf: Vec::new(),
         }
     }
 
@@ -225,7 +229,8 @@ impl Host {
             .as_ref()
             .expect("app missing (called during dispatch?)");
         let any: &dyn std::any::Any = app.as_ref();
-        any.downcast_ref::<T>().expect("app_ref called with wrong app type")
+        any.downcast_ref::<T>()
+            .expect("app_ref called with wrong app type")
     }
 
     /// Statistics for a TCP connection.
@@ -254,11 +259,13 @@ impl Host {
 
     fn settle(&mut self, ctx: &mut NodeCtx<'_>) {
         let mut converged = false;
+        let mut notes = std::mem::take(&mut self.notes_buf);
         for _ in 0..1_000_000u32 {
             // First convert CM notifications into work.
-            let notes = self.cm.drain_notifications();
+            notes.clear();
+            self.cm.drain_notifications_into(&mut notes);
             if !notes.is_empty() {
-                for n in notes {
+                for &n in &notes {
                     self.route_cm_notification(ctx, n);
                 }
                 continue;
@@ -270,7 +277,12 @@ impl Host {
             };
             self.dispatch_app(ctx, app, ev);
         }
-        assert!(converged, "host settle loop did not converge (runaway callbacks)");
+        notes.clear();
+        self.notes_buf = notes;
+        assert!(
+            converged,
+            "host settle loop did not converge (runaway callbacks)"
+        );
         // If pacing is holding grants back, make sure a timer will
         // release them.
         if let Some(at) = self.cm.next_grant_deadline() {
@@ -322,7 +334,8 @@ impl Host {
                         // Deliver to the application owning the socket
                         // (the vat policer adapts on these).
                         if let Some(&Some((owner, _))) = self.sock_meta.get(sock.0 as usize) {
-                            self.pending.push_back((owner, AppEvent::CmRate(flow, info)));
+                            self.pending
+                                .push_back((owner, AppEvent::CmRate(flow, info)));
                         }
                     }
                     _ => {}
@@ -405,7 +418,8 @@ impl Host {
                 }
                 TcpAction::Event(ev) => {
                     if let Some(meta) = self.conn_meta[conn_id.0 as usize].as_ref() {
-                        self.pending.push_back((meta.owner, AppEvent::Tcp(conn_id, ev)));
+                        self.pending
+                            .push_back((meta.owner, AppEvent::Tcp(conn_id, ev)));
                     }
                 }
             }
@@ -430,9 +444,8 @@ impl Host {
             pkt = pkt.with_ecn(Ecn::Ect);
         }
         // Kernel send path: TCP processing + IP output + the data copy.
-        let work = self.cfg.cost.tcp_proc
-            + self.cfg.cost.ip_output
-            + self.cfg.cost.copy(seg.len as usize);
+        let work =
+            self.cfg.cost.tcp_proc + self.cfg.cost.ip_output + self.cfg.cost.copy(seg.len as usize);
         self.emit_with_cpu(ctx, pkt, work);
     }
 
@@ -443,7 +456,9 @@ impl Host {
     }
 
     fn conn_flow(&self, conn: TcpConnId) -> Option<FlowId> {
-        self.conn_meta[conn.0 as usize].as_ref().and_then(|m| m.flow)
+        self.conn_meta[conn.0 as usize]
+            .as_ref()
+            .and_then(|m| m.flow)
     }
 
     fn alloc_token(&mut self, target: TimerTarget) -> u64 {
@@ -594,10 +609,8 @@ impl Node for Host {
                 };
                 sock.note_received();
                 if let Some((owner, _)) = self.sock_meta[sock_id.0 as usize] {
-                    self.pending.push_back((
-                        owner,
-                        AppEvent::Udp(sock_id, pkt.src, pkt.src_port, dgram),
-                    ));
+                    self.pending
+                        .push_back((owner, AppEvent::Udp(sock_id, pkt.src, pkt.src_port, dgram)));
                 }
             }
         }
@@ -842,10 +855,7 @@ impl HostOs<'_, '_> {
 
     /// Queue depth of a congestion-controlled socket.
     pub fn ccudp_queue_len(&self, sock: UdpSocketId) -> usize {
-        self.host
-            .udp_sock(sock)
-            .map(|s| s.queue_len())
-            .unwrap_or(0)
+        self.host.udp_sock(sock).map(|s| s.queue_len()).unwrap_or(0)
     }
 
     // --- The CM API for ALF applications (§2.1) ---
@@ -1030,8 +1040,8 @@ mod tests {
         }));
         let client_id = topo.add_host(Box::new(client));
 
-        let path = PathSpec::new(Rate::from_mbps(10), Duration::from_millis(40))
-            .with_forward_loss(loss);
+        let path =
+            PathSpec::new(Rate::from_mbps(10), Duration::from_millis(40)).with_forward_loss(loss);
         topo.emulated_path(client_id, server_id, &path);
         let mut sim = topo.build();
         sim.run_until(Time::from_secs(120));

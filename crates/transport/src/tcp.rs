@@ -228,7 +228,15 @@ impl TcpConnection {
     pub fn connect(cfg: TcpConfig, mode: CcMode, now: Time) -> (Self, Vec<TcpAction>) {
         let mut conn = Self::new(cfg, mode, TcpState::SynSent);
         let mut out = Vec::new();
-        let syn = conn.make_segment(0, 0, TcpFlags { syn: true, ..Default::default() }, now);
+        let syn = conn.make_segment(
+            0,
+            0,
+            TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
+            now,
+        );
         conn.snd_nxt = 1;
         conn.emit(syn, &mut out);
         conn.arm_rto(&mut out);
@@ -237,7 +245,12 @@ impl TcpConnection {
 
     /// Creates a passive-open connection in response to a SYN; the
     /// returned actions transmit the SYN|ACK.
-    pub fn accept(cfg: TcpConfig, mode: CcMode, syn: &TcpSegment, now: Time) -> (Self, Vec<TcpAction>) {
+    pub fn accept(
+        cfg: TcpConfig,
+        mode: CcMode,
+        syn: &TcpSegment,
+        now: Time,
+    ) -> (Self, Vec<TcpAction>) {
         debug_assert!(syn.flags.syn && !syn.flags.ack);
         let mut conn = Self::new(cfg, mode, TcpState::SynRcvd);
         conn.rcv_nxt = 1;
@@ -246,7 +259,11 @@ impl TcpConnection {
         let synack = conn.make_segment(
             0,
             0,
-            TcpFlags { syn: true, ack: true, ..Default::default() },
+            TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             now,
         );
         conn.snd_nxt = 1;
@@ -326,8 +343,7 @@ impl TcpConnection {
 
     /// True when every written byte (and FIN, if queued) is acknowledged.
     pub fn send_complete(&self) -> bool {
-        self.snd_una >= self.stream_limit() + (self.fin_queued as u64)
-            && self.app_written > 0
+        self.snd_una >= self.stream_limit() + (self.fin_queued as u64) && self.app_written > 0
     }
 
     /// Native-mode congestion window (meaningless in CM mode).
@@ -480,8 +496,7 @@ impl TcpConnection {
                         CcMode::Native => {
                             // Deflate by the amount acked, then
                             // retransmit the next hole directly.
-                            self.cwnd =
-                                self.cwnd.saturating_sub(acked).max(self.cfg.mss as u64);
+                            self.cwnd = self.cwnd.saturating_sub(acked).max(self.cfg.mss as u64);
                             self.retransmit_hole(now, out);
                         }
                         CcMode::Cm => {
@@ -644,7 +659,10 @@ impl TcpConnection {
             self.send_ack(now, out);
         } else if !self.ack_pending {
             self.ack_pending = true;
-            out.push(TcpAction::SetTimer(TcpTimer::DelayedAck, self.cfg.delack_timeout));
+            out.push(TcpAction::SetTimer(
+                TcpTimer::DelayedAck,
+                self.cfg.delack_timeout,
+            ));
         }
     }
 
@@ -696,7 +714,10 @@ impl TcpConnection {
                         let syn = self.make_segment(
                             0,
                             0,
-                            TcpFlags { syn: true, ..Default::default() },
+                            TcpFlags {
+                                syn: true,
+                                ..Default::default()
+                            },
                             now,
                         );
                         self.emit(syn, &mut out);
@@ -705,7 +726,11 @@ impl TcpConnection {
                         let synack = self.make_segment(
                             0,
                             0,
-                            TcpFlags { syn: true, ack: true, ..Default::default() },
+                            TcpFlags {
+                                syn: true,
+                                ack: true,
+                                ..Default::default()
+                            },
                             now,
                         );
                         self.emit(synack, &mut out);
@@ -722,8 +747,7 @@ impl TcpConnection {
                         match self.mode {
                             CcMode::Native => {
                                 // Classic timeout response.
-                                self.ssthresh =
-                                    (flight / 2).max(2 * self.cfg.mss as u64);
+                                self.ssthresh = (flight / 2).max(2 * self.cfg.mss as u64);
                                 self.cwnd = self.cfg.mss as u64;
                                 self.pump(now, &mut out);
                             }
@@ -837,8 +861,14 @@ impl TcpConnection {
                 .next()
                 .map(|(&a, _)| a.saturating_sub(self.snd_nxt))
                 .unwrap_or(u64::MAX);
-            let len = avail.min(self.cfg.mss as u64).min(wnd_room).min(next_sacked) as u32;
-            let mut flags = TcpFlags { ack: true, ..Default::default() };
+            let len = avail
+                .min(self.cfg.mss as u64)
+                .min(wnd_room)
+                .min(next_sacked) as u32;
+            let mut flags = TcpFlags {
+                ack: true,
+                ..Default::default()
+            };
             // Piggyback FIN on the last segment.
             if self.fin_queued && self.snd_nxt + len as u64 == limit && !self.fin_sent {
                 flags.fin = true;
@@ -848,7 +878,11 @@ impl TcpConnection {
         }
         if avail == 0 && self.fin_queued && !self.fin_sent && wnd_room > 0 {
             self.fin_sent = true;
-            let flags = TcpFlags { ack: true, fin: true, ..Default::default() };
+            let flags = TcpFlags {
+                ack: true,
+                fin: true,
+                ..Default::default()
+            };
             return Some(self.make_segment(self.snd_nxt, 0, flags, now));
         }
         None
@@ -954,10 +988,13 @@ impl TcpConnection {
 
     /// If `pos` lies inside a SACKed range, the range's end.
     fn sacked_end_covering(&self, pos: u64) -> Option<u64> {
-        self.sacked
-            .range(..=pos)
-            .next_back()
-            .and_then(|(&a, &b)| if pos >= a && pos < b { Some(b) } else { None })
+        self.sacked.range(..=pos).next_back().and_then(|(&a, &b)| {
+            if pos >= a && pos < b {
+                Some(b)
+            } else {
+                None
+            }
+        })
     }
 
     /// The next not-yet-retransmitted hole below the recovery point:
@@ -1159,9 +1196,7 @@ mod tests {
                 match act {
                     TcpAction::Emit(seg) => {
                         if from_a && seg.len > 0 {
-                            if let Some(pos) =
-                                self.drop_seqs.iter().position(|&s| s == seg.seq)
-                            {
+                            if let Some(pos) = self.drop_seqs.iter().position(|&s| s == seg.seq) {
                                 self.drop_seqs.remove(pos);
                                 continue;
                             }
@@ -1169,11 +1204,13 @@ mod tests {
                         self.flight.push((self.now + self.delay, !from_a, seg));
                     }
                     TcpAction::SetTimer(kind, after) => {
-                        self.timers.retain(|&(_, fa, k)| !(fa == from_a && k == kind));
+                        self.timers
+                            .retain(|&(_, fa, k)| !(fa == from_a && k == kind));
                         self.timers.push((self.now + after, from_a, kind));
                     }
                     TcpAction::CancelTimer(kind) => {
-                        self.timers.retain(|&(_, fa, k)| !(fa == from_a && k == kind));
+                        self.timers
+                            .retain(|&(_, fa, k)| !(fa == from_a && k == kind));
                     }
                     TcpAction::Event(ev) => {
                         if from_a {
@@ -1203,19 +1240,19 @@ mod tests {
                 }
                 self.now = next;
                 if next_flight == Some(next) {
-                    let idx = self
-                        .flight
-                        .iter()
-                        .position(|&(t, _, _)| t == next)
-                        .unwrap();
+                    let idx = self.flight.iter().position(|&(t, _, _)| t == next).unwrap();
                     let (_, to_a, seg) = self.flight.remove(idx);
                     let actions = if to_a {
                         self.a.on_segment(&seg, false, self.now)
                     } else {
                         // First delivery to a closed b: passive open.
                         if self.b.state == TcpState::Closed && seg.flags.syn {
-                            let (nb, acts) =
-                                TcpConnection::accept(self.b.cfg.clone(), CcMode::Native, &seg, self.now);
+                            let (nb, acts) = TcpConnection::accept(
+                                self.b.cfg.clone(),
+                                CcMode::Native,
+                                &seg,
+                                self.now,
+                            );
                             self.b = nb;
                             acts
                         } else {
@@ -1224,11 +1261,7 @@ mod tests {
                     };
                     self.apply(to_a, actions);
                 } else {
-                    let idx = self
-                        .timers
-                        .iter()
-                        .position(|&(t, _, _)| t == next)
-                        .unwrap();
+                    let idx = self.timers.iter().position(|&(t, _, _)| t == next).unwrap();
                     let (_, for_a, kind) = self.timers.remove(idx);
                     let actions = if for_a {
                         self.a.on_timer(kind, self.now)
@@ -1335,7 +1368,10 @@ mod tests {
         with_delack.run(Time::from_secs(10));
 
         let mut no_delack = Wire::new(
-            TcpConfig { delayed_ack: false, ..cfg() },
+            TcpConfig {
+                delayed_ack: false,
+                ..cfg()
+            },
             Duration::from_millis(5),
         );
         no_delack.run(Time::from_millis(100));
@@ -1384,13 +1420,19 @@ mod tests {
         let now = Time::ZERO;
         let (mut conn, actions) = TcpConnection::connect(cfg(), CcMode::Cm, now);
         // SYN goes out normally (handshake is not congestion controlled).
-        assert!(actions.iter().any(|a| matches!(a, TcpAction::Emit(s) if s.flags.syn)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TcpAction::Emit(s) if s.flags.syn)));
         // Fake the SYN|ACK.
         let synack = TcpSegment {
             seq: 0,
             len: 0,
             ack: 1,
-            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             wnd: 1 << 20,
             ts: now,
             ts_ecr: None,
@@ -1398,10 +1440,15 @@ mod tests {
             sack_count: 0,
         };
         let actions = conn.on_segment(&synack, false, now);
-        assert!(actions.iter().any(|a| matches!(a, TcpAction::Event(TcpEvent::Connected))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TcpAction::Event(TcpEvent::Connected))));
         // Writing data issues cm_requests, not segments.
         let actions = conn.app_write(5 * 1460, now);
-        let reqs = actions.iter().filter(|a| matches!(a, TcpAction::CmRequest)).count();
+        let reqs = actions
+            .iter()
+            .filter(|a| matches!(a, TcpAction::CmRequest))
+            .count();
         assert_eq!(reqs, 5);
         assert!(!actions.iter().any(|a| matches!(a, TcpAction::Emit(_))));
         // A grant sends exactly one MSS and notifies.
@@ -1415,7 +1462,9 @@ mod tests {
             .collect();
         assert_eq!(emits.len(), 1);
         assert_eq!(emits[0].len, 1460);
-        assert!(actions.iter().any(|a| matches!(a, TcpAction::CmNotify(1460))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TcpAction::CmNotify(1460))));
     }
 
     #[test]
@@ -1426,7 +1475,11 @@ mod tests {
             seq: 0,
             len: 0,
             ack: 1,
-            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             wnd: 1 << 20,
             ts: now,
             ts_ecr: None,
@@ -1446,7 +1499,11 @@ mod tests {
             seq: 0,
             len: 0,
             ack: 1,
-            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             wnd: 1 << 20,
             ts: now,
             ts_ecr: None,
@@ -1464,7 +1521,10 @@ mod tests {
             seq: 1,
             len: 0,
             ack: 1,
-            flags: TcpFlags { ack: true, ..Default::default() },
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
             wnd: 1 << 20,
             ts: now,
             ts_ecr: None,
@@ -1474,9 +1534,9 @@ mod tests {
         let _ = conn.on_segment(&dup, false, now);
         let _ = conn.on_segment(&dup, false, now);
         let actions = conn.on_segment(&dup, false, now);
-        let transient = actions.iter().any(|a| {
-            matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::Transient)
-        });
+        let transient = actions
+            .iter()
+            .any(|a| matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::Transient));
         assert!(transient, "third dupack must report transient congestion");
         // Fourth dupack reports a received segment.
         let actions = conn.on_segment(&dup, false, now);
@@ -1494,7 +1554,11 @@ mod tests {
             seq: 0,
             len: 0,
             ack: 1,
-            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             wnd: 1 << 20,
             ts: now,
             ts_ecr: None,
@@ -1505,9 +1569,9 @@ mod tests {
         let _ = conn.app_write(5 * 1460, now);
         let _ = conn.on_cm_grant(now);
         let actions = conn.on_timer(TcpTimer::Rto, Time::from_secs(3));
-        let persistent = actions.iter().any(|a| {
-            matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::Persistent)
-        });
+        let persistent = actions
+            .iter()
+            .any(|a| matches!(a, TcpAction::CmUpdate(r) if r.loss == LossMode::Persistent));
         assert!(persistent);
         // And a request to retransmit follows.
         assert!(actions.iter().any(|a| matches!(a, TcpAction::CmRequest)));
@@ -1517,7 +1581,10 @@ mod tests {
     fn request_cap_bounds_outstanding_requests() {
         let now = Time::ZERO;
         let (mut conn, _) = TcpConnection::connect(
-            TcpConfig { max_requests: 8, ..cfg() },
+            TcpConfig {
+                max_requests: 8,
+                ..cfg()
+            },
             CcMode::Cm,
             now,
         );
@@ -1525,7 +1592,11 @@ mod tests {
             seq: 0,
             len: 0,
             ack: 1,
-            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
             wnd: 1 << 20,
             ts: now,
             ts_ecr: None,
@@ -1534,7 +1605,10 @@ mod tests {
         };
         let _ = conn.on_segment(&synack, false, now);
         let actions = conn.app_write(1_000_000, now);
-        let reqs = actions.iter().filter(|a| matches!(a, TcpAction::CmRequest)).count();
+        let reqs = actions
+            .iter()
+            .filter(|a| matches!(a, TcpAction::CmRequest))
+            .count();
         assert_eq!(reqs, 8);
     }
 }

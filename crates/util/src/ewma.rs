@@ -147,10 +147,10 @@ impl RttEstimator {
     ) -> crate::time::Duration {
         match self.srtt_ns {
             None => fallback,
-            Some(srtt) => crate::time::Duration::from_nanos(
-                srtt.saturating_add(4 * self.rttvar_ns),
-            )
-            .clamp(min_rto, max_rto),
+            Some(srtt) => {
+                crate::time::Duration::from_nanos(srtt.saturating_add(4 * self.rttvar_ns))
+                    .clamp(min_rto, max_rto)
+            }
         }
     }
 

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ewma;
+pub mod fxhash;
 pub mod rate;
 pub mod rng;
 pub mod seq;
@@ -27,6 +28,7 @@ pub mod time;
 pub mod token_bucket;
 
 pub use ewma::{Ewma, RttEstimator};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use rate::Rate;
 pub use rng::DetRng;
 pub use seq::Seq;

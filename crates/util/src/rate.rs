@@ -28,9 +28,7 @@ use crate::time::Duration;
 ///     Duration::from_micros(120),
 /// );
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Rate(u64);
 
 impl Rate {
@@ -214,7 +212,10 @@ mod tests {
     #[test]
     fn bytes_in_window() {
         // 10 Mbps for 1 second = 1.25 MB.
-        assert_eq!(Rate::from_mbps(10).bytes_in(Duration::from_secs(1)), 1_250_000);
+        assert_eq!(
+            Rate::from_mbps(10).bytes_in(Duration::from_secs(1)),
+            1_250_000
+        );
         // Sub-byte amounts truncate.
         assert_eq!(Rate::from_bps(7).bytes_in(Duration::from_secs(1)), 0);
     }

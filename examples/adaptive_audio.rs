@@ -55,5 +55,7 @@ fn main() {
         run(DropPolicy::Tail, link);
     }
     println!("\nThe policer sheds load *before* buffering, so even at half the source rate the");
-    println!("frames that do go out stay fresh (low queue age) — the paper's drop-from-head design.");
+    println!(
+        "frames that do go out stay fresh (low queue age) — the paper's drop-from-head design."
+    );
 }

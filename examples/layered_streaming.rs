@@ -52,10 +52,16 @@ fn run(mode: AdaptMode) {
     let mut sim = topo.build();
     sim.run_until(stop + Duration::from_secs(1));
 
-    let tx = sim.node_ref::<Host>(tx_id).app_ref::<LayeredStreamer>(tx_app);
+    let tx = sim
+        .node_ref::<Host>(tx_id)
+        .app_ref::<LayeredStreamer>(tx_app);
     let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
     println!("\n--- {mode:?} mode ---");
-    println!("sent {} packets ({} KB)", tx.packets_sent, tx.bytes_sent / 1000);
+    println!(
+        "sent {} packets ({} KB)",
+        tx.packets_sent,
+        tx.bytes_sent / 1000
+    );
     println!("delivered {} KB", rx.bytes / 1000);
     println!("layer changes: {}", tx.layer_changes.len());
     for &(t, layer) in tx.layer_changes.iter().take(12) {

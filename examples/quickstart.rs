@@ -43,11 +43,10 @@ fn main() {
         }
 
         // The receiver acknowledged everything; one RTT elapsed.
-        now = now + Duration::from_millis(60);
+        now += Duration::from_millis(60);
         cm.update(
             flow,
-            FeedbackReport::ack(sent, grants.len() as u32)
-                .with_rtt(Duration::from_millis(60)),
+            FeedbackReport::ack(sent, grants.len() as u32).with_rtt(Duration::from_millis(60)),
             now,
         )
         .expect("update");

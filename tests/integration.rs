@@ -175,8 +175,18 @@ fn concurrent_flows_share_fairly() {
     let server_id = topo.add_host(Box::new(server));
     let server_addr = topo.sim().addr_of(server_id);
     let mut client = Host::new(HostConfig::default());
-    let a1 = client.add_app(Box::new(BulkSender::new(server_addr, 80, CcMode::Cm, 2_000_000)));
-    let a2 = client.add_app(Box::new(BulkSender::new(server_addr, 80, CcMode::Cm, 2_000_000)));
+    let a1 = client.add_app(Box::new(BulkSender::new(
+        server_addr,
+        80,
+        CcMode::Cm,
+        2_000_000,
+    )));
+    let a2 = client.add_app(Box::new(BulkSender::new(
+        server_addr,
+        80,
+        CcMode::Cm,
+        2_000_000,
+    )));
     let client_id = topo.add_host(Box::new(client));
     topo.emulated_path(
         client_id,
@@ -217,7 +227,12 @@ fn ecn_marks_drive_cm_reductions() {
         tcp,
         ..Default::default()
     });
-    let app = client.add_app(Box::new(BulkSender::new(server_addr, 80, CcMode::Cm, 600_000)));
+    let app = client.add_app(Box::new(BulkSender::new(
+        server_addr,
+        80,
+        CcMode::Cm,
+        600_000,
+    )));
     let client_id = topo.add_host(Box::new(client));
     let spec = LinkSpec::new(Rate::from_mbps(4), D::from_millis(20)).with_queue(
         congestion_manager::netsim::link::QueueSpec::Red(RedConfig {
@@ -267,7 +282,8 @@ fn cm_api_full_surface() {
         .unwrap();
     assert_eq!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
 
-    cm.set_thresholds(f1, Some(Thresholds::new(0.5, 2.0))).unwrap();
+    cm.set_thresholds(f1, Some(Thresholds::new(0.5, 2.0)))
+        .unwrap();
     cm.set_weight(f2, 3).unwrap();
 
     // Drive feedback so rate callbacks can fire.
@@ -279,7 +295,7 @@ fn cm_api_full_surface() {
                 cm.notify(flow, 1460, now).unwrap();
             }
         }
-        now = now + Duration::from_millis(30);
+        now += Duration::from_millis(30);
         cm.update(
             f1,
             FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(30)),

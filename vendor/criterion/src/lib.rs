@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach a crates registry, so this crate
+//! provides the subset of criterion's API the workspace's benches use —
+//! `Criterion`, `benchmark_group`/`bench_function`/`Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`, and `black_box` — backed by a
+//! simple but honest wall-clock harness:
+//!
+//! 1. warm up and calibrate an iteration count so one sample spans at
+//!    least ~5 ms (or one iteration, whichever is larger);
+//! 2. collect `sample_size` samples (default 20);
+//! 3. report median, mean, and min ns/iteration.
+//!
+//! Absolute numbers are not comparable to real criterion's, but ratios
+//! between two runs on the same machine — the thing the perf acceptance
+//! criteria use — are meaningful.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+const MAX_BENCH_TIME: Duration = Duration::from_secs(10);
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            group: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, 20, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group, name);
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    let bench_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        if bench_start.elapsed() > MAX_BENCH_TIME / 4 {
+            break; // Slow benchmark; settle for what we have.
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            let needed = TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1);
+            (needed as u64 + 1).clamp(2, 16)
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if bench_start.elapsed() > MAX_BENCH_TIME {
+            break;
+        }
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns[0];
+    println!(
+        "  {name:<40} median {:>12} | mean {:>12} | min {:>12} ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        per_iter_ns.len(),
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{:.1} ns", ns)
+    }
+}
+
+/// Declares a function bundling several benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` plus filter args; this harness runs
+            // everything unconditionally.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive` for why this exists. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` markers; no code path serializes,
+//! so the derives expand to nothing and no traits are required.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repository builds in has no network access to a
+//! crates registry, so the real `serde` cannot be fetched. Nothing in the
+//! workspace actually serializes anything yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent — so these derives
+//! simply expand to nothing. Swap this path dependency for the real crate
+//! the day wire serialization is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
