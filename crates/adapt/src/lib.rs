@@ -1,0 +1,54 @@
+//! The shared content-adaptation engine (paper §3).
+//!
+//! The CM deliberately leaves *what to send* to the application: "the
+//! decision of what data to send rests with the application, which is in
+//! the best position to decide". Every adaptive application in this
+//! repository, though, faces the same sub-problem — turn the CM's rate
+//! callbacks into a *quality decision* — and solving it ad hoc in each
+//! app made adaptation behaviour impossible to compare or tune. This
+//! crate factors that layer out:
+//!
+//! ```text
+//!   cm_update / cm_thresh callbacks
+//!          │  (rate, buffer observations)
+//!          ▼
+//!   ┌─────────────────────────────┐
+//!   │ Engine                      │
+//!   │  ┌───────────────────────┐  │    quality level / target rate
+//!   │  │ dyn AdaptationPolicy  │──┼──▶  (layer index into a ladder)
+//!   │  └───────────────────────┘  │
+//!   │  AdaptationStats            │──▶  switches, oscillation, utility
+//!   └─────────────────────────────┘
+//! ```
+//!
+//! Three policies ship behind the [`AdaptationPolicy`] trait:
+//!
+//! * [`LadderPolicy`] — discrete layer selection with configurable
+//!   up/down headroom and dwell timers; its *immediate* configuration is
+//!   exactly the paper's `layer_for` loop (Figures 8-9).
+//! * [`UtilityPolicy`] — EWMA-smoothed rate driving an argmax over a
+//!   per-level utility curve, with a switch margin for damping.
+//! * [`BufferPolicy`] — a buffer/deadline-aware drain-rate model for
+//!   HAS-style streaming clients and deadline-bounded web responses.
+//!
+//! The per-callback path ([`Engine::observe`]) follows the flat-state
+//! rules of `docs/perf.md`: all state is preallocated at construction and
+//! a steady-state observation performs **zero heap allocation** (enforced
+//! by the counting-allocator test in `tests/no_alloc.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod engine;
+pub mod ladder;
+pub mod policy;
+pub mod stats;
+pub mod utility;
+
+pub use buffer::BufferPolicy;
+pub use engine::{Decision, Engine};
+pub use ladder::{LadderConfig, LadderPolicy};
+pub use policy::{AdaptationPolicy, Observation, RateLadder};
+pub use stats::AdaptationStats;
+pub use utility::UtilityPolicy;

@@ -1,0 +1,192 @@
+//! Per-session adaptation quality accounting.
+
+use cm_util::{Duration, Time};
+
+/// Switch/oscillation/utility statistics for one adaptation session.
+///
+/// The engine calls [`AdaptationStats::on_observation`] around every
+/// policy decision; all storage is preallocated at construction so the
+/// per-callback path never allocates.
+#[derive(Clone, Debug)]
+pub struct AdaptationStats {
+    /// Total level switches.
+    pub switches: u64,
+    /// Switches to a higher level.
+    pub switches_up: u64,
+    /// Switches to a lower level.
+    pub switches_down: u64,
+    /// Direction reversals: a switch opposite in direction to the
+    /// previous switch within [`AdaptationStats::REVERSAL_WINDOW`] — the
+    /// classic oscillation signature (up-down-up flapping).
+    pub reversals: u64,
+    time_in_level: Vec<Duration>,
+    utility_integral: f64,
+    first_obs: Option<Time>,
+    last_obs: Time,
+    level: usize,
+    last_switch_at: Option<Time>,
+    last_switch_dir: i8,
+}
+
+impl AdaptationStats {
+    /// Two switches in opposite directions within this window count as a
+    /// reversal (one oscillation half-cycle).
+    pub const REVERSAL_WINDOW: Duration = Duration::from_secs(5);
+
+    /// Creates statistics for a session over `levels` quality levels.
+    pub fn new(levels: usize) -> Self {
+        AdaptationStats {
+            switches: 0,
+            switches_up: 0,
+            switches_down: 0,
+            reversals: 0,
+            time_in_level: vec![Duration::ZERO; levels],
+            utility_integral: 0.0,
+            first_obs: None,
+            last_obs: Time::ZERO,
+            level: 0,
+            last_switch_at: None,
+            last_switch_dir: 0,
+        }
+    }
+
+    /// Records one observation: time since the previous observation is
+    /// credited to the level held *until* this instant, then the switch
+    /// (if any) is classified. `utility` is the application's value for
+    /// the level held over that interval (use the level rate in KB/s when
+    /// no explicit utility curve exists).
+    pub fn on_observation(&mut self, now: Time, new_level: usize, utility: f64) {
+        match self.first_obs {
+            None => self.first_obs = Some(now),
+            Some(_) => {
+                let dt = now.since(self.last_obs);
+                if let Some(slot) = self.time_in_level.get_mut(self.level) {
+                    *slot += dt;
+                }
+                self.utility_integral += utility * dt.as_secs_f64();
+            }
+        }
+        self.last_obs = now;
+        if new_level != self.level {
+            self.switches += 1;
+            let dir: i8 = if new_level > self.level { 1 } else { -1 };
+            if dir > 0 {
+                self.switches_up += 1;
+            } else {
+                self.switches_down += 1;
+            }
+            if let Some(at) = self.last_switch_at {
+                if self.last_switch_dir == -dir && now.since(at) <= Self::REVERSAL_WINDOW {
+                    self.reversals += 1;
+                }
+            }
+            self.last_switch_at = Some(now);
+            self.last_switch_dir = dir;
+            self.level = new_level;
+        }
+    }
+
+    /// Total observed span (first to last observation).
+    pub fn span(&self) -> Duration {
+        match self.first_obs {
+            None => Duration::ZERO,
+            Some(first) => self.last_obs.since(first),
+        }
+    }
+
+    /// Time spent at each level, lowest first (up to the last
+    /// observation).
+    pub fn time_in_level(&self) -> &[Duration] {
+        &self.time_in_level
+    }
+
+    /// Fraction of observed time spent at `level`.
+    pub fn fraction_in_level(&self, level: usize) -> f64 {
+        let span = self.span();
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.time_in_level
+            .get(level)
+            .map(|d| d.as_secs_f64() / span.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Direction reversals per minute of observed time — the oscillation
+    /// rate. Zero before any span accumulates.
+    pub fn oscillation_per_min(&self) -> f64 {
+        let span = self.span();
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.reversals as f64 / span.as_secs_f64() * 60.0
+    }
+
+    /// Time-integral of delivered utility (utility × seconds).
+    pub fn delivered_utility(&self) -> f64 {
+        self.utility_integral
+    }
+
+    /// Mean utility per second over the observed span.
+    pub fn mean_utility(&self) -> f64 {
+        let span = self.span();
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.utility_integral / span.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_switch_directions_and_reversals() {
+        let mut s = AdaptationStats::new(4);
+        s.on_observation(Time::from_secs(0), 0, 0.0);
+        s.on_observation(Time::from_secs(1), 2, 0.0); // up
+        s.on_observation(Time::from_secs(2), 1, 0.0); // down, reversal
+        s.on_observation(Time::from_secs(3), 3, 0.0); // up, reversal
+        assert_eq!(s.switches, 3);
+        assert_eq!(s.switches_up, 2);
+        assert_eq!(s.switches_down, 1);
+        assert_eq!(s.reversals, 2);
+        assert!(s.oscillation_per_min() > 0.0);
+    }
+
+    #[test]
+    fn distant_direction_changes_are_not_reversals() {
+        let mut s = AdaptationStats::new(4);
+        s.on_observation(Time::from_secs(0), 0, 0.0);
+        s.on_observation(Time::from_secs(1), 2, 0.0);
+        // 60 s later — outside the reversal window.
+        s.on_observation(Time::from_secs(61), 1, 0.0);
+        assert_eq!(s.switches, 2);
+        assert_eq!(s.reversals, 0);
+    }
+
+    #[test]
+    fn time_in_level_integrates_holding_times() {
+        let mut s = AdaptationStats::new(3);
+        s.on_observation(Time::from_secs(0), 0, 1.0);
+        s.on_observation(Time::from_secs(4), 2, 1.0); // 4 s at level 0
+        s.on_observation(Time::from_secs(10), 2, 1.0); // 6 s at level 2
+        assert_eq!(s.time_in_level()[0], Duration::from_secs(4));
+        assert_eq!(s.time_in_level()[2], Duration::from_secs(6));
+        assert!((s.fraction_in_level(0) - 0.4).abs() < 1e-9);
+        assert!((s.fraction_in_level(2) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_integral_weights_by_time() {
+        let mut s = AdaptationStats::new(2);
+        s.on_observation(Time::from_secs(0), 0, 2.0);
+        // 5 s held at utility 2.0 (the utility passed *now* covers the
+        // interval just ended).
+        s.on_observation(Time::from_secs(5), 1, 2.0);
+        s.on_observation(Time::from_secs(10), 1, 8.0);
+        assert!((s.delivered_utility() - (2.0 * 5.0 + 8.0 * 5.0)).abs() < 1e-9);
+        assert!((s.mean_utility() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Zero-allocation enforcement for the per-callback hot path.
+//!
+//! `Engine::observe` runs inside every CM rate callback; docs/perf.md's
+//! flat-state rules require steady-state operation to perform no heap
+//! allocation. A counting global allocator measures exactly that: after
+//! construction, thousands of observations across all three policies must
+//! allocate nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cm_adapt::{
+    BufferPolicy, Engine, LadderConfig, LadderPolicy, Observation, RateLadder, UtilityPolicy,
+};
+use cm_util::{Duration, Rate, Time};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn ladder() -> RateLadder {
+    RateLadder::new(vec![
+        Rate::from_kbps(250),
+        Rate::from_kbps(500),
+        Rate::from_kbps(1_000),
+        Rate::from_kbps(2_000),
+    ])
+}
+
+#[test]
+fn observe_never_allocates_in_steady_state() {
+    // Construction may allocate (boxes, ladders, stats vectors)...
+    let mut engines = [
+        Engine::new(Box::new(LadderPolicy::new(
+            ladder(),
+            LadderConfig::damped(),
+        ))),
+        Engine::new(Box::new(LadderPolicy::immediate(ladder()))),
+        Engine::new(Box::new(UtilityPolicy::log_utility(
+            ladder(),
+            0.3,
+            0.9,
+            0.1,
+        ))),
+        Engine::new(Box::new(BufferPolicy::new(
+            ladder(),
+            Duration::from_secs(2),
+            Duration::from_millis(500),
+            0.3,
+        ))),
+    ];
+    // ...and the first observations settle any lazy state.
+    for (i, e) in engines.iter_mut().enumerate() {
+        e.observe(
+            &Observation::rate_only(Time::from_millis(i as u64), Rate::from_kbps(800))
+                .with_buffer(Duration::from_secs(3)),
+        );
+    }
+
+    // The counter is process-global, so the libtest harness's own
+    // threads can deposit a few one-shot allocations into any single
+    // window. Measure several trials and require the *minimum* delta to
+    // be zero: ambient noise is one-shot, while a real per-callback
+    // allocation would show up in every trial (8k observations each).
+    let mut now = Time::from_secs(1);
+    let mut level_sum = 0usize;
+    let mut min_delta = u64::MAX;
+    for trial in 0..5u64 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for round in 0..2_000u64 {
+            now += Duration::from_millis(20);
+            // A rate pattern that forces real switches (sawtooth across
+            // the whole ladder) plus a moving buffer depth.
+            let r = trial * 2_000 + round;
+            let rate = Rate::from_kbps(100 + (r % 25) * 100);
+            let buffer = Duration::from_millis(200 + (r % 40) * 100);
+            for e in engines.iter_mut() {
+                let d = e.observe(&Observation::rate_only(now, rate).with_buffer(buffer));
+                level_sum += d.level;
+            }
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
+    }
+    assert!(level_sum > 0, "engines never moved off the floor");
+    assert_eq!(
+        min_delta, 0,
+        "per-callback path allocated in every trial (at least {min_delta} times per 8k observations)"
+    );
+}

@@ -18,6 +18,7 @@
 //! With the receiver batching feedback (`min(500 acks, 2000 ms)`), the
 //! same rate-callback server reproduces Figure 10's bursty estimates.
 
+use cm_adapt::{AdaptationStats, Engine, LadderPolicy, RateLadder};
 use cm_core::types::{FeedbackReport, FlowId, FlowInfo, LossMode, Thresholds};
 use cm_libcm::dispatcher::{Dispatcher, NotifyMode};
 use cm_netsim::packet::Addr;
@@ -51,14 +52,10 @@ pub struct LayeredStreamer {
     pub port: u16,
     /// Adaptation style.
     pub mode: AdaptMode,
-    /// Cumulative rates for transmitting layers `0..=k`.
-    pub layer_rates: Vec<Rate>,
     /// Packet payload size.
     pub packet_size: u32,
     /// Stop sending at this instant.
     pub stop_at: Time,
-    /// Currently selected layer index.
-    pub current_layer: usize,
     /// Bytes transmitted.
     pub bytes_sent: u64,
     /// Packets transmitted.
@@ -74,6 +71,8 @@ pub struct LayeredStreamer {
     flow: Option<FlowId>,
     /// libcm dispatcher (ALF mode wakeups).
     pub libcm: Dispatcher,
+    /// The shared adaptation engine turning CM rates into layer choices.
+    engine: Engine,
     tracker: FeedbackTracker,
     requests_outstanding: u32,
     seq: u64,
@@ -91,16 +90,29 @@ impl LayeredStreamer {
         ]
     }
 
-    /// Creates a streamer.
+    /// Creates a streamer with the paper-faithful adaptation policy: an
+    /// immediate (hysteresis-free) ladder over [`Self::default_layers`],
+    /// which tracks the CM-reported rate exactly as Figures 8-9 do.
     pub fn new(remote: Addr, port: u16, mode: AdaptMode, stop_at: Time) -> Self {
+        let policy = LadderPolicy::immediate(RateLadder::new(Self::default_layers()));
+        Self::with_engine(remote, port, mode, stop_at, Engine::new(Box::new(policy)))
+    }
+
+    /// Creates a streamer adapting through an arbitrary policy engine
+    /// (the ladder defines the layer rates).
+    pub fn with_engine(
+        remote: Addr,
+        port: u16,
+        mode: AdaptMode,
+        stop_at: Time,
+        engine: Engine,
+    ) -> Self {
         LayeredStreamer {
             remote,
             port,
             mode,
-            layer_rates: Self::default_layers(),
             packet_size: 1000,
             stop_at,
-            current_layer: 0,
             bytes_sent: 0,
             packets_sent: 0,
             tx_events: Vec::new(),
@@ -109,21 +121,31 @@ impl LayeredStreamer {
             sock: None,
             flow: None,
             libcm: Dispatcher::new(NotifyMode::SelectLoop { extra_fds: 1 }),
+            engine,
             tracker: FeedbackTracker::new(),
             requests_outstanding: 0,
             seq: 0,
         }
     }
 
-    /// The highest layer sustainable at `rate`.
-    fn layer_for(&self, rate: Rate) -> usize {
-        let mut layer = 0;
-        for (i, &r) in self.layer_rates.iter().enumerate() {
-            if rate.as_bps() >= r.as_bps() {
-                layer = i;
-            }
+    /// The currently selected layer index.
+    pub fn current_layer(&self) -> usize {
+        self.engine.level()
+    }
+
+    /// Adaptation-quality statistics (switches, oscillation,
+    /// time-in-layer, delivered utility).
+    pub fn adaptation_stats(&self) -> &AdaptationStats {
+        self.engine.stats()
+    }
+
+    /// Feeds a CM rate observation to the engine and records any layer
+    /// change.
+    fn adapt(&mut self, now: Time, rate: Rate) {
+        let d = self.engine.on_rate(now, rate);
+        if d.changed {
+            self.layer_changes.push((now, d.level));
         }
-        layer
     }
 
     fn send_packet(&mut self, os: &mut HostOs<'_, '_>) -> bool {
@@ -138,7 +160,7 @@ impl LayeredStreamer {
                 seq: self.seq,
                 bytes: self.packet_size,
                 sent_at: os.now(),
-                layer: self.current_layer as u8,
+                layer: self.engine.level() as u8,
             }),
         };
         let ok = os.udp_sendto(sock, self.remote, self.port, dgram);
@@ -151,15 +173,10 @@ impl LayeredStreamer {
         ok
     }
 
-    fn set_layer(&mut self, layer: usize, now: Time) {
-        if layer != self.current_layer {
-            self.current_layer = layer;
-            self.layer_changes.push((now, layer));
-        }
-    }
-
     fn clock_interval(&self) -> Duration {
-        self.layer_rates[self.current_layer].transmit_time(self.packet_size as usize)
+        self.engine
+            .level_rate()
+            .transmit_time(self.packet_size as usize)
     }
 
     fn top_up_requests(&mut self, os: &mut HostOs<'_, '_>) {
@@ -257,8 +274,7 @@ impl HostApp for LayeredStreamer {
                         let now = os.now();
                         self.cm_rate.push(now, info.rate.as_kbytes_per_sec());
                         if self.mode == AdaptMode::Alf {
-                            let layer = self.layer_for(info.rate);
-                            self.set_layer(layer, now);
+                            self.adapt(now, info.rate);
                         }
                     }
                 }
@@ -294,8 +310,7 @@ impl HostApp for LayeredStreamer {
         let now = os.now();
         self.cm_rate.push(now, info.rate.as_kbytes_per_sec());
         if self.mode == AdaptMode::RateCallback {
-            let layer = self.layer_for(info.rate);
-            self.set_layer(layer, now);
+            self.adapt(now, info.rate);
         }
     }
 

@@ -15,7 +15,13 @@
 //! The application buffer absorbs the congestion controller's short-term
 //! probing; drop-from-head keeps the buffered audio *fresh* (old audio is
 //! worthless in a conversation), versus the kernel's default drop-tail.
+//!
+//! The policer's target rate comes from the shared `cm-adapt` engine: a
+//! [`cm_adapt::UtilityPolicy`] over a 4-64 Kbit/s grid, EWMA-smoothing
+//! the CM's callbacks so single AIMD probes do not whipsaw the drop
+//! rate. Its level grid quantizes the old `clamp(rate, 4k, 64k)` rule.
 
+use cm_adapt::{AdaptationStats, Engine, RateLadder, UtilityPolicy};
 use cm_core::types::{FeedbackReport, FlowId, FlowInfo, LossMode, Thresholds};
 use cm_netsim::packet::Addr;
 use cm_transport::feedback::{DataPayload, FeedbackTracker};
@@ -72,6 +78,9 @@ pub struct VatAudio {
     sock: Option<UdpSocketId>,
     flow: Option<FlowId>,
     policer: TokenBucket,
+    /// Turns CM rate callbacks into policer targets on a 4-64 Kbit/s
+    /// utility grid.
+    engine: Engine,
     buffer: std::collections::VecDeque<Frame>,
     tracker: FeedbackTracker,
     seq: u64,
@@ -82,6 +91,11 @@ impl VatAudio {
     /// 20 ms frames.
     pub fn new(remote: Addr, port: u16, policy: DropPolicy, stop_at: Time) -> Self {
         let source_rate = Rate::from_kbps(64);
+        // 16 policer levels from the 4 Kbit/s floor to the source rate;
+        // log utility, mild smoothing (gain 0.5), no switch margin — the
+        // EWMA alone supplies the damping an audio policer wants.
+        let grid = RateLadder::linear(Rate::from_kbps(4), source_rate, 16);
+        let engine = Engine::new(Box::new(UtilityPolicy::log_utility(grid, 0.5, 1.0, 0.0)));
         VatAudio {
             remote,
             port,
@@ -100,6 +114,7 @@ impl VatAudio {
             // The policer starts permissive (source rate) and adapts on
             // CM rate callbacks; a two-frame burst allowance.
             policer: TokenBucket::new(source_rate, 2 * 160),
+            engine,
             buffer: std::collections::VecDeque::new(),
             tracker: FeedbackTracker::new(),
             seq: 0,
@@ -117,6 +132,11 @@ impl VatAudio {
             return 0.0;
         }
         self.age_sum_ns as f64 / 1e6 / self.frames_sent as f64
+    }
+
+    /// Adaptation-quality statistics from the policer engine.
+    pub fn adaptation_stats(&self) -> &AdaptationStats {
+        self.engine.stats()
     }
 
     /// Fraction of generated frames that reached the kernel.
@@ -204,11 +224,12 @@ impl HostApp for VatAudio {
     }
 
     fn on_cm_rate_change(&mut self, os: &mut HostOs<'_, '_>, _flow: FlowId, info: FlowInfo) {
-        // Long-term adaptation: police to what the network can carry,
-        // never above the source rate.
-        let target = info.rate.min(self.source_rate);
-        let floor = Rate::from_kbps(4);
-        self.policer.set_rate(target.max(floor), os.now());
+        // Long-term adaptation: the engine smooths the reported rate and
+        // quantizes it onto the policer grid (floor 4 Kbit/s, ceiling
+        // the source rate — police above the source is meaningless).
+        let now = os.now();
+        self.engine.on_rate(now, info.rate.min(self.source_rate));
+        self.policer.set_rate(self.engine.level_rate(), now);
     }
 
     fn on_udp(

@@ -163,6 +163,115 @@ fn vat_polices_to_available_bandwidth() {
 }
 
 #[test]
+fn adaptive_web_server_escalates_variants_as_state_warms() {
+    // The §3.5 adaptive server: three response representations, a 2 s
+    // response deadline. The first request sees a cold macroflow (rate
+    // zero — no RTT sample yet) and must get the smallest variant;
+    // later requests ride the warmed shared state and earn larger ones.
+    let variants = vec![16 * 1024, 64 * 1024, 256 * 1024];
+    let mut topo = Topology::new(11);
+    let mut server_host = Host::new(HostConfig::default());
+    let server_app = server_host.add_app(Box::new(WebServer::adaptive(
+        80,
+        CcMode::Cm,
+        variants.clone(),
+        Duration::from_secs(2),
+    )));
+    let server_id = topo.add_host(Box::new(server_host));
+    let server_addr = topo.sim().addr_of(server_id);
+
+    let mut client_host = Host::new(HostConfig::default());
+    let client_app = client_host.add_app(Box::new(WebClient::new(
+        server_addr,
+        80,
+        6,
+        Duration::from_millis(500),
+        variants[0], // Completion = at least the smallest variant.
+    )));
+    let client_id = topo.add_host(Box::new(client_host));
+    topo.emulated_path(client_id, server_id, &PathSpec::wide_area());
+    let mut sim = topo.build();
+    sim.run_until(Time::from_secs(30));
+
+    let client = sim
+        .node_ref::<Host>(client_id)
+        .app_ref::<WebClient>(client_app);
+    assert!(client.all_done(), "latencies: {:?}", client.latencies_ms());
+    let server = sim
+        .node_ref::<Host>(server_id)
+        .app_ref::<WebServer>(server_app);
+    assert_eq!(server.served, 6);
+    let by_variant = &server.served_by_variant;
+    assert_eq!(by_variant.iter().sum::<u64>(), 6);
+    assert!(
+        by_variant[0] >= 1,
+        "cold first request should get the small variant: {by_variant:?}"
+    );
+    assert!(
+        by_variant[2] >= 1,
+        "warmed requests should reach the large variant: {by_variant:?}"
+    );
+    let stats = server.adaptation_stats().expect("adaptive server");
+    assert!(stats.switches_up >= 1, "no upward adaptation recorded");
+}
+
+#[test]
+fn layered_streamer_tracks_bandwidth_schedule() {
+    // Time-varying capacity without cross-traffic hosts: the bottleneck
+    // itself follows a square wave between 4 Mbps and 0.6 Mbps, and the
+    // streamer's layer choice must follow it down and back up.
+    use cm_netsim::schedule::BandwidthSchedule;
+
+    let mut topo = Topology::new(17);
+    let mut rx_host = Host::new(HostConfig::default());
+    let rx_app = rx_host.add_app(Box::new(AckReceiver::new(9000, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+
+    let mut tx_host = Host::new(HostConfig::default());
+    let tx_app = tx_host.add_app(Box::new(LayeredStreamer::new(
+        rx_addr,
+        9000,
+        AdaptMode::Alf,
+        Time::from_secs(24),
+    )));
+    let tx_id = topo.add_host(Box::new(tx_host));
+
+    let d = topo.emulated_path(
+        tx_id,
+        rx_id,
+        &PathSpec::new(Rate::from_mbps(4), Duration::from_millis(40)),
+    );
+    let sched = BandwidthSchedule::square_wave(
+        Rate::from_mbps(4),
+        Rate::from_kbps(600),
+        Duration::from_secs(6),
+        Time::from_secs(24),
+    );
+    topo.schedule_link(d.forward, &sched);
+    let mut sim = topo.build();
+    sim.run_until(Time::from_secs(26));
+
+    let tx = sim
+        .node_ref::<Host>(tx_id)
+        .app_ref::<LayeredStreamer>(tx_app);
+    let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
+    assert!(rx.bytes > 500_000, "streamer moved {} bytes", rx.bytes);
+    let stats = tx.adaptation_stats();
+    assert!(
+        stats.switches_down >= 1 && stats.switches_up >= 1,
+        "adaptation did not track the schedule: {:?} changes",
+        tx.layer_changes
+    );
+    // The streamer spent meaningful time both high and low.
+    let low = stats.fraction_in_level(0);
+    assert!(
+        low > 0.05 && low < 0.95,
+        "time-in-layer imbalance: floor fraction {low}"
+    );
+}
+
+#[test]
 fn web_client_sequential_requests_complete() {
     let mut topo = Topology::new(5);
     let mut server_host = Host::new(HostConfig::default());

@@ -1,0 +1,128 @@
+//! Adaptation-engine hot-path benchmarks.
+//!
+//! The engine's `observe` runs inside every CM rate callback; at
+//! production scale that means thousands of concurrent adaptive sessions
+//! each taking a callback per ~100 ms. `churn_adaptive_1k` holds 1k live
+//! sessions (mixed policies, like a real media frontend), drives a full
+//! callback sweep per iteration, and churns 10% of the sessions each
+//! round — the engine must stay allocation-free per callback (the
+//! counting-allocator test in `cm-adapt/tests/no_alloc.rs` enforces the
+//! zero; this bench measures the cycles).
+
+use cm_adapt::{
+    BufferPolicy, Engine, LadderConfig, LadderPolicy, Observation, RateLadder, UtilityPolicy,
+};
+use cm_util::{Duration, Rate, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SESSIONS: usize = 1_000;
+
+fn ladder() -> RateLadder {
+    RateLadder::new(vec![
+        Rate::from_kbps(250),
+        Rate::from_kbps(500),
+        Rate::from_kbps(1_000),
+        Rate::from_kbps(2_000),
+    ])
+}
+
+/// The callback payload for round `r`: a sawtooth rate spanning the
+/// whole ladder (forces real switches) plus a moving buffer depth that
+/// crosses the buffer policy's watermark and budget breakpoints.
+fn obs(now: Time, r: u64) -> Observation {
+    Observation::rate_only(now, Rate::from_kbps(100 + (r % 25) * 100))
+        .with_buffer(Duration::from_millis(200 + (r % 40) * 100))
+}
+
+/// One of each shipped policy, round-robin across sessions.
+fn session(i: usize) -> Engine {
+    match i % 3 {
+        0 => Engine::new(Box::new(LadderPolicy::new(
+            ladder(),
+            LadderConfig::damped(),
+        ))),
+        1 => Engine::new(Box::new(UtilityPolicy::log_utility(
+            ladder(),
+            0.3,
+            0.9,
+            0.1,
+        ))),
+        _ => Engine::new(Box::new(BufferPolicy::new(
+            ladder(),
+            Duration::from_secs(2),
+            Duration::from_millis(500),
+            0.3,
+        ))),
+    }
+}
+
+fn adapt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_adaptive_1k");
+    g.sample_size(10);
+
+    // Steady state: 1k sessions each absorb one rate callback, with a
+    // sawtooth rate pattern that forces real level switches.
+    g.bench_function("callback_sweep_1k", |b| {
+        let mut engines: Vec<Engine> = (0..SESSIONS).map(session).collect();
+        let mut now = Time::ZERO;
+        let mut round = 0u64;
+        b.iter(|| {
+            now += Duration::from_millis(100);
+            round += 1;
+            let o = obs(now, round);
+            let mut levels = 0usize;
+            for e in engines.iter_mut() {
+                levels += e.observe(&o).level;
+            }
+            black_box(levels);
+        });
+    });
+
+    // Churn: every iteration replaces 10% of the sessions (stream
+    // join/leave at a media frontend) and still sweeps all callbacks.
+    g.bench_function("churn_100_of_1k", |b| {
+        let mut engines: Vec<Engine> = (0..SESSIONS).map(session).collect();
+        let mut now = Time::ZERO;
+        let mut next = SESSIONS;
+        b.iter(|| {
+            now += Duration::from_millis(100);
+            for k in 0..100 {
+                engines.swap_remove(k * 7 % SESSIONS);
+                engines.push(session(next));
+                next += 1;
+            }
+            let o = obs(now, next as u64);
+            let mut levels = 0usize;
+            for e in engines.iter_mut() {
+                levels += e.observe(&o).level;
+            }
+            black_box(levels);
+        });
+    });
+
+    g.finish();
+
+    // Single-policy decide throughput, for comparing policy costs.
+    let mut g = c.benchmark_group("adapt_policy");
+    g.sample_size(10);
+    for (name, mut engine) in [
+        ("ladder_damped", session(0)),
+        ("utility", session(1)),
+        ("buffer", session(2)),
+    ] {
+        g.bench_function(name, |b| {
+            let mut now = Time::ZERO;
+            let mut round = 0u64;
+            b.iter(|| {
+                now += Duration::from_millis(20);
+                round += 1;
+                black_box(engine.observe(&obs(now, round)).level);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, adapt);
+criterion_main!(benches);

@@ -31,6 +31,7 @@ fn churn(c: &mut Criterion) {
     // The full lifecycle at scale: open 10k flows across 64 destinations,
     // queue a request on each, drain the grants, then close every flow.
     g.bench_function("open_request_close_10k", |b| {
+        let mut notes: Vec<CmNotification> = Vec::new();
         b.iter(|| {
             let mut cm = CongestionManager::new(CmConfig {
                 pacing: false,
@@ -45,7 +46,9 @@ fn churn(c: &mut Criterion) {
                 cm.request(f, now).expect("request");
             }
             let mut granted = 0usize;
-            for n in cm.drain_notifications() {
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
+            for &n in &notes {
                 if let CmNotification::SendGrant { flow } = n {
                     cm.notify(flow, 1460, now).expect("notify");
                     granted += 1;
@@ -82,13 +85,16 @@ fn churn(c: &mut Criterion) {
             .expect("update");
         }
         let mut next_key = FLOWS;
+        let mut notes: Vec<CmNotification> = Vec::new();
         b.iter(|| {
             now += Duration::from_millis(1);
             // Every live flow asks to send; grants resolve immediately.
             for &f in &flows {
                 cm.request(f, now).expect("request");
             }
-            for n in cm.drain_notifications() {
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
+            for &n in &notes {
                 if let CmNotification::SendGrant { flow } = n {
                     let _ = cm.notify(flow, 1460, now);
                 }

@@ -27,9 +27,11 @@ fn api_costs(c: &mut Criterion) {
         });
         let key = FlowKey::new(Endpoint::new(1, 9), Endpoint::new(2, 80));
         let f = cm.open(key, Time::ZERO).expect("open");
+        let mut notes = Vec::new();
         b.iter(|| {
             cm.request(f, Time::ZERO).expect("request");
-            let _ = cm.drain_notifications();
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
             cm.notify(f, 1460, Time::ZERO).expect("notify");
             cm.update(
                 f,
@@ -65,10 +67,12 @@ fn api_costs(c: &mut Criterion) {
                 cm.open(key, Time::ZERO).expect("open")
             })
             .collect();
+        let mut notes = Vec::new();
         b.iter(|| {
             cm.bulk_request(black_box(&flows), Time::ZERO)
                 .expect("bulk");
-            let _ = cm.drain_notifications();
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
             for &f in &flows {
                 let _ = cm.notify(f, 0, Time::ZERO);
             }

@@ -5,10 +5,18 @@
 //! * **Initial window 1 vs. 2 MTU** — the knob behind Figure 4's 0.5 %
 //!   gap and Figure 7's first-transfer penalty.
 //! * **Scheduler discipline** — grant shares under RR / WRR / stride.
+//! * **Controller scheme, end to end** — window AIMD vs. the smooth
+//!   rate-based controller over real lossy transfers (the §5 "other
+//!   non-AIMD schemes" modularity claim, exercised through the full
+//!   host/transport/simulator stack).
 
+use cm_bench::scenarios::bulk_transfer_controller;
 use cm_bench::Table;
 use cm_core::prelude::*;
 use cm_core::scheduler::build_scheduler;
+use cm_netsim::channel::PathSpec;
+use cm_netsim::cpu::CostModel;
+use cm_transport::types::CcMode;
 
 fn controller_growth(byte_counting: bool, initial_window_mtus: u32) -> Vec<u64> {
     let cfg = CmConfig {
@@ -100,5 +108,44 @@ fn main() {
     }
     t.emit("Ablation: grant shares over 400 grants, weights 3:1");
     println!("Unweighted RR splits evenly regardless of weight (the paper's default); WRR and");
-    println!("stride honor the 3:1 request, with stride interleaving most smoothly.");
+    println!("stride honor the 3:1 request, with stride interleaving most smoothly.\n");
+
+    // --- Controller scheme, end to end ---
+    let mut t = Table::new(&["controller", "loss %", "goodput KB/s", "rtx KB"]);
+    for (name, kind) in [
+        (
+            "AIMD",
+            ControllerKind::Aimd {
+                byte_counting: true,
+            },
+        ),
+        ("RateBased", ControllerKind::RateBased),
+    ] {
+        for loss in [0.0, 0.01, 0.02] {
+            let o = bulk_transfer_controller(
+                CcMode::Cm,
+                &PathSpec::fig3(loss),
+                500 * 1460,
+                42,
+                CostModel::free(),
+                true,
+                1460,
+                Time::from_secs(600),
+                kind,
+            );
+            let goodput = if o.completed {
+                o.goodput_bps / 1000.0
+            } else {
+                f64::NAN
+            };
+            t.row_f64(
+                &format!("{name} @{:.0}%", loss * 100.0),
+                &[loss * 100.0, goodput, o.bytes_rtx as f64 / 1000.0],
+            );
+        }
+    }
+    t.emit("Ablation: congestion controller over the Figure 3 channel (full stack)");
+    println!("Both controllers complete across the loss sweep; AIMD probes harder (higher");
+    println!("goodput, more retransmissions), the rate-based scheme trades throughput for");
+    println!("smoothness — the §5 modularity claim exercised end to end.");
 }

@@ -3,6 +3,7 @@
 //! Each function builds a deterministic simulation matching one of the
 //! paper's testbed setups and returns the measurements the figures plot.
 
+use cm_adapt::{Engine, LadderConfig, LadderPolicy, RateLadder, UtilityPolicy};
 use cm_apps::ack_clients::{AckReceiver, FeedbackPolicy};
 use cm_apps::blast::{BlastApi, BlastSender};
 use cm_apps::bulk::{BulkReceiver, BulkSender};
@@ -10,10 +11,11 @@ use cm_apps::cross::{NullSink, OnOffSource};
 use cm_apps::layered::{AdaptMode, LayeredStreamer};
 use cm_apps::vat::{DropPolicy, VatAudio};
 use cm_apps::web::{WebClient, WebServer};
-use cm_core::config::CmConfig;
+use cm_core::config::{CmConfig, ControllerKind};
 use cm_netsim::channel::PathSpec;
 use cm_netsim::cpu::{CostModel, OpCounts};
 use cm_netsim::link::LinkSpec;
+use cm_netsim::schedule::BandwidthSchedule;
 use cm_netsim::topology::Topology;
 use cm_transport::host::{Host, HostConfig};
 use cm_transport::tcp::TcpConfig;
@@ -55,6 +57,37 @@ pub fn bulk_transfer(
     mss: usize,
     deadline: Time,
 ) -> BulkOutcome {
+    let controller = ControllerKind::Aimd {
+        byte_counting: true,
+    };
+    bulk_transfer_controller(
+        mode,
+        path,
+        total,
+        seed,
+        cost,
+        delayed_ack,
+        mss,
+        deadline,
+        controller,
+    )
+}
+
+/// [`bulk_transfer`] with an explicit CM congestion controller — the
+/// end-to-end harness for controller ablations (AIMD vs. the smooth
+/// rate-based scheme the paper suggests for audio/video).
+#[allow(clippy::too_many_arguments)]
+pub fn bulk_transfer_controller(
+    mode: CcMode,
+    path: &PathSpec,
+    total: u64,
+    seed: u64,
+    cost: CostModel,
+    delayed_ack: bool,
+    mss: usize,
+    deadline: Time,
+    controller: ControllerKind,
+) -> BulkOutcome {
     // The CM grants in MTU units; align it with the test's segment size.
     // The 64 KB receive window is the era-correct default and keeps the
     // LAN runs loss-free, as the paper observed on its testbed.
@@ -66,6 +99,7 @@ pub fn bulk_transfer(
     };
     let cm = CmConfig {
         mtu: mss,
+        controller,
         ..Default::default()
     };
     let mut topo = Topology::new(seed);
@@ -442,6 +476,122 @@ pub fn vat_run(policy: DropPolicy, link: Rate, secs: u64, seed: u64) -> (f64, f6
     )
 }
 
+/// Which adaptation policy a scenario drives (config shorthand for the
+/// quality/oscillation comparison).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdaptPolicyKind {
+    /// Hysteresis-free ladder (the paper's Figure 8/9 behaviour).
+    LadderImmediate,
+    /// Ladder with headroom and dwell damping.
+    LadderDamped,
+    /// EWMA'd utility argmax.
+    Utility,
+}
+
+impl AdaptPolicyKind {
+    fn engine(self) -> Engine {
+        let ladder = RateLadder::new(LayeredStreamer::default_layers());
+        match self {
+            AdaptPolicyKind::LadderImmediate => {
+                Engine::new(Box::new(LadderPolicy::immediate(ladder)))
+            }
+            AdaptPolicyKind::LadderDamped => {
+                Engine::new(Box::new(LadderPolicy::new(ladder, LadderConfig::damped())))
+            }
+            AdaptPolicyKind::Utility => Engine::new(Box::new(UtilityPolicy::log_utility(
+                ladder, 0.25, 0.95, 0.1,
+            ))),
+        }
+    }
+}
+
+/// Adaptation quality under a bandwidth trace, per policy.
+#[derive(Clone, Debug)]
+pub struct AdaptOutcome {
+    /// Bytes delivered to the receiver.
+    pub delivered: u64,
+    /// Total layer switches.
+    pub switches: u64,
+    /// Direction reversals per minute (oscillation).
+    pub oscillation_per_min: f64,
+    /// Mean delivered utility (level rate in KB/s, time-weighted).
+    pub mean_utility: f64,
+    /// Fraction of time per layer.
+    pub time_in_layer: Vec<f64>,
+}
+
+/// Runs the layered streamer against a time-varying bottleneck and
+/// reports adaptation quality — the harness behind the "quality and
+/// oscillation vs. policy" comparison. The trace applies to the forward
+/// (data) direction of an otherwise clean 40 ms-RTT path.
+pub fn adaptive_stream_under_trace(
+    policy: AdaptPolicyKind,
+    trace: &BandwidthSchedule,
+    secs: u64,
+    seed: u64,
+) -> AdaptOutcome {
+    let stop = Time::from_secs(secs);
+    let mut topo = Topology::new(seed);
+    let mut rx_host = Host::new(HostConfig::default());
+    let rx_app = rx_host.add_app(Box::new(AckReceiver::new(9000, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+
+    let mut tx_host = Host::new(HostConfig::default());
+    let tx_app = tx_host.add_app(Box::new(LayeredStreamer::with_engine(
+        rx_addr,
+        9000,
+        AdaptMode::Alf,
+        stop,
+        policy.engine(),
+    )));
+    let tx_id = topo.add_host(Box::new(tx_host));
+
+    // Physical capacity must cover the trace's peak (the schedule's
+    // first step applies immediately and overrides the LinkSpec rate),
+    // with a 20 Mbps floor for traces that never reach that.
+    let base = trace
+        .steps()
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(Rate::from_mbps(20), Rate::max);
+    let d = topo.emulated_path(
+        tx_id,
+        rx_id,
+        &PathSpec::new(base, Duration::from_millis(40)),
+    );
+    topo.schedule_link(d.forward, trace);
+    let mut sim = topo.build();
+    sim.run_until(stop + Duration::from_secs(1));
+
+    let tx = sim
+        .node_ref::<Host>(tx_id)
+        .app_ref::<LayeredStreamer>(tx_app);
+    let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
+    let stats = tx.adaptation_stats();
+    AdaptOutcome {
+        delivered: rx.bytes,
+        switches: stats.switches,
+        oscillation_per_min: stats.oscillation_per_min(),
+        mean_utility: stats.mean_utility(),
+        time_in_layer: (0..stats.time_in_level().len())
+            .map(|i| stats.fraction_in_level(i))
+            .collect(),
+    }
+}
+
+/// The default trace for adaptation benches: capacity swings between
+/// comfortable (8 Mbps — sustains the 1 MB/s third layer) and
+/// constrained (600 kbps — forces the floor) every 6 s.
+pub fn default_adapt_trace(secs: u64) -> BandwidthSchedule {
+    BandwidthSchedule::square_wave(
+        Rate::from_mbps(8),
+        Rate::from_kbps(600),
+        Duration::from_secs(6),
+        Time::from_secs(secs),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +620,42 @@ mod tests {
         assert!(o.us_per_packet.is_finite());
         assert!(o.ops.syscalls > 0);
         assert!(o.ops.gettimeofdays >= 600, "two per packet");
+    }
+
+    #[test]
+    fn rate_based_controller_completes_end_to_end() {
+        // The second controller must survive a real lossy transfer, not
+        // just unit tests.
+        let o = bulk_transfer_controller(
+            CcMode::Cm,
+            &PathSpec::fig3(0.01),
+            150_000,
+            7,
+            CostModel::free(),
+            true,
+            1460,
+            Time::from_secs(120),
+            ControllerKind::RateBased,
+        );
+        assert!(o.completed, "rate-based transfer did not finish");
+        assert!(o.goodput_bps > 10_000.0);
+    }
+
+    #[test]
+    fn adaptation_trace_scenario_reports_quality() {
+        let trace = default_adapt_trace(14);
+        let o = adaptive_stream_under_trace(AdaptPolicyKind::LadderImmediate, &trace, 14, 3);
+        assert!(o.delivered > 200_000, "delivered {}", o.delivered);
+        assert!(o.switches >= 2, "no adaptation under the trace");
+        assert_eq!(o.time_in_layer.len(), 4);
+        // Damping must cut switch count against the same trace.
+        let damped = adaptive_stream_under_trace(AdaptPolicyKind::LadderDamped, &trace, 14, 3);
+        assert!(
+            damped.switches <= o.switches,
+            "damped {} vs immediate {}",
+            damped.switches,
+            o.switches
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use cm_util::{FxHashMap, Rate, Time};
+use cm_util::{Duration, FxHashMap, Rate, Time};
 
 use crate::config::CmConfig;
 use crate::error::{CmError, CmResult};
@@ -72,6 +72,9 @@ pub struct CmStats {
     pub rate_callbacks: u64,
     /// Grants reclaimed by the maintenance timer.
     pub grants_reclaimed: u64,
+    /// Outstanding bytes written off after a long feedback-free
+    /// interval (several RTOs).
+    pub outstanding_reclaimed: u64,
     /// Macroflows created.
     pub macroflows_created: u64,
     /// Macroflows expired after lingering empty.
@@ -523,6 +526,21 @@ impl CongestionManager {
             self.reclaim_expired_grants(mf_id, now);
             let expired = {
                 let mf = self.mfs[i].as_mut().expect("checked");
+                // Write off outstanding bytes whose feedback never came:
+                // their senders are gone or their packets (and ACKs) are
+                // lost, and holding window for them forever can wedge the
+                // macroflow — a collapsed 1-MTU window never reopens if a
+                // few stray bytes keep `available_window` below the MTU.
+                // The threshold is deliberately far beyond one RTO
+                // (several RTOs, floored at 3 s) so legitimately *slow*
+                // feedback — batched application ACKs run up to 2 s —
+                // is never written off while in flight; only the
+                // never-coming kind is.
+                let write_off_after = (mf.rto(&cfg) * 4).max(Duration::from_secs(3));
+                if mf.outstanding > 0 && now.since(mf.last_activity) >= write_off_after {
+                    self.stats.outstanding_reclaimed += mf.outstanding;
+                    mf.outstanding = 0;
+                }
                 mf.age_if_idle(now, &cfg);
                 matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
             };
@@ -566,17 +584,23 @@ impl CongestionManager {
         }
     }
 
-    /// Removes and returns all pending notifications, in order. The host
-    /// stack or libcm dispatcher calls this after every CM entry point
-    /// (the control-socket readiness model from §2.2).
+    /// Removes and returns all pending notifications, in order,
+    /// **allocating a fresh `Vec` per call**.
+    ///
+    /// Discouraged: this drain runs after every CM entry point (the
+    /// control-socket readiness model from §2.2), which makes it a hot
+    /// path under docs/perf.md's no-per-event-allocation rule. Use
+    /// [`CongestionManager::drain_notifications_into`] with a reused
+    /// buffer instead; this form is kept (hidden) for one-shot unit
+    /// tests and doc examples only.
+    #[doc(hidden)]
     pub fn drain_notifications(&mut self) -> Vec<CmNotification> {
         self.outbox.drain(..).collect()
     }
 
     /// Drains all pending notifications into `out` (appending), reusing
-    /// the caller's buffer — the allocation-free form of
-    /// [`CongestionManager::drain_notifications`] the host's settle loop
-    /// runs on every event.
+    /// the caller's buffer — the allocation-free drain the host's settle
+    /// loop (and every other steady-state caller) runs on each event.
     pub fn drain_notifications_into(&mut self, out: &mut Vec<CmNotification>) {
         out.extend(self.outbox.drain(..));
     }
@@ -906,6 +930,75 @@ mod tests {
         let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
         let f2 = cm.open(key(1001, 9).with_dscp(46), Time::ZERO).unwrap();
         assert_eq!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+    }
+
+    /// Regression: outstanding bytes whose feedback never arrives (the
+    /// sender closed, the ACK was lost) must not hold window forever —
+    /// with a collapsed 1-MTU window, even a few leaked bytes would
+    /// otherwise wedge the macroflow permanently.
+    #[test]
+    fn stale_outstanding_reclaimed_after_feedback_free_rto() {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        cm.request(f, Time::ZERO).unwrap();
+        for n in cm.drain_notifications() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, Time::ZERO).unwrap();
+            }
+        }
+        assert_eq!(cm.outstanding_of(mf).unwrap(), 1460);
+        // The window (IW = 1 MTU) is now fully consumed: no grants.
+        cm.request(f, Time::ZERO).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![]);
+        // Feedback never arrives. After several feedback-free RTOs the
+        // maintenance timer writes the bytes off and grants flow again.
+        let later = Time::from_secs(30);
+        cm.tick(later);
+        assert_eq!(cm.outstanding_of(mf).unwrap(), 0);
+        assert_eq!(cm.stats().outstanding_reclaimed, 1460);
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f]);
+    }
+
+    /// Outstanding bytes with live feedback are never written off: the
+    /// reclamation is gated on a long feedback-free interval, not age.
+    #[test]
+    fn active_outstanding_not_reclaimed() {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        let mut now = Time::ZERO;
+        // A steady send/ack rhythm with a constant 1460 bytes in flight.
+        cm.request(f, now).unwrap();
+        for n in cm.drain_notifications() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, now).unwrap();
+            }
+        }
+        for _ in 0..100 {
+            now += Duration::from_millis(50);
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.tick(now);
+        }
+        assert_eq!(cm.stats().outstanding_reclaimed, 0);
+        assert_eq!(cm.outstanding_of(mf).unwrap(), 1460);
     }
 
     #[test]

@@ -34,10 +34,11 @@
 //! | macroflow construction    | [`CongestionManager::split`] / [`CongestionManager::merge`] |
 //!
 //! Kernel-style synchronous callbacks are inverted into a notification
-//! outbox ([`CongestionManager::drain_notifications`]) that the host stack
-//! or the `cm-libcm` dispatcher drains after every call — the same
+//! outbox ([`CongestionManager::drain_notifications_into`]) that the host
+//! stack or the `cm-libcm` dispatcher drains after every call — the same
 //! deferred-delivery structure libcm's control socket gives user-space
-//! clients in the paper.
+//! clients in the paper. The drain reuses the caller's buffer; hot-path
+//! code must not use the hidden allocating convenience form.
 //!
 //! # Example
 //!
@@ -51,7 +52,8 @@
 //! let flow = cm.open(key, now).unwrap();
 //! cm.request(flow, now).unwrap();
 //! // The initial window is open, so the grant arrives immediately.
-//! let grants = cm.drain_notifications();
+//! let mut grants = Vec::new();
+//! cm.drain_notifications_into(&mut grants);
 //! assert!(matches!(grants[0], CmNotification::SendGrant { flow: f } if f == flow));
 //!
 //! // The client transmits via its own socket; the IP layer reports it.

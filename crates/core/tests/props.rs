@@ -49,6 +49,7 @@ proptest! {
         let mut now = Time::ZERO;
         let mut flows: Vec<FlowId> = Vec::new();
         let mut granted: Vec<FlowId> = Vec::new();
+        let mut notes = Vec::new();
         for op in ops {
             now += Duration::from_millis(7);
             match op {
@@ -113,7 +114,9 @@ proptest! {
                 }
             }
             // Track issued grants so notifies resolve them.
-            for n in cm.drain_notifications() {
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
+            for &n in &notes {
                 if let CmNotification::SendGrant { flow } = n {
                     granted.push(flow);
                 }
@@ -167,8 +170,9 @@ proptest! {
         for _ in 0..reqs {
             cm.request(f, Time::ZERO).unwrap();
         }
-        let grants = cm
-            .drain_notifications()
+        let mut notes = Vec::new();
+        cm.drain_notifications_into(&mut notes);
+        let grants = notes
             .iter()
             .filter(|n| matches!(n, CmNotification::SendGrant { .. }))
             .count();

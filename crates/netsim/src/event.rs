@@ -55,6 +55,13 @@ pub enum SimEvent {
         /// The arriving packet.
         pkt: Packet,
     },
+    /// A bandwidth-schedule step: `link`'s serialization rate changes.
+    LinkRateChange {
+        /// The link whose rate changes.
+        link: LinkId,
+        /// The new serialization rate.
+        rate: cm_util::Rate,
+    },
     /// A timer set by `node` fired.
     Timer {
         /// The owning node.

@@ -10,6 +10,9 @@
 //! * queueing disciplines: drop-tail and RED with ECN marking ([`queue`]),
 //! * links with a serialization rate, propagation delay, and Dummynet-style
 //!   Bernoulli loss ([`link`]),
+//! * time-varying link capacity via piecewise-constant bandwidth
+//!   schedules — steps, square waves, on/off cross traffic, and loadable
+//!   traces ([`schedule`]),
 //! * the simulator proper — nodes, routing, timers ([`sim`]),
 //! * a virtual-CPU cost model for reproducing the paper's CPU-overhead
 //!   measurements ([`cpu`]),
@@ -27,6 +30,7 @@ pub mod link;
 pub mod packet;
 pub mod queue;
 pub mod reference;
+pub mod schedule;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -38,6 +42,7 @@ pub mod prelude {
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::packet::{Addr, Ecn, Packet, Payload, Protocol};
     pub use crate::queue::{DropTailQueue, EnqueueOutcome, Queue, RedQueue};
+    pub use crate::schedule::BandwidthSchedule;
     pub use crate::sim::{Node, NodeCtx, NodeId, RouterNode, Simulator, TimerHandle};
     pub use crate::topology::Topology;
     pub use cm_util::{Duration, Rate, Time};
@@ -48,5 +53,6 @@ pub use cpu::{CostModel, Cpu};
 pub use link::{LinkId, LinkSpec};
 pub use packet::{Addr, Ecn, Packet, Payload, Protocol};
 pub use queue::{DropTailQueue, EnqueueOutcome, Queue, RedQueue};
+pub use schedule::BandwidthSchedule;
 pub use sim::{Node, NodeCtx, NodeId, RouterNode, Simulator, TimerHandle};
 pub use topology::Topology;

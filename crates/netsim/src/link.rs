@@ -162,10 +162,30 @@ impl Link {
         }
     }
 
+    /// Applies a bandwidth-schedule step: adopts the new rate and, if
+    /// the transmitter was stalled (e.g. the rate was zero), restarts it.
+    /// This is the only way to change a link's rate mid-run — a bare
+    /// rate write would leave a stalled queue wedged.
+    ///
+    /// A packet already being serialized completes at the old rate — its
+    /// completion event is on the wire, so to speak — and the new rate
+    /// applies from the next packet onward, exactly how a shaper change
+    /// behaves on real hardware.
+    pub fn on_rate_change(&mut self, rate: Rate, now: Time, evq: &mut EventQueue) {
+        self.rate = rate;
+        if self.in_flight.is_none() {
+            self.start_tx(now, evq);
+        }
+    }
+
     /// Begins serializing the next queued packet, scheduling the
     /// completion event.
     fn start_tx(&mut self, now: Time, evq: &mut EventQueue) {
         debug_assert!(self.in_flight.is_none(), "transmitter already busy");
+        if self.rate.is_zero() {
+            // A stopped link holds its queue; a schedule step restarts it.
+            return;
+        }
         if let Some(pkt) = self.queue.dequeue(now) {
             let tx_time = self.rate.transmit_time(pkt.size);
             self.in_flight = Some(pkt);

@@ -1,0 +1,289 @@
+//! Time-varying link capacity: piecewise-constant bandwidth schedules.
+//!
+//! Static links cannot exercise content adaptation — a flow converges to
+//! the bottleneck share and nothing ever changes. A
+//! [`BandwidthSchedule`] describes a link whose serialization rate
+//! follows a piecewise-constant trace: an explicit step list, one of the
+//! classic synthetic shapes (step, square wave, on/off cross-traffic),
+//! or a trace file. The simulator turns each step into a
+//! [`crate::event::SimEvent::LinkRateChange`] at build time, so schedule
+//! execution costs one O(1) event per step and stays byte-deterministic.
+//!
+//! # Trace format
+//!
+//! One step per line: `<seconds> <rate>`, where `<rate>` accepts a
+//! `kbps`/`mbps`/`bps` suffix (no suffix means bits per second). Blank
+//! lines and `#` comments are ignored:
+//!
+//! ```text
+//! # cellular handover trace
+//! 0    8mbps
+//! 5.5  1200kbps
+//! 9    8mbps
+//! ```
+
+use cm_util::{Duration, Rate, Time};
+
+/// A piecewise-constant bandwidth trace: at each `(time, rate)` step the
+/// link's serialization rate becomes `rate` until the next step.
+#[derive(Clone, Debug, Default)]
+pub struct BandwidthSchedule {
+    steps: Vec<(Time, Rate)>,
+}
+
+/// A malformed schedule trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl BandwidthSchedule {
+    /// An empty schedule (the link keeps its configured rate).
+    pub fn none() -> Self {
+        BandwidthSchedule { steps: Vec::new() }
+    }
+
+    /// Builds a schedule from explicit steps; steps are sorted by time
+    /// and a later duplicate instant overrides an earlier one (the
+    /// superseded step is dropped, so it is never even transiently
+    /// applied during execution).
+    pub fn from_steps(mut steps: Vec<(Time, Rate)>) -> Self {
+        steps.sort_by_key(|&(t, _)| t);
+        // Keep the last step per instant: sort_by_key is stable, so
+        // within equal times the original (later-wins) order survives.
+        steps.reverse();
+        steps.dedup_by_key(|&mut (t, _)| t);
+        steps.reverse();
+        BandwidthSchedule { steps }
+    }
+
+    /// A single step: `before` until `at`, then `after`.
+    pub fn step(before: Rate, after: Rate, at: Time) -> Self {
+        BandwidthSchedule::from_steps(vec![(Time::ZERO, before), (at, after)])
+    }
+
+    /// A square wave alternating `high` and `low` every `half_period`,
+    /// starting high at time zero, until `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_period` is zero.
+    pub fn square_wave(high: Rate, low: Rate, half_period: Duration, until: Time) -> Self {
+        assert!(!half_period.is_zero(), "square wave needs a period");
+        let mut steps = Vec::new();
+        let mut t = Time::ZERO;
+        let mut hi = true;
+        while t < until {
+            steps.push((t, if hi { high } else { low }));
+            hi = !hi;
+            t += half_period;
+        }
+        BandwidthSchedule { steps }
+    }
+
+    /// On/off cross traffic: the link runs at `base` while the source is
+    /// off and at `base - cross` (saturating) while it is on. The source
+    /// turns on at `start`, stays on for `on_for`, off for `off_for`,
+    /// repeating until `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_for` or `off_for` is zero.
+    pub fn on_off(
+        base: Rate,
+        cross: Rate,
+        start: Time,
+        on_for: Duration,
+        off_for: Duration,
+        until: Time,
+    ) -> Self {
+        assert!(
+            !on_for.is_zero() && !off_for.is_zero(),
+            "on/off phases need durations"
+        );
+        let degraded = base.saturating_sub(cross);
+        let mut steps = vec![(Time::ZERO, base)];
+        let mut t = start;
+        while t < until {
+            steps.push((t, degraded));
+            let off_at = t + on_for;
+            if off_at >= until {
+                // The window ends mid-on-phase: restore the base rate at
+                // `until` so simulations running past the schedule do not
+                // see the cross traffic linger forever.
+                steps.push((until, base));
+                break;
+            }
+            steps.push((off_at, base));
+            t = off_at + off_for;
+        }
+        BandwidthSchedule::from_steps(steps)
+    }
+
+    /// Parses the trace format described in the module docs.
+    pub fn parse_trace(text: &str) -> Result<Self, TraceParseError> {
+        let mut steps = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |reason: &str| TraceParseError {
+                line: i + 1,
+                reason: reason.to_string(),
+            };
+            let mut parts = line.split_whitespace();
+            let (Some(t), Some(r), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err("expected exactly `<seconds> <rate>`"));
+            };
+            let secs: f64 = t
+                .parse()
+                .map_err(|_| err("seconds field is not a number"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(err("seconds must be finite and non-negative"));
+            }
+            let rate = parse_rate(r).ok_or_else(|| err("unparsable rate"))?;
+            steps.push((Time::ZERO + Duration::from_secs_f64(secs), rate));
+        }
+        Ok(BandwidthSchedule::from_steps(steps))
+    }
+
+    /// The schedule's steps, sorted by time.
+    pub fn steps(&self) -> &[(Time, Rate)] {
+        &self.steps
+    }
+
+    /// True when the schedule changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The rate in force at `t`, or `None` before the first step.
+    pub fn rate_at(&self, t: Time) -> Option<Rate> {
+        self.steps
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .map(|&(_, r)| r)
+    }
+}
+
+/// Parses `12mbps` / `1200kbps` / `64000bps` / plain bits-per-second.
+fn parse_rate(s: &str) -> Option<Rate> {
+    let lower = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix("mbps") {
+        (n, 1_000_000.0)
+    } else if let Some(n) = lower.strip_suffix("kbps") {
+        (n, 1_000.0)
+    } else if let Some(n) = lower.strip_suffix("bps") {
+        (n, 1.0)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    if !v.is_finite() || v < 0.0 {
+        return None;
+    }
+    Some(Rate::from_bps((v * mult) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_wave_alternates() {
+        let s = BandwidthSchedule::square_wave(
+            Rate::from_mbps(10),
+            Rate::from_mbps(2),
+            Duration::from_secs(5),
+            Time::from_secs(20),
+        );
+        assert_eq!(s.steps().len(), 4);
+        assert_eq!(s.rate_at(Time::from_secs(1)), Some(Rate::from_mbps(10)));
+        assert_eq!(s.rate_at(Time::from_secs(6)), Some(Rate::from_mbps(2)));
+        assert_eq!(s.rate_at(Time::from_secs(12)), Some(Rate::from_mbps(10)));
+        assert_eq!(s.rate_at(Time::from_secs(17)), Some(Rate::from_mbps(2)));
+    }
+
+    #[test]
+    fn on_off_subtracts_cross_traffic() {
+        let s = BandwidthSchedule::on_off(
+            Rate::from_mbps(10),
+            Rate::from_mbps(6),
+            Time::from_secs(5),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+            Time::from_secs(20),
+        );
+        assert_eq!(s.rate_at(Time::from_secs(1)), Some(Rate::from_mbps(10)));
+        assert_eq!(s.rate_at(Time::from_secs(7)), Some(Rate::from_mbps(4)));
+        assert_eq!(s.rate_at(Time::from_secs(12)), Some(Rate::from_mbps(10)));
+        assert_eq!(s.rate_at(Time::from_secs(16)), Some(Rate::from_mbps(4)));
+        // Past the window the base rate is restored, not stuck degraded.
+        assert_eq!(s.rate_at(Time::from_secs(25)), Some(Rate::from_mbps(10)));
+    }
+
+    #[test]
+    fn step_changes_once() {
+        let s =
+            BandwidthSchedule::step(Rate::from_mbps(8), Rate::from_mbps(1), Time::from_secs(10));
+        assert_eq!(s.rate_at(Time::from_secs(9)), Some(Rate::from_mbps(8)));
+        assert_eq!(s.rate_at(Time::from_secs(10)), Some(Rate::from_mbps(1)));
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let text = "\
+# handover trace
+0    8mbps
+5.5  1200kbps   # dip
+9    64000      # plain bits/sec
+";
+        let s = BandwidthSchedule::parse_trace(text).expect("parses");
+        assert_eq!(s.steps().len(), 3);
+        assert_eq!(s.rate_at(Time::ZERO), Some(Rate::from_mbps(8)));
+        assert_eq!(s.rate_at(Time::from_secs(6)), Some(Rate::from_kbps(1200)));
+        assert_eq!(s.rate_at(Time::from_secs(9)), Some(Rate::from_bps(64000)));
+        assert_eq!(s.rate_at(Time::from_millis(5400)), Some(Rate::from_mbps(8)));
+    }
+
+    #[test]
+    fn trace_rejects_garbage() {
+        assert!(BandwidthSchedule::parse_trace("nonsense").is_err());
+        assert!(BandwidthSchedule::parse_trace("1 2 3").is_err());
+        assert!(BandwidthSchedule::parse_trace("-1 8mbps").is_err());
+        assert!(BandwidthSchedule::parse_trace("1 fastish").is_err());
+        let err = BandwidthSchedule::parse_trace("0 8mbps\nbad").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_instants_keep_only_the_last_step() {
+        let s = BandwidthSchedule::from_steps(vec![
+            (Time::from_secs(5), Rate::from_mbps(10)),
+            (Time::from_secs(5), Rate::ZERO),
+            (Time::ZERO, Rate::from_mbps(2)),
+        ]);
+        // The superseded 10 Mbps step is gone entirely, not just shadowed.
+        assert_eq!(s.steps().len(), 2);
+        assert_eq!(s.rate_at(Time::from_secs(5)), Some(Rate::ZERO));
+    }
+
+    #[test]
+    fn rate_at_before_first_step_is_none() {
+        let s = BandwidthSchedule::from_steps(vec![(Time::from_secs(5), Rate::from_mbps(1))]);
+        assert_eq!(s.rate_at(Time::from_secs(4)), None);
+    }
+}

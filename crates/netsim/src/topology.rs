@@ -6,6 +6,7 @@
 
 use crate::channel::PathSpec;
 use crate::link::{LinkId, LinkSpec};
+use crate::schedule::BandwidthSchedule;
 use crate::sim::{Node, NodeId, RouterNode, Simulator};
 
 /// A pair of link ids for a duplex connection (forward, reverse).
@@ -97,6 +98,12 @@ impl Topology {
             self.sim.set_route(rr, addr, d.reverse);
         }
         (rl, rr, center)
+    }
+
+    /// Attaches a bandwidth schedule to one link direction, making its
+    /// capacity time-varying (see [`BandwidthSchedule`]).
+    pub fn schedule_link(&mut self, link: LinkId, sched: &BandwidthSchedule) {
+        self.sim.apply_link_schedule(link, sched);
     }
 
     /// Installs an explicit route.

@@ -29,11 +29,9 @@ fn main() {
         for _ in 0..64 {
             cm.request(flow, now).expect("request");
         }
-        let grants: Vec<_> = cm
-            .drain_notifications()
-            .into_iter()
-            .filter(|n| matches!(n, CmNotification::SendGrant { .. }))
-            .collect();
+        let mut grants = Vec::new();
+        cm.drain_notifications_into(&mut grants);
+        grants.retain(|n| matches!(n, CmNotification::SendGrant { .. }));
 
         // "Send" each grant and let the IP layer charge it.
         let mut sent = 0u64;

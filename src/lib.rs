@@ -15,6 +15,9 @@
 //!   controlled UDP sockets, and the simulated host stack.
 //! * [`libcm`] — the user-space library layer: control socket,
 //!   select/ioctl semantics, dispatch costs.
+//! * [`adapt`] — the shared content-adaptation engine: quality ladders,
+//!   utility maximization, buffer/deadline policies, per-session
+//!   adaptation statistics (see `docs/adaptation.md`).
 //! * [`apps`] — the paper's applications: layered streaming, vat-style
 //!   interactive audio, web server/client, bulk transfer.
 //! * [`util`] — time, rates, filters, deterministic RNG, statistics.
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cm_adapt as adapt;
 pub use cm_apps as apps;
 pub use cm_core as core;
 pub use cm_libcm as libcm;
@@ -34,6 +38,10 @@ pub use cm_util as util;
 
 /// Everything an application author typically needs.
 pub mod prelude {
+    pub use cm_adapt::{
+        AdaptationPolicy, AdaptationStats, BufferPolicy, Engine, LadderConfig, LadderPolicy,
+        Observation, RateLadder, UtilityPolicy,
+    };
     pub use cm_apps::{
         AckReceiver, AdaptMode, BlastApi, BlastSender, BulkReceiver, BulkSender, DropPolicy,
         FeedbackPolicy, LayeredStreamer, OnOffSource, VatAudio, WebClient, WebServer,

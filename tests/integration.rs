@@ -288,9 +288,12 @@ fn cm_api_full_surface() {
 
     // Drive feedback so rate callbacks can fire.
     let mut now = now;
+    let mut notes = Vec::new();
     for _ in 0..8 {
         cm.request(f1, now).unwrap();
-        for n in cm.drain_notifications() {
+        notes.clear();
+        cm.drain_notifications_into(&mut notes);
+        for &n in &notes {
             if let CmNotification::SendGrant { flow } = n {
                 cm.notify(flow, 1460, now).unwrap();
             }

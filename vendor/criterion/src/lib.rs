@@ -14,6 +14,12 @@
 //! Absolute numbers are not comparable to real criterion's, but ratios
 //! between two runs on the same machine — the thing the perf acceptance
 //! criteria use — are meaningful.
+//!
+//! Like real criterion, passing `--test` (as cargo does for
+//! `cargo bench -- --test`) switches to **smoke mode**: every benchmark
+//! body runs exactly once with no warmup, calibration, or sampling — a
+//! fast CI check that benches still compile *and execute* without
+//! measuring anything.
 
 use std::time::{Duration, Instant};
 
@@ -95,7 +101,23 @@ impl Bencher {
     }
 }
 
+/// True when the harness was invoked with `--test` (smoke mode).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    if smoke_mode() {
+        // Run the body exactly once so CI catches benches that panic or
+        // rot, without paying for measurement.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {name:<40} ok (smoke: 1 iteration)");
+        return;
+    }
     // Calibrate: grow the iteration count until one sample is long enough
     // to time reliably.
     let mut iters: u64 = 1;
