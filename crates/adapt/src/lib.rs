@@ -35,12 +35,19 @@
 //! rules of `docs/perf.md`: all state is preallocated at construction and
 //! a steady-state observation performs **zero heap allocation** (enforced
 //! by the counting-allocator test in `tests/no_alloc.rs`).
+//!
+//! Above the per-session layer, [`FleetStats`] aggregates many sessions'
+//! [`AdaptationStats`] into log-bucketed distributions (switch rate,
+//! oscillation, utility) for fleet-scale telemetry and the
+//! `cm-experiments` figure pipeline; its record path is allocation-free
+//! under the same counting-allocator test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod engine;
+pub mod fleet;
 pub mod ladder;
 pub mod policy;
 pub mod stats;
@@ -48,6 +55,7 @@ pub mod utility;
 
 pub use buffer::BufferPolicy;
 pub use engine::{Decision, Engine};
+pub use fleet::{FleetStats, LogHistogram};
 pub use ladder::{LadderConfig, LadderPolicy};
 pub use policy::{AdaptationPolicy, Observation, RateLadder};
 pub use stats::AdaptationStats;

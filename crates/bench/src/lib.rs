@@ -1,15 +1,16 @@
 //! Experiment harness for the OSDI 2000 Congestion Manager reproduction.
 //!
 //! One binary per table/figure (see `src/bin/`); this library holds the
-//! shared scenario builders and the report formatting. Every scenario is
-//! deterministic given its seed, so rerunning a figure reproduces it
-//! byte-for-byte.
+//! shared scenario builders. Report formatting and the adaptation
+//! sweep scenarios live in `cm-experiments` (the paper-figure pipeline)
+//! and are re-exported here so the figure binaries share one emitter
+//! stack. Every scenario is deterministic given its seed, so rerunning a
+//! figure reproduces it byte-for-byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod report;
 pub mod scenarios;
 
-pub use report::Table;
+pub use cm_experiments::report::{self, Table};
 pub use scenarios::*;

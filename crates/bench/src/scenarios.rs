@@ -3,7 +3,6 @@
 //! Each function builds a deterministic simulation matching one of the
 //! paper's testbed setups and returns the measurements the figures plot.
 
-use cm_adapt::{Engine, LadderConfig, LadderPolicy, RateLadder, UtilityPolicy};
 use cm_apps::ack_clients::{AckReceiver, FeedbackPolicy};
 use cm_apps::blast::{BlastApi, BlastSender};
 use cm_apps::bulk::{BulkReceiver, BulkSender};
@@ -15,8 +14,13 @@ use cm_core::config::{CmConfig, ControllerKind};
 use cm_netsim::channel::PathSpec;
 use cm_netsim::cpu::{CostModel, OpCounts};
 use cm_netsim::link::LinkSpec;
-use cm_netsim::schedule::BandwidthSchedule;
 use cm_netsim::topology::Topology;
+
+// The adaptation-sweep scenarios migrated to the cm-experiments figure
+// pipeline; re-exported so existing callers keep one import path.
+pub use cm_experiments::{
+    adaptive_stream_under_trace, default_adapt_trace, AdaptOutcome, AdaptPolicyKind,
+};
 use cm_transport::host::{Host, HostConfig};
 use cm_transport::tcp::TcpConfig;
 use cm_transport::types::{CcMode, TcpConnId};
@@ -476,122 +480,6 @@ pub fn vat_run(policy: DropPolicy, link: Rate, secs: u64, seed: u64) -> (f64, f6
     )
 }
 
-/// Which adaptation policy a scenario drives (config shorthand for the
-/// quality/oscillation comparison).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum AdaptPolicyKind {
-    /// Hysteresis-free ladder (the paper's Figure 8/9 behaviour).
-    LadderImmediate,
-    /// Ladder with headroom and dwell damping.
-    LadderDamped,
-    /// EWMA'd utility argmax.
-    Utility,
-}
-
-impl AdaptPolicyKind {
-    fn engine(self) -> Engine {
-        let ladder = RateLadder::new(LayeredStreamer::default_layers());
-        match self {
-            AdaptPolicyKind::LadderImmediate => {
-                Engine::new(Box::new(LadderPolicy::immediate(ladder)))
-            }
-            AdaptPolicyKind::LadderDamped => {
-                Engine::new(Box::new(LadderPolicy::new(ladder, LadderConfig::damped())))
-            }
-            AdaptPolicyKind::Utility => Engine::new(Box::new(UtilityPolicy::log_utility(
-                ladder, 0.25, 0.95, 0.1,
-            ))),
-        }
-    }
-}
-
-/// Adaptation quality under a bandwidth trace, per policy.
-#[derive(Clone, Debug)]
-pub struct AdaptOutcome {
-    /// Bytes delivered to the receiver.
-    pub delivered: u64,
-    /// Total layer switches.
-    pub switches: u64,
-    /// Direction reversals per minute (oscillation).
-    pub oscillation_per_min: f64,
-    /// Mean delivered utility (level rate in KB/s, time-weighted).
-    pub mean_utility: f64,
-    /// Fraction of time per layer.
-    pub time_in_layer: Vec<f64>,
-}
-
-/// Runs the layered streamer against a time-varying bottleneck and
-/// reports adaptation quality — the harness behind the "quality and
-/// oscillation vs. policy" comparison. The trace applies to the forward
-/// (data) direction of an otherwise clean 40 ms-RTT path.
-pub fn adaptive_stream_under_trace(
-    policy: AdaptPolicyKind,
-    trace: &BandwidthSchedule,
-    secs: u64,
-    seed: u64,
-) -> AdaptOutcome {
-    let stop = Time::from_secs(secs);
-    let mut topo = Topology::new(seed);
-    let mut rx_host = Host::new(HostConfig::default());
-    let rx_app = rx_host.add_app(Box::new(AckReceiver::new(9000, FeedbackPolicy::PerPacket)));
-    let rx_id = topo.add_host(Box::new(rx_host));
-    let rx_addr = topo.sim().addr_of(rx_id);
-
-    let mut tx_host = Host::new(HostConfig::default());
-    let tx_app = tx_host.add_app(Box::new(LayeredStreamer::with_engine(
-        rx_addr,
-        9000,
-        AdaptMode::Alf,
-        stop,
-        policy.engine(),
-    )));
-    let tx_id = topo.add_host(Box::new(tx_host));
-
-    // Physical capacity must cover the trace's peak (the schedule's
-    // first step applies immediately and overrides the LinkSpec rate),
-    // with a 20 Mbps floor for traces that never reach that.
-    let base = trace
-        .steps()
-        .iter()
-        .map(|&(_, r)| r)
-        .fold(Rate::from_mbps(20), Rate::max);
-    let d = topo.emulated_path(
-        tx_id,
-        rx_id,
-        &PathSpec::new(base, Duration::from_millis(40)),
-    );
-    topo.schedule_link(d.forward, trace);
-    let mut sim = topo.build();
-    sim.run_until(stop + Duration::from_secs(1));
-
-    let tx = sim
-        .node_ref::<Host>(tx_id)
-        .app_ref::<LayeredStreamer>(tx_app);
-    let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
-    let stats = tx.adaptation_stats();
-    AdaptOutcome {
-        delivered: rx.bytes,
-        switches: stats.switches,
-        oscillation_per_min: stats.oscillation_per_min(),
-        mean_utility: stats.mean_utility(),
-        time_in_layer: (0..stats.time_in_level().len())
-            .map(|i| stats.fraction_in_level(i))
-            .collect(),
-    }
-}
-
-/// The default trace for adaptation benches: capacity swings between
-/// comfortable (8 Mbps — sustains the 1 MB/s third layer) and
-/// constrained (600 kbps — forces the floor) every 6 s.
-pub fn default_adapt_trace(secs: u64) -> BandwidthSchedule {
-    BandwidthSchedule::square_wave(
-        Rate::from_mbps(8),
-        Rate::from_kbps(600),
-        Duration::from_secs(6),
-        Time::from_secs(secs),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,20 +530,13 @@ mod tests {
     }
 
     #[test]
-    fn adaptation_trace_scenario_reports_quality() {
-        let trace = default_adapt_trace(14);
-        let o = adaptive_stream_under_trace(AdaptPolicyKind::LadderImmediate, &trace, 14, 3);
-        assert!(o.delivered > 200_000, "delivered {}", o.delivered);
-        assert!(o.switches >= 2, "no adaptation under the trace");
+    fn migrated_adaptation_scenarios_stay_reachable() {
+        // The adaptation sweep moved to cm-experiments; the re-exported
+        // path must keep working for benches and downstream callers.
+        let trace = default_adapt_trace(8);
+        let o = adaptive_stream_under_trace(AdaptPolicyKind::LadderImmediate, &trace, 8, 3);
+        assert!(o.delivered > 100_000, "delivered {}", o.delivered);
         assert_eq!(o.time_in_layer.len(), 4);
-        // Damping must cut switch count against the same trace.
-        let damped = adaptive_stream_under_trace(AdaptPolicyKind::LadderDamped, &trace, 14, 3);
-        assert!(
-            damped.switches <= o.switches,
-            "damped {} vs immediate {}",
-            damped.switches,
-            o.switches
-        );
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub struct CmStats {
     /// Outstanding bytes written off after a long feedback-free
     /// interval (several RTOs).
     pub outstanding_reclaimed: u64,
+    /// Persistent-congestion signals delivered to the controller when a
+    /// feedback-free write-off fired (each collapses the window to a
+    /// conservative state instead of silently reopening it).
+    pub write_off_congestion_signals: u64,
     /// Macroflows created.
     pub macroflows_created: u64,
     /// Macroflows expired after lingering empty.
@@ -540,6 +544,18 @@ impl CongestionManager {
                 if mf.outstanding > 0 && now.since(mf.last_activity) >= write_off_after {
                     self.stats.outstanding_reclaimed += mf.outstanding;
                     mf.outstanding = 0;
+                    // Silence this long is indistinguishable from the
+                    // paper's CM_LOST_FEEDBACK: everything in flight (and
+                    // every ACK) vanished. Reopening the learned window
+                    // as-is would blast a stale estimate into unknown
+                    // conditions, so signal persistent congestion — the
+                    // controller collapses to its initial window and
+                    // re-probes from a conservative state — and freeze
+                    // growth for one RTT, mirroring `update`'s loss path.
+                    mf.controller.on_loss(LossMode::Persistent, now);
+                    let freeze = mf.rtt.srtt().unwrap_or(cfg.min_rto);
+                    mf.recovery_until = now + freeze;
+                    self.stats.write_off_congestion_signals += 1;
                 }
                 mf.age_if_idle(now, &cfg);
                 matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
@@ -961,6 +977,65 @@ mod tests {
         assert_eq!(cm.outstanding_of(mf).unwrap(), 0);
         assert_eq!(cm.stats().outstanding_reclaimed, 1460);
         assert_eq!(grants_in(&cm.drain_notifications()), vec![f]);
+    }
+
+    /// Regression: a long-idle sender whose in-flight data evaporated
+    /// must come back in a *conservative* state. The write-off may not
+    /// silently reopen the learned window — silence that long is a
+    /// persistent-congestion signal, so the controller collapses to its
+    /// initial window and growth stays frozen for one RTT.
+    #[test]
+    fn feedback_free_write_off_enters_conservative_state() {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        // Grow the window well past the initial 1 MTU.
+        let mut now = Time::ZERO;
+        for _ in 0..6 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        let learned = cm.window_of(mf).unwrap();
+        assert!(learned >= 4 * 1460, "window never grew ({learned})");
+        // One last burst goes out... and every ACK is lost. The sender
+        // then idles for a long time.
+        cm.request(f, now).unwrap();
+        for n in cm.drain_notifications() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, now).unwrap();
+            }
+        }
+        assert!(cm.outstanding_of(mf).unwrap() > 0);
+        let much_later = now + Duration::from_secs(60);
+        cm.tick(much_later);
+        // The stale bytes are written off AND the controller was told —
+        // the window is back at its initial value, not the stale one.
+        assert_eq!(cm.outstanding_of(mf).unwrap(), 0);
+        assert_eq!(cm.stats().write_off_congestion_signals, 1);
+        assert_eq!(cm.window_of(mf).unwrap(), 1460, "window silently reopened");
+        // Growth stays frozen for one RTT after the signal: an immediate
+        // ACK must not re-inflate the window.
+        cm.update(f, FeedbackReport::ack(1460, 1), much_later)
+            .unwrap();
+        assert_eq!(cm.window_of(mf).unwrap(), 1460, "grew during recovery");
+        // After the freeze the sender probes up from the floor as usual.
+        let after = much_later + Duration::from_secs(1);
+        cm.update(f, FeedbackReport::ack(1460, 1), after).unwrap();
+        assert!(cm.window_of(mf).unwrap() > 1460, "never recovered");
     }
 
     /// Outstanding bytes with live feedback are never written off: the

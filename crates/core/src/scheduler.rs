@@ -427,8 +427,9 @@ impl Scheduler for WeightedRoundRobinScheduler {
 /// per grant; the lowest pass goes next. Deterministic proportional share
 /// with tighter short-term fairness than WRR.
 ///
-/// Member state is stored in member-local slots (like [`Ring`]), so the
-/// min-pass scan in `dequeue` touches only this scheduler's flows.
+/// Member state is stored in member-local slots (like the rotation ring
+/// the round-robin schedulers use), so the min-pass scan in `dequeue`
+/// touches only this scheduler's flows.
 #[derive(Default)]
 pub struct StrideScheduler {
     /// Global flow id -> local slot ([`NIL`] when not registered here).

@@ -1,0 +1,51 @@
+//! Paper-figure reproduction pipeline for the Congestion Manager.
+//!
+//! The paper's evidence is its figures; this crate regenerates
+//! paper-style results end to end from declarative specs:
+//!
+//! ```text
+//!   Experiment spec            runner                    emitters
+//!   ┌──────────────────┐   ┌──────────────────┐   ┌────────────────────┐
+//!   │ app mix          │   │ one cm-netsim    │   │ <figure>.csv       │
+//!   │ BandwidthSchedule│──▶│ run per cell     │──▶│ <figure>.dat       │
+//!   │ policy sweep     │   │ AdaptationStats  │   │ <figure>.md        │
+//!   │ controller sweep │   │ → FleetStats     │   │   (docs/figures/)  │
+//!   └──────────────────┘   └──────────────────┘   └────────────────────┘
+//! ```
+//!
+//! * [`spec`] — the declarative [`Experiment`]: topology app mix,
+//!   [`ScheduleSpec`] bandwidth schedules, and
+//!   `AdaptPolicyKind`/`ControllerKind` sweep axes.
+//! * [`runner`] — expands the sweep, executes each cell on `cm-netsim`,
+//!   and folds per-session [`cm_adapt::AdaptationStats`] into
+//!   [`cm_adapt::FleetStats`] aggregates.
+//! * [`report`] — the shared deterministic emitters (aligned tables,
+//!   CSV, gnuplot `.dat`, markdown) the `cm-bench` binaries also use.
+//! * [`builtin`] — the shipped figures: the Figure 8/9 quality track,
+//!   the quality/oscillation policy frontier, recorded-trace replay, and
+//!   vat audio adaptation.
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run --release -p cm-experiments --bin figures
+//! ```
+//!
+//! Two runs produce byte-identical output (enforced by the determinism
+//! test in `tests/figures.rs`). See `docs/experiments.md` for the spec
+//! format and how to add a figure or a trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::Table;
+pub use runner::{
+    adaptive_stream_under_trace, default_adapt_trace, run_experiment, AdaptOutcome, CellOutcome,
+    ExperimentResult,
+};
+pub use spec::{AdaptPolicyKind, AppKind, Experiment, NamedSchedule, ScheduleSpec};

@@ -1,0 +1,487 @@
+//! Expands an [`Experiment`] into cells and executes each on the
+//! simulator, collecting per-session [`AdaptationStats`] into fleet
+//! aggregates.
+//!
+//! Every cell is one deterministic simulation: an adaptive sender over a
+//! time-varying bottleneck built from the cell's [`BandwidthSchedule`].
+//! The layered cells additionally record a *quality track* — the
+//! CM-reported rate and the selected level at every sample instant — and
+//! per-phase summaries keyed to the schedule's piecewise-constant
+//! segments (via [`BandwidthSchedule::phases`]).
+
+use cm_adapt::{AdaptationStats, FleetStats};
+use cm_apps::ack_clients::{AckReceiver, FeedbackPolicy};
+use cm_apps::layered::{AdaptMode, LayeredStreamer};
+use cm_apps::vat::{DropPolicy, VatAudio};
+use cm_core::config::{CmConfig, ControllerKind};
+use cm_netsim::channel::PathSpec;
+use cm_netsim::link::QueueSpec;
+use cm_netsim::schedule::BandwidthSchedule;
+use cm_netsim::topology::Topology;
+use cm_transport::host::{Host, HostConfig};
+use cm_util::{Duration, Rate, Time};
+
+use crate::spec::{controller_label, AdaptPolicyKind, AppKind, Experiment};
+
+/// One point of a cell's quality track.
+#[derive(Clone, Copy, Debug)]
+pub struct QualitySample {
+    /// Sample instant, seconds.
+    pub t_secs: f64,
+    /// The CM-reported sustainable rate at that instant, KB/s.
+    pub cm_rate_kbps: f64,
+    /// The level the policy held after absorbing this sample.
+    pub level: usize,
+}
+
+/// Mean behaviour over one schedule phase.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseSummary {
+    /// Phase start, seconds.
+    pub start_secs: f64,
+    /// Phase end, seconds.
+    pub end_secs: f64,
+    /// The scheduled link rate in KB/s (`None` before the first step).
+    pub sched_rate_kbps: Option<f64>,
+    /// Mean selected level over the phase's samples.
+    pub mean_level: f64,
+    /// Mean CM-reported rate over the phase's samples, KB/s.
+    pub mean_cm_rate_kbps: f64,
+}
+
+/// The measurements one cell produces.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Schedule name from the spec.
+    pub schedule: String,
+    /// Policy label (`"vat"` for the vat app's fixed policy).
+    pub policy: &'static str,
+    /// Controller label.
+    pub controller: &'static str,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Bytes the receiver actually got.
+    pub delivered: u64,
+    /// The session's full adaptation statistics.
+    pub stats: AdaptationStats,
+    /// CM rate + level over time (layered cells; empty for vat).
+    pub track: Vec<QualitySample>,
+    /// Per-schedule-phase summary (layered cells; empty for vat).
+    pub phases: Vec<PhaseSummary>,
+    /// App-specific scalars (`name`, value) — e.g. vat delivery
+    /// fraction and mean frame age.
+    pub extra: Vec<(&'static str, f64)>,
+}
+
+impl CellOutcome {
+    /// The `policy/controller` group this cell aggregates under.
+    pub fn group(&self) -> String {
+        format!("{}/{}", self.policy, self.controller)
+    }
+}
+
+/// An executed experiment: every cell plus per-group fleet aggregates.
+pub struct ExperimentResult {
+    /// The spec this ran.
+    pub spec: Experiment,
+    /// All cells, in sweep order (schedules, then policies, then
+    /// controllers, then seeds).
+    pub cells: Vec<CellOutcome>,
+    /// Fleet aggregates per `policy/controller` group, in first-seen
+    /// order.
+    pub fleets: Vec<(String, FleetStats)>,
+}
+
+impl ExperimentResult {
+    /// The fleet aggregate for a `policy/controller` group label.
+    pub fn fleet(&self, group: &str) -> Option<&FleetStats> {
+        self.fleets.iter().find(|(g, _)| g == group).map(|(_, f)| f)
+    }
+}
+
+/// Runs every cell of `exp` and aggregates the fleet statistics.
+///
+/// # Panics
+///
+/// Panics if a schedule spec fails to build (a malformed inline trace)
+/// or a sweep axis is empty — both are authoring errors in a built-in
+/// figure, not runtime conditions.
+pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
+    assert!(!exp.controllers.is_empty(), "need at least one controller");
+    assert!(!exp.policies.is_empty(), "need at least one policy");
+    assert!(!exp.seeds.is_empty(), "need at least one seed");
+    let mut cells = Vec::new();
+    for sched in &exp.schedules {
+        let schedule = sched
+            .spec
+            .build()
+            .unwrap_or_else(|e| panic!("schedule {}: {e}", sched.name));
+        for &policy in &exp.policies {
+            // The vat app's policy is fixed; run its cells once.
+            if exp.app == AppKind::Vat && policy != exp.policies[0] {
+                continue;
+            }
+            for &controller in &exp.controllers {
+                for &seed in &exp.seeds {
+                    let mut cell = match exp.app {
+                        AppKind::Layered => {
+                            layered_cell(policy, controller, &schedule, exp.secs, seed)
+                        }
+                        AppKind::Vat => vat_cell(controller, &schedule, exp.secs, seed),
+                    };
+                    cell.schedule = sched.name.clone();
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    let levels = cells
+        .iter()
+        .map(|c| c.stats.time_in_level().len())
+        .max()
+        .unwrap_or(1);
+    let mut fleets: Vec<(String, FleetStats)> = Vec::new();
+    for cell in &cells {
+        let group = cell.group();
+        let fleet = match fleets.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, f)) => f,
+            None => {
+                fleets.push((group, FleetStats::new(levels)));
+                &mut fleets.last_mut().expect("just pushed").1
+            }
+        };
+        fleet.record(&cell.stats);
+    }
+    ExperimentResult {
+        spec: exp.clone(),
+        cells,
+        fleets,
+    }
+}
+
+/// The physical link rate a schedule requires: its peak (the schedule's
+/// first step applies immediately and overrides the `LinkSpec` rate),
+/// floored at `floor` for schedules that never reach it.
+fn base_rate(schedule: &BandwidthSchedule, floor: Rate) -> Rate {
+    schedule
+        .steps()
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(floor, Rate::max)
+}
+
+/// Runs one layered-streamer cell: the ALF-mode streamer adapting via
+/// `policy` against `schedule` on a 40 ms-RTT path, the CM running
+/// `controller`.
+pub fn layered_cell(
+    policy: AdaptPolicyKind,
+    controller: ControllerKind,
+    schedule: &BandwidthSchedule,
+    secs: u64,
+    seed: u64,
+) -> CellOutcome {
+    let stop = Time::from_secs(secs);
+    let cm = CmConfig {
+        controller,
+        ..Default::default()
+    };
+    let host_cfg = HostConfig {
+        cm,
+        ..Default::default()
+    };
+    let mut topo = Topology::new(seed);
+    let mut rx_host = Host::new(host_cfg.clone());
+    let rx_app = rx_host.add_app(Box::new(AckReceiver::new(9000, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+
+    let mut tx_host = Host::new(host_cfg);
+    let tx_app = tx_host.add_app(Box::new(LayeredStreamer::with_engine(
+        rx_addr,
+        9000,
+        AdaptMode::Alf,
+        stop,
+        policy.engine(),
+    )));
+    let tx_id = topo.add_host(Box::new(tx_host));
+
+    let base = base_rate(schedule, Rate::from_mbps(20));
+    let d = topo.emulated_path(
+        tx_id,
+        rx_id,
+        &PathSpec::new(base, Duration::from_millis(40)),
+    );
+    topo.schedule_link(d.forward, schedule);
+    let mut sim = topo.build();
+    sim.run_until(stop + Duration::from_secs(1));
+
+    let tx = sim
+        .node_ref::<Host>(tx_id)
+        .app_ref::<LayeredStreamer>(tx_app);
+    let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
+
+    // Reconstruct the quality track: the level in force after each CM
+    // rate sample. In ALF mode the streamer adapts on exactly the
+    // samples it records, and a layer change lands at the same instant
+    // as the sample that caused it.
+    let mut track = Vec::with_capacity(tx.cm_rate.len());
+    let mut level = 0usize;
+    let mut change_idx = 0usize;
+    for &(t, rate_kbps) in tx.cm_rate.points() {
+        while change_idx < tx.layer_changes.len() && tx.layer_changes[change_idx].0 <= t {
+            level = tx.layer_changes[change_idx].1;
+            change_idx += 1;
+        }
+        track.push(QualitySample {
+            t_secs: t.as_secs_f64(),
+            cm_rate_kbps: rate_kbps,
+            level,
+        });
+    }
+    let phases = phase_summaries(schedule, stop, &track);
+
+    CellOutcome {
+        schedule: String::new(),
+        policy: policy.label(),
+        controller: controller_label(controller),
+        seed,
+        delivered: rx.bytes,
+        stats: tx.adaptation_stats().clone(),
+        track,
+        phases,
+        extra: Vec::new(),
+    }
+}
+
+/// Runs one vat cell: the 64 Kbit/s audio policer over a narrow
+/// scheduled path with a short queue.
+pub fn vat_cell(
+    controller: ControllerKind,
+    schedule: &BandwidthSchedule,
+    secs: u64,
+    seed: u64,
+) -> CellOutcome {
+    let stop = Time::from_secs(secs);
+    let cm = CmConfig {
+        controller,
+        ..Default::default()
+    };
+    let host_cfg = HostConfig {
+        cm,
+        ..Default::default()
+    };
+    let mut topo = Topology::new(seed);
+    let mut rx_host = Host::new(host_cfg.clone());
+    let rx_app = rx_host.add_app(Box::new(AckReceiver::new(5003, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+    let mut tx_host = Host::new(host_cfg);
+    let tx_app = tx_host.add_app(Box::new(VatAudio::new(
+        rx_addr,
+        5003,
+        DropPolicy::Head,
+        stop,
+    )));
+    let tx_id = topo.add_host(Box::new(tx_host));
+
+    let base = base_rate(schedule, Rate::from_kbps(128));
+    let path =
+        PathSpec::new(base, Duration::from_millis(50)).with_queue(QueueSpec::DropTailPackets(8));
+    let d = topo.emulated_path(tx_id, rx_id, &path);
+    topo.schedule_link(d.forward, schedule);
+    let mut sim = topo.build();
+    sim.run_until(stop + Duration::from_secs(2));
+
+    let vat = sim.node_ref::<Host>(tx_id).app_ref::<VatAudio>(tx_app);
+    let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
+    CellOutcome {
+        schedule: String::new(),
+        policy: "vat",
+        controller: controller_label(controller),
+        seed,
+        delivered: rx.bytes,
+        stats: vat.adaptation_stats().clone(),
+        track: Vec::new(),
+        phases: Vec::new(),
+        extra: vec![
+            ("delivery_fraction", vat.delivery_fraction()),
+            ("mean_send_age_ms", vat.mean_send_age_ms()),
+            ("policer_drops", vat.policer_drops as f64),
+            ("buffer_drops", vat.buffer_drops as f64),
+        ],
+    }
+}
+
+/// Buckets a quality track into the schedule's phases.
+fn phase_summaries(
+    schedule: &BandwidthSchedule,
+    stop: Time,
+    track: &[QualitySample],
+) -> Vec<PhaseSummary> {
+    schedule
+        .phases(stop)
+        .iter()
+        .map(|p| {
+            let (s, e) = (p.start.as_secs_f64(), p.end.as_secs_f64());
+            let mut n = 0u64;
+            let mut level_sum = 0.0;
+            let mut rate_sum = 0.0;
+            for q in track {
+                if q.t_secs >= s && q.t_secs < e {
+                    n += 1;
+                    level_sum += q.level as f64;
+                    rate_sum += q.cm_rate_kbps;
+                }
+            }
+            // An unsampled phase (shorter than the app's sampling
+            // interval) reports NaN, not a fabricated level-0 collapse;
+            // the emitters render it as `nan`.
+            let inv = if n > 0 { 1.0 / n as f64 } else { f64::NAN };
+            PhaseSummary {
+                start_secs: s,
+                end_secs: e,
+                sched_rate_kbps: p.rate.map(|r| r.as_kbytes_per_sec()),
+                mean_level: level_sum * inv,
+                mean_cm_rate_kbps: rate_sum * inv,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Back-compat scenario surface (previously in `cm_bench::scenarios`)
+// ---------------------------------------------------------------------
+
+/// Adaptation quality under a bandwidth trace, per policy.
+#[derive(Clone, Debug)]
+pub struct AdaptOutcome {
+    /// Bytes delivered to the receiver.
+    pub delivered: u64,
+    /// Total layer switches.
+    pub switches: u64,
+    /// Direction reversals per minute (oscillation).
+    pub oscillation_per_min: f64,
+    /// Mean delivered utility (level rate in KB/s, time-weighted).
+    pub mean_utility: f64,
+    /// Fraction of time per layer.
+    pub time_in_layer: Vec<f64>,
+}
+
+/// Runs the layered streamer against a time-varying bottleneck and
+/// reports adaptation quality — the harness behind the "quality and
+/// oscillation vs. policy" comparison. The trace applies to the forward
+/// (data) direction of an otherwise clean 40 ms-RTT path.
+pub fn adaptive_stream_under_trace(
+    policy: AdaptPolicyKind,
+    trace: &BandwidthSchedule,
+    secs: u64,
+    seed: u64,
+) -> AdaptOutcome {
+    let cell = layered_cell(
+        policy,
+        ControllerKind::Aimd {
+            byte_counting: true,
+        },
+        trace,
+        secs,
+        seed,
+    );
+    let stats = &cell.stats;
+    AdaptOutcome {
+        delivered: cell.delivered,
+        switches: stats.switches,
+        oscillation_per_min: stats.oscillation_per_min(),
+        mean_utility: stats.mean_utility(),
+        time_in_layer: (0..stats.time_in_level().len())
+            .map(|i| stats.fraction_in_level(i))
+            .collect(),
+    }
+}
+
+/// The default trace for adaptation benches: capacity swings between
+/// comfortable (8 Mbps — sustains the 1 MB/s third layer) and
+/// constrained (600 kbps — forces the floor) every 6 s.
+pub fn default_adapt_trace(secs: u64) -> BandwidthSchedule {
+    BandwidthSchedule::square_wave(
+        Rate::from_mbps(8),
+        Rate::from_kbps(600),
+        Duration::from_secs(6),
+        Time::from_secs(secs),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptation_trace_scenario_reports_quality() {
+        let trace = default_adapt_trace(14);
+        let o = adaptive_stream_under_trace(AdaptPolicyKind::LadderImmediate, &trace, 14, 3);
+        assert!(o.delivered > 200_000, "delivered {}", o.delivered);
+        assert!(o.switches >= 2, "no adaptation under the trace");
+        assert_eq!(o.time_in_layer.len(), 4);
+        // Damping must cut switch count against the same trace.
+        let damped = adaptive_stream_under_trace(AdaptPolicyKind::LadderDamped, &trace, 14, 3);
+        assert!(
+            damped.switches <= o.switches,
+            "damped {} vs immediate {}",
+            damped.switches,
+            o.switches
+        );
+    }
+
+    #[test]
+    fn vat_cell_polices_down_on_a_narrow_schedule() {
+        let schedule =
+            BandwidthSchedule::step(Rate::from_kbps(96), Rate::from_kbps(24), Time::from_secs(6));
+        let cell = vat_cell(
+            ControllerKind::Aimd {
+                byte_counting: true,
+            },
+            &schedule,
+            14,
+            5,
+        );
+        assert_eq!(cell.policy, "vat");
+        assert!(cell.delivered > 0);
+        let delivery = cell
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "delivery_fraction")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert!(
+            delivery > 0.1 && delivery < 1.0,
+            "policer never engaged (delivery {delivery})"
+        );
+    }
+
+    #[test]
+    fn phase_summaries_attribute_samples() {
+        let schedule =
+            BandwidthSchedule::step(Rate::from_mbps(8), Rate::from_mbps(1), Time::from_secs(5));
+        let track = vec![
+            QualitySample {
+                t_secs: 1.0,
+                cm_rate_kbps: 900.0,
+                level: 3,
+            },
+            QualitySample {
+                t_secs: 6.0,
+                cm_rate_kbps: 100.0,
+                level: 1,
+            },
+            QualitySample {
+                t_secs: 7.0,
+                cm_rate_kbps: 120.0,
+                level: 1,
+            },
+        ];
+        let phases = phase_summaries(&schedule, Time::from_secs(10), &track);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].mean_level, 3.0);
+        assert_eq!(phases[1].mean_level, 1.0);
+        assert!((phases[1].mean_cm_rate_kbps - 110.0).abs() < 1e-9);
+    }
+}

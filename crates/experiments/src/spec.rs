@@ -1,0 +1,284 @@
+//! The declarative experiment specification.
+//!
+//! An [`Experiment`] names everything a figure needs to be regenerated
+//! from scratch: the application under test, the bandwidth schedules it
+//! faces, the policy/controller sweep axes, and the run geometry
+//! (duration, seeds, sample bin). The runner expands the spec into its
+//! cartesian cell grid and executes every cell on `cm-netsim`, so the
+//! same spec always reproduces the same bytes.
+
+use cm_adapt::{Engine, LadderConfig, LadderPolicy, RateLadder, UtilityPolicy};
+use cm_apps::layered::LayeredStreamer;
+use cm_core::config::ControllerKind;
+use cm_netsim::schedule::{BandwidthSchedule, TraceParseError};
+use cm_util::{Duration, Rate, Time};
+
+/// Which adaptation policy a cell drives (config shorthand for the
+/// quality/oscillation comparison).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdaptPolicyKind {
+    /// Hysteresis-free ladder (the paper's Figure 8/9 behaviour).
+    LadderImmediate,
+    /// Ladder with headroom and dwell damping.
+    LadderDamped,
+    /// EWMA'd utility argmax.
+    Utility,
+}
+
+impl AdaptPolicyKind {
+    /// Every shipped policy kind, sweep-axis order.
+    pub const ALL: [AdaptPolicyKind; 3] = [
+        AdaptPolicyKind::LadderImmediate,
+        AdaptPolicyKind::LadderDamped,
+        AdaptPolicyKind::Utility,
+    ];
+
+    /// Builds an engine for this policy over the layered streamer's
+    /// default four-layer ladder.
+    pub fn engine(self) -> Engine {
+        let ladder = RateLadder::new(LayeredStreamer::default_layers());
+        match self {
+            AdaptPolicyKind::LadderImmediate => {
+                Engine::new(Box::new(LadderPolicy::immediate(ladder)))
+            }
+            AdaptPolicyKind::LadderDamped => {
+                Engine::new(Box::new(LadderPolicy::new(ladder, LadderConfig::damped())))
+            }
+            AdaptPolicyKind::Utility => Engine::new(Box::new(UtilityPolicy::log_utility(
+                ladder, 0.25, 0.95, 0.1,
+            ))),
+        }
+    }
+
+    /// Stable label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdaptPolicyKind::LadderImmediate => "immediate",
+            AdaptPolicyKind::LadderDamped => "damped",
+            AdaptPolicyKind::Utility => "utility",
+        }
+    }
+}
+
+/// Stable label for a controller in experiment output.
+pub fn controller_label(kind: ControllerKind) -> &'static str {
+    match kind {
+        ControllerKind::Aimd {
+            byte_counting: true,
+        } => "aimd",
+        ControllerKind::Aimd {
+            byte_counting: false,
+        } => "aimd-acks",
+        ControllerKind::RateBased => "rate-based",
+    }
+}
+
+/// How a cell's bandwidth schedule is produced.
+#[derive(Clone, Debug)]
+pub enum ScheduleSpec {
+    /// No schedule: the link keeps its configured rate.
+    None,
+    /// A single step at `at`.
+    Step {
+        /// Rate before the step.
+        before: Rate,
+        /// Rate after the step.
+        after: Rate,
+        /// When the step happens.
+        at: Time,
+    },
+    /// A square wave starting high at time zero.
+    SquareWave {
+        /// High-phase rate.
+        high: Rate,
+        /// Low-phase rate.
+        low: Rate,
+        /// Half period (time in each phase).
+        half_period: Duration,
+        /// Wave end.
+        until: Time,
+    },
+    /// On/off cross traffic subtracted from a base rate.
+    OnOff {
+        /// Link rate with the source off.
+        base: Rate,
+        /// Capacity the cross traffic consumes while on.
+        cross: Rate,
+        /// First on-transition.
+        start: Time,
+        /// On-phase length.
+        on_for: Duration,
+        /// Off-phase length.
+        off_for: Duration,
+        /// Source end.
+        until: Time,
+    },
+    /// A recorded trace in the `<seconds> <rate>` format of
+    /// [`BandwidthSchedule::parse_trace`] (the text itself, so specs
+    /// stay self-contained and deterministic).
+    Trace(String),
+}
+
+impl ScheduleSpec {
+    /// Builds the concrete schedule.
+    pub fn build(&self) -> Result<BandwidthSchedule, TraceParseError> {
+        Ok(match self {
+            ScheduleSpec::None => BandwidthSchedule::none(),
+            ScheduleSpec::Step { before, after, at } => {
+                BandwidthSchedule::step(*before, *after, *at)
+            }
+            ScheduleSpec::SquareWave {
+                high,
+                low,
+                half_period,
+                until,
+            } => BandwidthSchedule::square_wave(*high, *low, *half_period, *until),
+            ScheduleSpec::OnOff {
+                base,
+                cross,
+                start,
+                on_for,
+                off_for,
+                until,
+            } => BandwidthSchedule::on_off(*base, *cross, *start, *on_for, *off_for, *until),
+            ScheduleSpec::Trace(text) => BandwidthSchedule::parse_trace(text)?,
+        })
+    }
+}
+
+/// A schedule plus the name it carries through every emitter.
+#[derive(Clone, Debug)]
+pub struct NamedSchedule {
+    /// Stable name (used in CSV/dat/markdown rows).
+    pub name: String,
+    /// How to build it.
+    pub spec: ScheduleSpec,
+}
+
+impl NamedSchedule {
+    /// Convenience constructor.
+    pub fn new(name: &str, spec: ScheduleSpec) -> Self {
+        NamedSchedule {
+            name: name.to_string(),
+            spec,
+        }
+    }
+}
+
+/// Which application a cell runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppKind {
+    /// The four-layer streamer (Figures 8-10); sweeps the policy axis.
+    Layered,
+    /// The vat audio policer (its 16-level utility grid is fixed by the
+    /// app, so the policy axis is ignored).
+    Vat,
+}
+
+/// A declarative experiment: the full cartesian sweep one figure runs.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// File-stem name (`<name>.csv` / `.dat` / `.md`).
+    pub name: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Which figure/section of the paper this reproduces.
+    pub paper_ref: &'static str,
+    /// What the figure demonstrates.
+    pub description: &'static str,
+    /// Application under test.
+    pub app: AppKind,
+    /// Bandwidth schedules (one cell group per schedule).
+    pub schedules: Vec<NamedSchedule>,
+    /// Adaptation policies to sweep (layered app only; must be
+    /// non-empty — use one entry for a fixed-policy figure).
+    pub policies: Vec<AdaptPolicyKind>,
+    /// Congestion controllers to sweep (non-empty).
+    pub controllers: Vec<ControllerKind>,
+    /// Simulated seconds per cell.
+    pub secs: u64,
+    /// Seeds (one run per seed per cell).
+    pub seeds: Vec<u64>,
+}
+
+impl Experiment {
+    /// Number of cells the sweep expands to. The vat app's policy is
+    /// fixed by the application, so its policy axis contributes one
+    /// cell group regardless of length (matching the runner).
+    pub fn cell_count(&self) -> usize {
+        let policies = match self.app {
+            AppKind::Layered => self.policies.len(),
+            AppKind::Vat => self.policies.len().min(1),
+        };
+        self.schedules.len() * policies * self.controllers.len() * self.seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_specs_build() {
+        assert!(ScheduleSpec::None.build().unwrap().is_empty());
+        let s = ScheduleSpec::Step {
+            before: Rate::from_mbps(8),
+            after: Rate::from_mbps(1),
+            at: Time::from_secs(5),
+        }
+        .build()
+        .unwrap();
+        assert_eq!(s.steps().len(), 2);
+        let s = ScheduleSpec::Trace("0 8mbps\n5 1mbps\n".to_string())
+            .build()
+            .unwrap();
+        assert_eq!(s.rate_at(Time::from_secs(6)), Some(Rate::from_mbps(1)));
+        assert!(ScheduleSpec::Trace("garbage".to_string()).build().is_err());
+    }
+
+    #[test]
+    fn policy_engines_share_the_default_ladder() {
+        for kind in AdaptPolicyKind::ALL {
+            let e = kind.engine();
+            assert_eq!(e.levels(), 4);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AdaptPolicyKind::LadderImmediate.label(), "immediate");
+        assert_eq!(
+            controller_label(ControllerKind::Aimd {
+                byte_counting: true
+            }),
+            "aimd"
+        );
+        assert_eq!(controller_label(ControllerKind::RateBased), "rate-based");
+    }
+
+    #[test]
+    fn cell_count_is_the_cartesian_product() {
+        let e = Experiment {
+            name: "x",
+            title: "x",
+            paper_ref: "x",
+            description: "x",
+            app: AppKind::Layered,
+            schedules: vec![
+                NamedSchedule::new("a", ScheduleSpec::None),
+                NamedSchedule::new("b", ScheduleSpec::None),
+            ],
+            policies: vec![AdaptPolicyKind::LadderImmediate, AdaptPolicyKind::Utility],
+            controllers: vec![ControllerKind::RateBased],
+            secs: 1,
+            seeds: vec![1, 2, 3],
+        };
+        assert_eq!(e.cell_count(), 12);
+        // The vat app ignores the policy axis, matching the runner.
+        let vat = Experiment {
+            app: AppKind::Vat,
+            ..e
+        };
+        assert_eq!(vat.cell_count(), 6);
+    }
+}

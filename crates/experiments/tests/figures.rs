@@ -1,0 +1,132 @@
+//! End-to-end checks on the built-in figure pipeline (smoke geometry):
+//! determinism, the Figure 8/9 immediate-ladder invariant, and the
+//! frontier's hysteresis gap.
+
+use cm_experiments::builtin::{self, bundled_traces, hysteresis_gap, immediate_track_mismatches};
+use cm_netsim::schedule::BandwidthSchedule;
+
+fn figure(name: &str) -> builtin::Figure {
+    builtin::all(true)
+        .into_iter()
+        .find(|f| f.experiment.name == name)
+        .unwrap_or_else(|| panic!("no builtin figure named {name}"))
+}
+
+#[test]
+fn figure_output_is_byte_deterministic() {
+    // Two independent runs of the same figure must emit identical bytes
+    // — the property that makes `git diff docs/figures` meaningful.
+    let fig = figure("fig8_9_layered");
+    let (_, out1) = builtin::run_figure(&fig);
+    let (_, out2) = builtin::run_figure(&fig);
+    assert!(!out1.files().is_empty());
+    assert_eq!(
+        out1.concat(),
+        out2.concat(),
+        "figure output differed between two identical runs"
+    );
+}
+
+#[test]
+fn fig8_9_quality_track_matches_immediate_ladder() {
+    // The acceptance invariant: under the immediate policy every track
+    // sample's level equals the ladder's layer_for of the reported rate
+    // (the LadderConfig::immediate() unit-test semantics, end to end).
+    let (result, out) = builtin::run_figure(&figure("fig8_9_layered"));
+    assert_eq!(result.cells.len(), 2);
+    for cell in &result.cells {
+        assert!(
+            cell.track.len() > 20,
+            "{}: track too short ({})",
+            cell.schedule,
+            cell.track.len()
+        );
+        assert!(
+            cell.stats.switches >= 2,
+            "{}: streamer never adapted",
+            cell.schedule
+        );
+        assert_eq!(
+            immediate_track_mismatches(cell),
+            0,
+            "{}: quality track deviated from layer_for",
+            cell.schedule
+        );
+    }
+    let md = out
+        .files()
+        .iter()
+        .find(|(n, _)| n == "fig8_9_layered.md")
+        .map(|(_, c)| c.as_str())
+        .expect("markdown report emitted");
+    assert!(
+        md.contains("**0 of"),
+        "report does not state zero mismatches"
+    );
+}
+
+#[test]
+fn frontier_report_shows_the_hysteresis_gap() {
+    let (result, out) = builtin::run_figure(&figure("policy_frontier"));
+    let (immediate, damped) = hysteresis_gap(&result).expect("both AIMD groups present");
+    assert!(
+        damped < immediate,
+        "hysteresis gap inverted: damped {damped} >= immediate {immediate}"
+    );
+    let md = out
+        .files()
+        .iter()
+        .find(|(n, _)| n == "policy_frontier.md")
+        .map(|(_, c)| c.as_str())
+        .expect("markdown report emitted");
+    assert!(
+        md.contains("Hysteresis-vs-immediate oscillation gap"),
+        "report omits the documented gap"
+    );
+    // The .dat frontier block has one point per policy/controller group.
+    let dat = out
+        .files()
+        .iter()
+        .find(|(n, _)| n == "policy_frontier.dat")
+        .map(|(_, c)| c.as_str())
+        .unwrap();
+    assert!(dat.contains("# index 0: frontier"));
+}
+
+#[test]
+fn bundled_traces_parse_and_replay_degrades_and_recovers() {
+    for (name, text) in bundled_traces() {
+        let s = BandwidthSchedule::parse_trace(text)
+            .unwrap_or_else(|e| panic!("bundled trace {name}: {e}"));
+        assert!(!s.is_empty(), "{name} empty");
+    }
+    let (result, _) = builtin::run_figure(&figure("trace_replay"));
+    // One cell per trace x policy.
+    assert_eq!(result.cells.len(), 9);
+    for cell in &result.cells {
+        assert!(
+            cell.delivered > 0,
+            "{} / {}: nothing delivered",
+            cell.schedule,
+            cell.policy
+        );
+    }
+}
+
+#[test]
+fn vat_figure_polices_below_full_delivery() {
+    let (result, _) = builtin::run_figure(&figure("vat_audio"));
+    for cell in &result.cells {
+        let delivery = cell
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "delivery_fraction")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert!(
+            delivery > 0.1 && delivery < 1.0,
+            "{}: policer never engaged (delivery {delivery})",
+            cell.controller
+        );
+    }
+}

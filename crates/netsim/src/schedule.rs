@@ -177,6 +177,59 @@ impl BandwidthSchedule {
             .last()
             .map(|&(_, r)| r)
     }
+
+    /// The schedule's piecewise-constant phases clipped to
+    /// `[Time::ZERO, until)` — the sampling windows experiment runners
+    /// use to attribute measurements to schedule conditions. A leading
+    /// phase with `rate == None` covers any span before the first step
+    /// (where the link keeps its configured rate); zero-length phases are
+    /// skipped.
+    pub fn phases(&self, until: Time) -> Vec<SchedulePhase> {
+        let mut out = Vec::new();
+        let mut push = |start: Time, end: Time, rate: Option<Rate>| {
+            if start < end {
+                out.push(SchedulePhase { start, end, rate });
+            }
+        };
+        match self.steps.first() {
+            None => push(Time::ZERO, until, None),
+            Some(&(first_at, _)) => {
+                push(Time::ZERO, first_at.min(until), None);
+                for (i, &(at, r)) in self.steps.iter().enumerate() {
+                    if at >= until {
+                        break;
+                    }
+                    let end = self
+                        .steps
+                        .get(i + 1)
+                        .map(|&(next, _)| next.min(until))
+                        .unwrap_or(until);
+                    push(at, end, Some(r));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One piecewise-constant segment of a [`BandwidthSchedule`], as returned
+/// by [`BandwidthSchedule::phases`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulePhase {
+    /// Phase start (inclusive).
+    pub start: Time,
+    /// Phase end (exclusive).
+    pub end: Time,
+    /// The scheduled rate, or `None` before the first step (the link
+    /// keeps its configured rate).
+    pub rate: Option<Rate>,
+}
+
+impl SchedulePhase {
+    /// The phase's length.
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start)
+    }
 }
 
 /// Parses `12mbps` / `1200kbps` / `64000bps` / plain bits-per-second.
@@ -285,5 +338,116 @@ mod tests {
     fn rate_at_before_first_step_is_none() {
         let s = BandwidthSchedule::from_steps(vec![(Time::from_secs(5), Rate::from_mbps(1))]);
         assert_eq!(s.rate_at(Time::from_secs(4)), None);
+    }
+
+    #[test]
+    fn phases_cover_the_window_exactly() {
+        let s = BandwidthSchedule::from_steps(vec![
+            (Time::from_secs(5), Rate::from_mbps(1)),
+            (Time::from_secs(10), Rate::from_mbps(2)),
+        ]);
+        let phases = s.phases(Time::from_secs(20));
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].rate, None);
+        assert_eq!(
+            (phases[0].start, phases[0].end),
+            (Time::ZERO, Time::from_secs(5))
+        );
+        assert_eq!(phases[1].rate, Some(Rate::from_mbps(1)));
+        assert_eq!(phases[2].rate, Some(Rate::from_mbps(2)));
+        assert_eq!(phases[2].end, Time::from_secs(20));
+        // Phases tile the window with no gaps.
+        for w in phases.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let total = phases
+            .iter()
+            .fold(Duration::ZERO, |acc, p| acc + p.duration());
+        assert_eq!(total, Duration::from_secs(20));
+    }
+
+    #[test]
+    fn phases_clip_to_the_window() {
+        let s =
+            BandwidthSchedule::step(Rate::from_mbps(8), Rate::from_mbps(1), Time::from_secs(10));
+        // Window ends before the step: a single clipped phase.
+        let phases = s.phases(Time::from_secs(5));
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].rate, Some(Rate::from_mbps(8)));
+        assert_eq!(phases[0].end, Time::from_secs(5));
+        // An empty schedule yields one unscheduled phase.
+        let phases = BandwidthSchedule::none().phases(Time::from_secs(5));
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].rate, None);
+    }
+
+    // ------------------------------------------------------------------
+    // parse_trace edge cases
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_input_parses_to_an_empty_schedule() {
+        let s = BandwidthSchedule::parse_trace("").expect("empty input is a valid (empty) trace");
+        assert!(s.is_empty());
+        assert_eq!(s.rate_at(Time::from_secs(1)), None);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_only_parse_to_empty() {
+        let s =
+            BandwidthSchedule::parse_trace("# a comment\n\n   \n  # another\n").expect("parses");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unsorted_timestamps_are_sorted() {
+        let s = BandwidthSchedule::parse_trace("9 1mbps\n0 8mbps\n5 2mbps\n").expect("parses");
+        let steps = s.steps();
+        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0), "steps unsorted");
+        assert_eq!(s.rate_at(Time::from_secs(1)), Some(Rate::from_mbps(8)));
+        assert_eq!(s.rate_at(Time::from_secs(6)), Some(Rate::from_mbps(2)));
+        assert_eq!(s.rate_at(Time::from_secs(9)), Some(Rate::from_mbps(1)));
+    }
+
+    #[test]
+    fn zero_rate_is_a_valid_stall() {
+        // Zero rate is the "link stalled" state (tunnels, outages) the
+        // simulator models explicitly — it must parse.
+        let s = BandwidthSchedule::parse_trace("0 8mbps\n5 0kbps\n8 8mbps\n").expect("parses");
+        assert_eq!(s.rate_at(Time::from_secs(6)), Some(Rate::ZERO));
+    }
+
+    #[test]
+    fn negative_rate_rejected_with_line_number() {
+        let err = BandwidthSchedule::parse_trace("0 8mbps\n5 -64kbps\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        // Negative seconds too.
+        let err = BandwidthSchedule::parse_trace("0 8mbps\n-5 64kbps\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        // And non-finite seconds.
+        assert!(BandwidthSchedule::parse_trace("inf 8mbps").is_err());
+        assert!(BandwidthSchedule::parse_trace("nan 8mbps").is_err());
+    }
+
+    #[test]
+    fn bundled_traces_round_trip() {
+        // The repository bundles recorded-style traces under traces/;
+        // they must parse, sort, and re-serialize to the same schedule.
+        for name in ["umts_drive", "lte_walk", "hspa_bus"] {
+            let path = format!("{}/../../traces/{name}.trace", env!("CARGO_MANIFEST_DIR"));
+            let text =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            let s = BandwidthSchedule::parse_trace(&text)
+                .unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+            assert!(s.steps().len() >= 8, "{name} suspiciously short");
+            assert!(s.rate_at(Time::ZERO).is_some(), "{name} must start at 0");
+            // Round trip: serialize back to the trace format and reparse.
+            let mut text2 = String::new();
+            for &(t, r) in s.steps() {
+                text2.push_str(&format!("{} {}\n", t.as_secs_f64(), r.as_bps()));
+            }
+            let s2 = BandwidthSchedule::parse_trace(&text2).expect("round trip parses");
+            assert_eq!(s.steps(), s2.steps(), "{name} round trip changed steps");
+        }
     }
 }
