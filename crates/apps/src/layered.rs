@@ -52,6 +52,10 @@ pub struct LayeredStreamer {
     pub port: u16,
     /// Adaptation style.
     pub mode: AdaptMode,
+    /// Scheduler weight for this flow's share of its macroflow (takes
+    /// effect under a weighted scheduler — the §3.5 co-scheduling
+    /// configuration). 1 keeps the default unweighted share.
+    pub weight: u32,
     /// Packet payload size.
     pub packet_size: u32,
     /// Stop sending at this instant.
@@ -111,6 +115,7 @@ impl LayeredStreamer {
             remote,
             port,
             mode,
+            weight: 1,
             packet_size: 1000,
             stop_at,
             bytes_sent: 0,
@@ -240,6 +245,11 @@ impl HostApp for LayeredStreamer {
                 self.flow = Some(flow);
                 let iv = self.clock_interval();
                 os.set_app_timer(iv, CLOCK);
+            }
+        }
+        if self.weight != 1 {
+            if let Some(flow) = self.flow {
+                os.cm_set_weight(flow, self.weight);
             }
         }
         os.set_app_timer(Duration::from_millis(100), SAMPLE);

@@ -22,6 +22,9 @@
 //!   and an application buffer with drop-from-head or drop-tail policy.
 //! * [`cross`] — on/off CBR cross-traffic sources that vary the
 //!   available bandwidth for the adaptation figures.
+//! * [`co_sched`] — the §3.5 co-scheduling workload: a weighted,
+//!   continuously backlogged ALF web transfer that shares one macroflow
+//!   with a layered streamer under a weighted scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@
 pub mod ack_clients;
 pub mod blast;
 pub mod bulk;
+pub mod co_sched;
 pub mod cross;
 pub mod layered;
 pub mod vat;
@@ -37,6 +41,7 @@ pub mod web;
 pub use ack_clients::{AckReceiver, FeedbackPolicy};
 pub use blast::{BlastApi, BlastSender};
 pub use bulk::{BulkReceiver, BulkSender};
+pub use co_sched::CoScheduledWeb;
 pub use cross::OnOffSource;
 pub use layered::{AdaptMode, LayeredStreamer};
 pub use vat::{DropPolicy, VatAudio};

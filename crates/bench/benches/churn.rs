@@ -8,7 +8,7 @@
 //! tick sweeping many macroflows.
 
 use cm_core::api::{CmNotification, CongestionManager};
-use cm_core::config::CmConfig;
+use cm_core::config::{AggregationPolicy, CmConfig, ReaggregationConfig, SchedulerKind};
 use cm_core::types::{Endpoint, FeedbackReport, FlowId, FlowKey};
 use cm_util::{Duration, Time};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -131,5 +131,124 @@ fn churn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, churn);
+/// Aggregation-policy churn: the same 10k open/request/close lifecycle
+/// under each grouping policy (the grouping decision and the group-map
+/// probe sit on the `open` path), plus the divergence-driven
+/// split/merge cycle — the dynamic re-aggregation hot path, measured so
+/// the regrouping cost is a number, not a guess.
+fn aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation");
+    g.sample_size(10);
+
+    let policies: [(&str, AggregationPolicy); 4] = [
+        ("destination", AggregationPolicy::Destination),
+        (
+            "subnet",
+            AggregationPolicy::Subnet {
+                host_bits: AggregationPolicy::SUBNET_HOST_BITS,
+            },
+        ),
+        ("path", AggregationPolicy::Path),
+        ("app_directed", AggregationPolicy::AppDirected),
+    ];
+    for (label, policy) in policies {
+        g.bench_function(&format!("open_request_close_10k_{label}"), |b| {
+            let mut notes: Vec<CmNotification> = Vec::new();
+            b.iter(|| {
+                let mut cm = CongestionManager::new(CmConfig {
+                    aggregation: policy,
+                    pacing: false,
+                    ..Default::default()
+                });
+                let now = Time::ZERO;
+                let mut flows: Vec<FlowId> = Vec::with_capacity(FLOWS);
+                for i in 0..FLOWS {
+                    flows.push(cm.open(key(i), now).expect("open"));
+                }
+                for &f in &flows {
+                    cm.request(f, now).expect("request");
+                }
+                notes.clear();
+                cm.drain_notifications_into(&mut notes);
+                for &n in &notes {
+                    if let CmNotification::SendGrant { flow } = n {
+                        cm.notify(flow, 1460, now).expect("notify");
+                    }
+                }
+                for &f in &flows {
+                    cm.close(f, now).expect("close");
+                }
+                black_box((cm.flow_count(), cm.macroflow_count()));
+            });
+        });
+    }
+
+    // One full dynamic re-aggregation cycle: a flow's RTT feedback
+    // diverges until the CM splits it out, re-converges, the
+    // maintenance tick merges it back, and the emptied private
+    // macroflow expires into the shell pool.
+    g.bench_function("auto_split_merge_cycle", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            scheduler: SchedulerKind::WeightedRoundRobin,
+            reaggregation: Some(ReaggregationConfig {
+                divergence_samples: 3,
+                min_dwell: Duration::from_millis(100),
+                ..Default::default()
+            }),
+            macroflow_linger: Duration::from_millis(200),
+            pacing: false,
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let f1 = cm.open(key(0), now).expect("open");
+        let f2 = cm
+            .open(key(DESTS as usize), now) // same destination as f1
+            .expect("open");
+        let mut splits_before = 0u64;
+        b.iter(|| {
+            for _ in 0..3 {
+                cm.update(
+                    f1,
+                    FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                    now,
+                )
+                .expect("update");
+                cm.update(
+                    f2,
+                    FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(250)),
+                    now,
+                )
+                .expect("update");
+                now += Duration::from_millis(20);
+            }
+            for _ in 0..16 {
+                cm.update(
+                    f1,
+                    FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                    now,
+                )
+                .expect("update");
+                cm.update(
+                    f2,
+                    FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                    now,
+                )
+                .expect("update");
+                now += Duration::from_millis(20);
+            }
+            now += Duration::from_millis(150);
+            cm.tick(now); // merge back
+            now += Duration::from_millis(300);
+            cm.tick(now); // expire the private shell into the pool
+            let splits = cm.stats().auto_splits;
+            assert!(splits > splits_before, "cycle did not re-aggregate");
+            splits_before = splits;
+            black_box(splits);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, churn, aggregation);
 criterion_main!(benches);

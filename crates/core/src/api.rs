@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 
 use cm_util::{Duration, FxHashMap, Rate, Time};
 
-use crate::config::CmConfig;
+use crate::config::{CmConfig, ReaggregationConfig};
 use crate::error::{CmError, CmResult};
 use crate::flow::Flow;
 use crate::macroflow::{GrantEntry, Macroflow, MacroflowKey};
@@ -83,6 +83,12 @@ pub struct CmStats {
     pub macroflows_created: u64,
     /// Macroflows expired after lingering empty.
     pub macroflows_expired: u64,
+    /// Flows automatically split onto a private macroflow because their
+    /// RTT/loss feedback persistently diverged from the group's.
+    pub auto_splits: u64,
+    /// Flows automatically merged back into their home group after
+    /// their congestion signals re-converged.
+    pub auto_merges: u64,
 }
 
 /// The Congestion Manager.
@@ -106,7 +112,16 @@ pub struct CongestionManager {
     mfs: Vec<Option<Macroflow>>,
     free_mfs: Vec<u32>,
     live_mfs: usize,
-    dest_to_mf: FxHashMap<(u32, u8), MacroflowId>,
+    /// Expired macroflow shells parked for reuse: `alloc_macroflow`
+    /// resets a pooled shell (controller, scheduler, and buffers kept)
+    /// instead of re-boxing, so macroflow churn — including
+    /// divergence-driven split/merge cycles — allocates nothing once the
+    /// pool is warm.
+    mf_pool: Vec<Macroflow>,
+    /// Aggregation-group index: `(group, dscp) -> macroflow`, where the
+    /// group id is computed by the configured [`crate::config::AggregationPolicy`]
+    /// (destination address, subnet prefix, or local interface).
+    group_to_mf: FxHashMap<(u64, u8), MacroflowId>,
     outbox: VecDeque<CmNotification>,
     stats: CmStats,
     next_private_key: u32,
@@ -128,7 +143,8 @@ impl CongestionManager {
             mfs: Vec::new(),
             free_mfs: Vec::new(),
             live_mfs: 0,
-            dest_to_mf: FxHashMap::default(),
+            mf_pool: Vec::new(),
+            group_to_mf: FxHashMap::default(),
             outbox: VecDeque::new(),
             stats: CmStats::default(),
             next_private_key: 0,
@@ -151,27 +167,34 @@ impl CongestionManager {
     // State management (paper §2.1.1)
     // ------------------------------------------------------------------
 
-    /// Opens a flow (`cm_open`), assigning it to the macroflow for its
-    /// destination — creating one with fresh congestion state if this is
-    /// the first flow to that destination, or joining (and reusing the
-    /// learned state of) an existing one.
+    /// Opens a flow (`cm_open`), assigning it to the macroflow the
+    /// configured [`crate::config::AggregationPolicy`] selects — joining
+    /// (and reusing the learned state of) the group's existing macroflow,
+    /// or creating one with fresh congestion state for the group's first
+    /// flow. Under the app-directed policy every open gets a private
+    /// macroflow and the client builds aggregates with
+    /// [`CongestionManager::merge`].
     pub fn open(&mut self, key: FlowKey, now: Time) -> CmResult<FlowId> {
         if self.key_to_flow.contains_key(&key) {
             return Err(CmError::DuplicateFlow);
         }
         let dscp_class = if self.cfg.group_by_dscp { key.dscp } else { 0 };
-        let mf_id = match self.dest_to_mf.get(&(key.remote.addr, dscp_class)) {
-            Some(&id) => id,
+        let mf_id = match self.cfg.aggregation.group_of(&key) {
+            Some(group) => match self.group_to_mf.get(&(group, dscp_class)) {
+                Some(&id) => id,
+                None => {
+                    let id = self.alloc_macroflow(
+                        MacroflowKey::for_group(self.cfg.aggregation, group, dscp_class),
+                        now,
+                    );
+                    self.group_to_mf.insert((group, dscp_class), id);
+                    id
+                }
+            },
             None => {
-                let id = self.alloc_macroflow(
-                    MacroflowKey::Destination {
-                        addr: key.remote.addr,
-                        dscp: dscp_class,
-                    },
-                    now,
-                );
-                self.dest_to_mf.insert((key.remote.addr, dscp_class), id);
-                id
+                let key = MacroflowKey::Private(self.next_private_key);
+                self.next_private_key += 1;
+                self.alloc_macroflow(key, now)
             }
         };
         let flow_id = match self.free_flows.pop() {
@@ -182,7 +205,14 @@ impl CongestionManager {
                 FlowId(self.flows.len() as u32 - 1)
             }
         };
-        let mut flow = Flow::new(flow_id, key, mf_id, self.cfg.mtu, now);
+        let mut flow = Flow::new(
+            flow_id,
+            key,
+            mf_id,
+            self.cfg.mtu,
+            self.cfg.loss_ewma_gain,
+            now,
+        );
         self.key_to_flow.insert(key, flow_id);
         let mf = self.mf_mut(mf_id)?;
         flow.mf_pos = mf.flows.len() as u32;
@@ -352,19 +382,48 @@ impl CongestionManager {
     /// bytes, the congestion kind, and an optional RTT sample. Drives the
     /// congestion controller, the shared RTT estimate, and the loss-rate
     /// EWMA; newly opened window is granted out and rate callbacks fire.
+    ///
+    /// With [`CmConfig::reaggregation`] set, this is also where flow
+    /// divergence is detected: a flow whose RTT samples (or loss
+    /// estimate) persistently disagree with its macroflow's shared state
+    /// is evidently not sharing the group's path, and is split out onto
+    /// a private macroflow (the maintenance timer merges it back once
+    /// the signals re-converge).
     pub fn update(&mut self, flow: FlowId, report: FeedbackReport, now: Time) -> CmResult<()> {
         let min_rto = self.cfg.min_rto;
+        let reagg = self.cfg.reaggregation;
         let f = self.flow_mut(flow)?;
         let mf_id = f.macroflow;
         f.bytes_acked += report.bytes_acked;
         f.bytes_lost += report.bytes_lost;
+        let resolved = report.bytes_acked + report.bytes_lost;
+        if resolved > 0 {
+            f.loss_est
+                .update(report.bytes_lost as f64 / resolved as f64);
+        } else if report.loss != LossMode::None {
+            f.loss_est.update(1.0);
+        }
+        let flow_loss = f.loss_est.get_or(0.0);
         self.stats.updates += 1;
         let mf = self.mf_mut(mf_id)?;
+        // Divergence is judged against the shared estimates *before*
+        // this report folds in, so a flow pulling the shared sRTT toward
+        // itself still registers as disagreeing with the group.
+        let mut diverged = false;
+        if let Some(r) = reagg {
+            if let (Some(sample), Some(srtt)) = (report.rtt_sample, mf.rtt.srtt()) {
+                let (a, b) = (sample.as_nanos() as f64, srtt.as_nanos() as f64);
+                if b > 0.0 {
+                    let ratio = a / b;
+                    diverged |= ratio > r.rtt_ratio || ratio < 1.0 / r.rtt_ratio;
+                }
+            }
+            diverged |= (flow_loss - mf.loss_rate.get_or(0.0)).abs() > r.loss_delta;
+        }
         mf.last_activity = now;
         if let Some(rtt) = report.rtt_sample {
             mf.rtt.update(rtt);
         }
-        let resolved = report.bytes_acked + report.bytes_lost;
         mf.outstanding = mf.outstanding.saturating_sub(resolved);
         if resolved > 0 {
             let frac = report.bytes_lost as f64 / resolved as f64;
@@ -385,9 +444,72 @@ impl CongestionManager {
             let freeze = mf.rtt.srtt().unwrap_or(min_rto);
             mf.recovery_until = now + freeze;
         }
+        if let Some(r) = reagg {
+            self.note_divergence(flow, mf_id, diverged, &r, now)?;
+        }
         self.try_grants(mf_id, now);
         self.emit_rate_callbacks(mf_id);
         Ok(())
+    }
+
+    /// Applies one divergence observation to `flow`'s streak and splits
+    /// it out when the configured threshold is reached. Part of the
+    /// `update` hot path: allocation-free (the split reuses pooled
+    /// macroflow shells).
+    fn note_divergence(
+        &mut self,
+        flow: FlowId,
+        mf_id: MacroflowId,
+        diverged: bool,
+        r: &ReaggregationConfig,
+        now: Time,
+    ) -> CmResult<()> {
+        // The common, non-diverging case returns before any macroflow
+        // lookup: steady-state updates pay only the streak reset.
+        if !diverged {
+            self.flow_mut(flow)?.diverge_streak = 0;
+            return Ok(());
+        }
+        // Only flows on a multi-member *group* macroflow can split out:
+        // a private macroflow has no group to disagree with, and
+        // splitting a lone member changes nothing.
+        let eligible = {
+            let mf = self.mf_ref(mf_id)?;
+            mf.key.group().is_some() && mf.flows.len() > 1
+        };
+        let f = self.flow_mut(flow)?;
+        if !eligible {
+            f.diverge_streak = 0;
+            return Ok(());
+        }
+        f.diverge_streak = f.diverge_streak.saturating_add(1);
+        // A flow holding grants cannot move yet; keep counting and let a
+        // later (grant-free) report trigger the split.
+        if f.diverge_streak >= r.divergence_samples && f.granted == 0 {
+            f.diverge_streak = 0;
+            self.auto_split(flow, mf_id, now)?;
+        }
+        Ok(())
+    }
+
+    /// Splits a diverging flow onto a private macroflow that remembers
+    /// its home group for later merge-back. Unlike the client-visible
+    /// [`CongestionManager::split`], the RTT estimate is *not* inherited:
+    /// the flow split precisely because the shared estimate does not
+    /// describe its path.
+    fn auto_split(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<MacroflowId> {
+        let home = self.mf_ref(from)?.key.group();
+        let key = MacroflowKey::Private(self.next_private_key);
+        self.next_private_key += 1;
+        let new_mf = self.alloc_macroflow(key, now);
+        {
+            let mf = self.mf_mut(new_mf)?;
+            mf.home = home;
+            mf.home_since = now;
+        }
+        self.move_flow(flow, from, new_mf, now)?;
+        self.stats.auto_splits += 1;
+        Ok(new_mf)
     }
 
     // ------------------------------------------------------------------
@@ -433,12 +555,13 @@ impl CongestionManager {
     }
 
     /// Moves `flow` onto a brand-new private macroflow with fresh
-    /// congestion state (splitting it from the default per-destination
+    /// congestion state (splitting it from the policy-assigned
     /// aggregate). The shared RTT estimate is inherited — the path did
     /// not change — but window state starts over.
     ///
     /// The flow must have no unresolved grants (issue `cm_notify(0)` or
-    /// send first); pending requests are dropped and must be re-issued.
+    /// send first); its scheduler weight and pending (ungranted)
+    /// requests move with it.
     pub fn split(&mut self, flow: FlowId, now: Time) -> CmResult<MacroflowId> {
         let f = self.flow_ref(flow)?;
         if f.granted > 0 {
@@ -447,34 +570,37 @@ impl CongestionManager {
             ));
         }
         let old_mf = f.macroflow;
-        let weight = f.weight;
         let key = MacroflowKey::Private(self.next_private_key);
         self.next_private_key += 1;
         let new_mf = self.alloc_macroflow(key, now);
         // Inherit the RTT estimate.
         let rtt = self.mf_ref(old_mf)?.rtt;
-        self.detach_flow(flow, old_mf, now)?;
-        let mf = self.mf_mut(new_mf)?;
-        mf.rtt = rtt;
-        let pos = mf.flows.len() as u32;
-        mf.flows.push(flow);
-        mf.scheduler.add_flow(flow, weight);
-        let f = self.flow_mut(flow)?;
-        f.macroflow = new_mf;
-        f.mf_pos = pos;
+        self.mf_mut(new_mf)?.rtt = rtt;
+        self.move_flow(flow, old_mf, new_mf, now)?;
         Ok(new_mf)
     }
 
     /// Moves `flow` onto an existing macroflow (`merge`). The target must
-    /// aggregate the same destination; use
+    /// aggregate the flow's own group under the configured aggregation
+    /// policy (the same destination by default, the same prefix under
+    /// per-subnet grouping) or be private; use
     /// [`CongestionManager::merge_unchecked`] for the paper's §5
-    /// shared-bottleneck extension where multiple destinations share
-    /// state.
+    /// shared-bottleneck extension where unrelated groups share state.
     pub fn merge(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
-        let dest = self.flow_ref(flow)?.key.remote.addr;
-        let target_ok = match self.mf_ref(into)?.key {
-            MacroflowKey::Destination { addr, .. } => addr == dest,
-            MacroflowKey::Private(_) => true,
+        let f = self.flow_ref(flow)?;
+        let dscp_class = if self.cfg.group_by_dscp {
+            f.key.dscp
+        } else {
+            0
+        };
+        let natural = self
+            .cfg
+            .aggregation
+            .group_of(&f.key)
+            .map(|g| (g, dscp_class));
+        let target_ok = match self.mf_ref(into)?.key.group() {
+            Some(group) => natural == Some(group),
+            None => true,
         };
         if !target_ok {
             return Err(CmError::DestinationMismatch);
@@ -482,9 +608,10 @@ impl CongestionManager {
         self.merge_unchecked(flow, into, now)
     }
 
-    /// Moves `flow` onto `into` without the destination check —
-    /// aggregating "multiple destination hosts behind the same shared
-    /// bottleneck link" (paper §5). The caller asserts path sharing.
+    /// Moves `flow` onto `into` without the group check — aggregating
+    /// "multiple destination hosts behind the same shared bottleneck
+    /// link" (paper §5). The caller asserts path sharing. The flow's
+    /// scheduler weight and pending requests move with it.
     pub fn merge_unchecked(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
         let f = self.flow_ref(flow)?;
         if f.granted > 0 {
@@ -493,21 +620,45 @@ impl CongestionManager {
             ));
         }
         let old_mf = f.macroflow;
-        let weight = f.weight;
         if old_mf == into {
             return Ok(());
         }
         // Validate the target exists before detaching.
         let _ = self.mf_ref(into)?;
-        self.detach_flow(flow, old_mf, now)?;
-        let mf = self.mf_mut(into)?;
+        self.move_flow(flow, old_mf, into, now)
+    }
+
+    /// The shared migration primitive behind `split`, `merge`, and
+    /// dynamic re-aggregation: moves `flow` from `from` onto `to` in
+    /// O(1) (plus re-queueing its pending requests), preserving the
+    /// flow's scheduler weight and its pending (ungranted) requests.
+    /// Callers guarantee the flow holds no unresolved grants.
+    fn move_flow(
+        &mut self,
+        flow: FlowId,
+        from: MacroflowId,
+        to: MacroflowId,
+        now: Time,
+    ) -> CmResult<()> {
+        let weight = self.flow_ref(flow)?.weight;
+        let pending = self.mf_ref(from)?.scheduler.pending_of(flow);
+        self.detach_flow(flow, from, now)?;
+        let mf = self.mf_mut(to)?;
         let pos = mf.flows.len() as u32;
         mf.flows.push(flow);
         mf.scheduler.add_flow(flow, weight);
+        for _ in 0..pending {
+            mf.scheduler.enqueue(flow);
+        }
         mf.empty_since = None;
         let f = self.flow_mut(flow)?;
-        f.macroflow = into;
+        f.macroflow = to;
         f.mf_pos = pos;
+        f.diverge_streak = 0;
+        // Migrated requests may be grantable immediately on the target.
+        if pending > 0 {
+            self.try_grants(to, now);
+        }
         Ok(())
     }
 
@@ -518,10 +669,14 @@ impl CongestionManager {
 
     /// Runs periodic maintenance: reclaims grants whose clients never
     /// notified, ages idle macroflows, grants freshly available window,
+    /// merges re-converged auto-split flows back into their home groups,
     /// and expires long-empty macroflows. Hosts call this from a coarse
     /// timer (tens to hundreds of milliseconds).
     pub fn tick(&mut self, now: Time) {
         let cfg = self.cfg.clone();
+        if let Some(r) = cfg.reaggregation {
+            self.merge_back_pass(&r, now);
+        }
         for i in 0..self.mfs.len() {
             if self.mfs[i].is_none() {
                 continue;
@@ -561,12 +716,16 @@ impl CongestionManager {
                 matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
             };
             if expired {
-                let mf = self.mfs[i].take().expect("checked");
+                let mut mf = self.mfs[i].take().expect("checked");
                 self.free_mfs.push(i as u32);
                 self.live_mfs -= 1;
-                if let MacroflowKey::Destination { addr, dscp } = mf.key {
-                    self.dest_to_mf.remove(&(addr, dscp));
+                if let Some(group) = mf.key.group() {
+                    self.group_to_mf.remove(&group);
                 }
+                // Park the shell so the next macroflow creation reuses
+                // its boxes and buffers instead of allocating.
+                mf.grant_queue.clear();
+                self.mf_pool.push(mf);
                 self.stats.macroflows_expired += 1;
                 continue;
             }
@@ -648,6 +807,33 @@ impl CongestionManager {
         self.flows.len()
     }
 
+    /// Capacity of the macroflow slab (live + recyclable slots); bounded
+    /// by the peak concurrent macroflow count, regardless of churn.
+    pub fn macroflow_slab_capacity(&self) -> usize {
+        self.mfs.len()
+    }
+
+    /// Expired macroflow shells parked for reuse (bounded by the peak
+    /// concurrent macroflow count).
+    pub fn macroflow_pool_len(&self) -> usize {
+        self.mf_pool.len()
+    }
+
+    /// The scheduler weight registered for `flow` on its current
+    /// macroflow (1 under unweighted disciplines). Pinned by the
+    /// weight-preservation regression tests: migration via `split`,
+    /// `merge`, or dynamic re-aggregation must never reset it.
+    pub fn weight_of(&self, flow: FlowId) -> CmResult<u32> {
+        let f = self.flow_ref(flow)?;
+        Ok(self.mf_ref(f.macroflow)?.scheduler.weight_of(flow))
+    }
+
+    /// Pending (requested but ungranted) sends for `flow`.
+    pub fn pending_of(&self, flow: FlowId) -> CmResult<u32> {
+        let f = self.flow_ref(flow)?;
+        Ok(self.mf_ref(f.macroflow)?.scheduler.pending_of(flow))
+    }
+
     /// The macroflow's congestion window in bytes.
     pub fn window_of(&self, mf: MacroflowId) -> CmResult<u64> {
         Ok(self.mf_ref(mf)?.controller.window())
@@ -682,21 +868,113 @@ impl CongestionManager {
     // ------------------------------------------------------------------
 
     fn alloc_macroflow(&mut self, key: MacroflowKey, now: Time) -> MacroflowId {
-        let id = match self.free_mfs.pop() {
-            Some(slot) => {
-                let id = MacroflowId(slot);
-                self.mfs[slot as usize] = Some(Macroflow::new(id, key, &self.cfg, now));
-                id
-            }
+        let slot = match self.free_mfs.pop() {
+            Some(slot) => slot,
             None => {
-                let id = MacroflowId(self.mfs.len() as u32);
-                self.mfs.push(Some(Macroflow::new(id, key, &self.cfg, now)));
-                id
+                self.mfs.push(None);
+                self.mfs.len() as u32 - 1
             }
         };
+        let id = MacroflowId(slot);
+        let mf = match self.mf_pool.pop() {
+            Some(mut shell) => {
+                shell.reset(id, key, &self.cfg, now);
+                shell
+            }
+            None => Macroflow::new(id, key, &self.cfg, now),
+        };
+        self.mfs[slot as usize] = Some(mf);
         self.live_mfs += 1;
         self.stats.macroflows_created += 1;
         id
+    }
+
+    /// The maintenance half of dynamic re-aggregation: for every
+    /// auto-split private macroflow whose dwell has elapsed, compare its
+    /// RTT/loss estimates against its home group's; once they agree
+    /// within the configured factors, move its grant-free members back.
+    fn merge_back_pass(&mut self, r: &ReaggregationConfig, now: Time) {
+        for i in 0..self.mfs.len() {
+            let Some(mf) = self.mfs[i].as_ref() else {
+                continue;
+            };
+            let Some(home_key) = mf.home else {
+                continue;
+            };
+            if mf.flows.is_empty() || now.since(mf.home_since) < r.min_dwell {
+                continue;
+            }
+            let mf_id = MacroflowId(i as u32);
+            let Some(&home_mf) = self.group_to_mf.get(&home_key) else {
+                // The home group expired while the flow was away; this
+                // is now a plain private macroflow.
+                self.mfs[i].as_mut().expect("checked").home = None;
+                continue;
+            };
+            let converged = {
+                let Ok(home) = self.mf_ref(home_mf) else {
+                    continue;
+                };
+                let mf = self.mfs[i].as_ref().expect("checked");
+                match (mf.rtt.srtt(), home.rtt.srtt()) {
+                    (Some(a), Some(b)) if !b.is_zero() => {
+                        let ratio = a.as_nanos() as f64 / b.as_nanos() as f64;
+                        ratio <= r.converge_ratio
+                            && ratio >= 1.0 / r.converge_ratio
+                            && (mf.loss_rate.get_or(0.0) - home.loss_rate.get_or(0.0)).abs()
+                                <= r.loss_delta
+                    }
+                    _ => false,
+                }
+            };
+            if !converged {
+                continue;
+            }
+            let mut members = std::mem::take(&mut self.scratch_flows);
+            members.clear();
+            members.extend_from_slice(&self.mfs[i].as_ref().expect("checked").flows);
+            // Only flows that *naturally belong* to the home group go
+            // back: the app may have explicitly merged foreign flows
+            // onto this private macroflow, and moving those would
+            // bypass the checked-merge group guard and silently undo
+            // the app's grouping.
+            let mut home_member_left_behind = false;
+            for &f in &members {
+                let (movable, belongs_home) = match self.flow_ref(f) {
+                    Ok(fl) => {
+                        let dscp = if self.cfg.group_by_dscp {
+                            fl.key.dscp
+                        } else {
+                            0
+                        };
+                        let natural = self.cfg.aggregation.group_of(&fl.key).map(|g| (g, dscp));
+                        (fl.granted == 0, natural == Some(home_key))
+                    }
+                    Err(_) => (false, false),
+                };
+                if !belongs_home {
+                    continue;
+                }
+                if movable && self.move_flow(f, mf_id, home_mf, now).is_ok() {
+                    self.stats.auto_merges += 1;
+                } else {
+                    home_member_left_behind = true;
+                }
+            }
+            members.clear();
+            self.scratch_flows = members;
+            // If only app-placed foreign flows remain, this is now a
+            // plain private macroflow: stop re-checking it. A home
+            // member skipped for holding grants keeps `home` so a later
+            // pass can still return it.
+            if !home_member_left_behind {
+                if let Some(mf) = self.mfs[i].as_mut() {
+                    if !mf.flows.is_empty() {
+                        mf.home = None;
+                    }
+                }
+            }
+        }
     }
 
     fn detach_flow(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<()> {
@@ -1370,6 +1648,374 @@ mod tests {
         // The unchecked variant permits it (shared-bottleneck extension).
         cm.merge_unchecked(f2, mf1, Time::ZERO).unwrap();
         assert_eq!(cm.macroflow_of(f2).unwrap(), mf1);
+    }
+
+    #[test]
+    fn subnet_policy_groups_across_destination_hosts() {
+        use crate::config::AggregationPolicy;
+        let mut cm = CongestionManager::new(CmConfig {
+            aggregation: AggregationPolicy::Subnet { host_bits: 8 },
+            ..Default::default()
+        });
+        // 0x0101 and 0x0102 share a /24-style prefix; 0x0201 does not.
+        let f1 = cm.open(key(1000, 0x0101), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 0x0102), Time::ZERO).unwrap();
+        let f3 = cm.open(key(1002, 0x0201), Time::ZERO).unwrap();
+        assert_eq!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+        assert_ne!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f3).unwrap());
+        assert_eq!(cm.macroflow_count(), 2);
+        // Shared state across hosts in the prefix: f2 sees RTT learned
+        // from f1's feedback.
+        cm.update(
+            f1,
+            FeedbackReport::ack(0, 0).with_rtt(Duration::from_millis(70)),
+            Time::ZERO,
+        )
+        .unwrap();
+        let info = cm.query(f2, Time::ZERO).unwrap();
+        assert_eq!(info.srtt, Some(Duration::from_millis(70)));
+        // The checked merge uses the policy's group, not the raw
+        // destination: same-prefix merges pass, cross-prefix fail.
+        let private = cm.split(f2, Time::ZERO).unwrap();
+        assert_ne!(private, cm.macroflow_of(f1).unwrap());
+        cm.merge(f2, cm.macroflow_of(f1).unwrap(), Time::ZERO)
+            .unwrap();
+        assert_eq!(
+            cm.merge(f3, cm.macroflow_of(f1).unwrap(), Time::ZERO),
+            Err(CmError::DestinationMismatch)
+        );
+    }
+
+    #[test]
+    fn path_policy_groups_by_local_interface() {
+        use crate::config::AggregationPolicy;
+        let mut cm = CongestionManager::new(CmConfig {
+            aggregation: AggregationPolicy::Path,
+            ..Default::default()
+        });
+        // Same local interface, different destinations: one macroflow.
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 7), Time::ZERO).unwrap();
+        assert_eq!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+        // A different local interface takes a different path.
+        let other = FlowKey::new(Endpoint::new(2, 1000), Endpoint::new(9, 80));
+        let f3 = cm.open(other, Time::ZERO).unwrap();
+        assert_ne!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f3).unwrap());
+    }
+
+    #[test]
+    fn app_directed_policy_opens_private_macroflows() {
+        use crate::config::AggregationPolicy;
+        let mut cm = CongestionManager::new(CmConfig {
+            aggregation: AggregationPolicy::AppDirected,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        // Same destination, but no default grouping.
+        assert_ne!(cm.macroflow_of(f1).unwrap(), cm.macroflow_of(f2).unwrap());
+        assert_eq!(cm.macroflow_count(), 2);
+        // The application composes the aggregate itself.
+        let shared = cm.macroflow_of(f1).unwrap();
+        cm.merge(f2, shared, Time::ZERO).unwrap();
+        assert_eq!(cm.macroflow_of(f2).unwrap(), shared);
+        assert_eq!(cm.flows_in(shared).unwrap().len(), 2);
+    }
+
+    /// Regression (satellite fix): a scheduler weight set via
+    /// `set_weight` — and any pending requests — must survive every
+    /// migration path: explicit split, merge back, and dynamic
+    /// re-aggregation. Previously nothing pinned this; a migration that
+    /// re-registered the flow at the default weight would silently
+    /// revert `set_weight`.
+    #[test]
+    fn weight_and_pending_survive_split_and_merge() {
+        use crate::config::SchedulerKind;
+        let mut cm = CongestionManager::new(CmConfig {
+            scheduler: SchedulerKind::WeightedRoundRobin,
+            pacing: false,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let home = cm.macroflow_of(f1).unwrap();
+        cm.set_weight(f1, 5).unwrap();
+        assert_eq!(cm.weight_of(f1).unwrap(), 5);
+        // Exhaust the 1-MTU initial window with f2 so f1's requests stay
+        // pending, then queue two requests on f1.
+        cm.request(f2, Time::ZERO).unwrap();
+        let _ = cm.drain_notifications();
+        cm.request(f1, Time::ZERO).unwrap();
+        cm.request(f1, Time::ZERO).unwrap();
+        assert_eq!(cm.pending_of(f1).unwrap(), 2);
+
+        let private = cm.split(f1, Time::ZERO).unwrap();
+        assert_eq!(cm.weight_of(f1).unwrap(), 5, "weight reset by split");
+        // The fresh private window grants one of the migrated requests
+        // immediately; nothing was silently dropped.
+        let mut granted = grants_in(&cm.drain_notifications());
+        assert_eq!(
+            cm.pending_of(f1).unwrap() + granted.len() as u32,
+            2,
+            "pending requests lost in split"
+        );
+        // Decline every grant (each release lets the next pending
+        // request through) so the flow is migratable again.
+        while !granted.is_empty() {
+            for g in granted.drain(..) {
+                cm.notify(g, 0, Time::ZERO).unwrap();
+            }
+            granted = grants_in(&cm.drain_notifications());
+        }
+
+        cm.merge(f1, home, Time::ZERO).unwrap();
+        assert_eq!(cm.weight_of(f1).unwrap(), 5, "weight reset by merge");
+        assert_eq!(cm.macroflow_of(f1).unwrap(), home);
+        // f2 was never migrated: still on the home macroflow, and f1's
+        // round trip left the private macroflow empty.
+        assert_eq!(cm.macroflow_of(f2).unwrap(), home);
+        assert!(cm.flows_in(private).unwrap().is_empty());
+    }
+
+    /// Dynamic re-aggregation end to end: a flow whose RTT feedback
+    /// persistently disagrees with its macroflow is split out onto a
+    /// private macroflow, and merged back by the maintenance timer once
+    /// its signals re-converge — with its scheduler weight intact.
+    #[test]
+    fn divergent_flow_auto_splits_then_merges_back() {
+        use crate::config::{ReaggregationConfig, SchedulerKind};
+        let reagg = ReaggregationConfig {
+            divergence_samples: 4,
+            min_dwell: Duration::from_millis(500),
+            ..Default::default()
+        };
+        let mut cm = CongestionManager::new(CmConfig {
+            scheduler: SchedulerKind::WeightedRoundRobin,
+            reaggregation: Some(reagg),
+            pacing: false,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let home = cm.macroflow_of(f1).unwrap();
+        cm.set_weight(f2, 4).unwrap();
+        let mut now = Time::ZERO;
+        // Establish the shared estimate from f1: 50 ms.
+        for _ in 0..6 {
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        // f2 persistently reports 4x the shared RTT: it is clearly not
+        // behind the same bottleneck.
+        for _ in 0..4 {
+            cm.update(
+                f2,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(200)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        let private = cm.macroflow_of(f2).unwrap();
+        assert_ne!(private, home, "diverging flow was not split out");
+        assert_eq!(cm.stats().auto_splits, 1);
+        assert_eq!(cm.weight_of(f2).unwrap(), 4, "weight reset by auto-split");
+        assert_eq!(cm.flows_in(home).unwrap(), &[f1]);
+
+        // Signals re-converge: f2 now reports RTTs matching the group.
+        for _ in 0..12 {
+            cm.update(
+                f2,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(55)),
+                now,
+            )
+            .unwrap();
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        cm.tick(now + Duration::from_secs(1));
+        assert_eq!(
+            cm.macroflow_of(f2).unwrap(),
+            home,
+            "converged flow was not merged back"
+        );
+        assert_eq!(cm.stats().auto_merges, 1);
+        assert_eq!(cm.weight_of(f2).unwrap(), 4, "weight reset by merge-back");
+    }
+
+    /// Merge-back must respect the aggregation group: a foreign flow
+    /// the app explicitly merged onto an auto-split private macroflow
+    /// (legal — private targets accept any flow) must NOT be swept into
+    /// the home group when the private macroflow converges. Doing so
+    /// would produce a membership/key mismatch the checked `merge`
+    /// rejects, silently undoing the app's grouping.
+    #[test]
+    fn merge_back_leaves_foreign_flows_behind() {
+        use crate::config::ReaggregationConfig;
+        let reagg = ReaggregationConfig {
+            divergence_samples: 2,
+            min_dwell: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let mut cm = CongestionManager::new(CmConfig {
+            reaggregation: Some(reagg),
+            pacing: false,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        // A flow to a different destination entirely.
+        let foreign = cm.open(key(1002, 7), Time::ZERO).unwrap();
+        let home = cm.macroflow_of(f1).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..4 {
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        // f2 diverges and is split out.
+        for _ in 0..2 {
+            cm.update(
+                f2,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(300)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        let private = cm.macroflow_of(f2).unwrap();
+        assert_ne!(private, home);
+        // The app deliberately groups the foreign flow with f2 (legal:
+        // private macroflows accept any flow).
+        cm.merge(foreign, private, now).unwrap();
+        // Signals re-converge and the dwell elapses.
+        for _ in 0..10 {
+            cm.update(
+                f2,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        cm.tick(now + Duration::from_secs(1));
+        // f2 went home; the foreign flow stayed put, and the private
+        // macroflow is now plain private (no further home checks).
+        assert_eq!(cm.macroflow_of(f2).unwrap(), home);
+        assert_eq!(cm.macroflow_of(foreign).unwrap(), private);
+        assert_eq!(cm.flows_in(private).unwrap(), &[foreign]);
+        assert_eq!(cm.stats().auto_merges, 1);
+        // Another converged tick must not move the foreign flow either.
+        cm.tick(now + Duration::from_secs(2));
+        assert_eq!(cm.macroflow_of(foreign).unwrap(), private);
+    }
+
+    /// Re-aggregation dwell: a just-split flow is not merged back before
+    /// `min_dwell`, even if the estimates agree immediately.
+    #[test]
+    fn merge_back_honours_dwell() {
+        use crate::config::ReaggregationConfig;
+        let reagg = ReaggregationConfig {
+            divergence_samples: 2,
+            min_dwell: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let mut cm = CongestionManager::new(CmConfig {
+            reaggregation: Some(reagg),
+            pacing: false,
+            ..Default::default()
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let home = cm.macroflow_of(f1).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..4 {
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        for _ in 0..2 {
+            cm.update(
+                f2,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(300)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        assert_ne!(cm.macroflow_of(f2).unwrap(), home);
+        // Immediately agreeing again is not enough: dwell first. (f1
+        // keeps reporting so the shared estimate — briefly pulled up by
+        // f2's divergent samples — settles back.)
+        for _ in 0..8 {
+            cm.update(
+                f2,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            cm.update(
+                f1,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        cm.tick(now);
+        assert_ne!(
+            cm.macroflow_of(f2).unwrap(),
+            home,
+            "merged back before dwell elapsed"
+        );
+        cm.tick(now + Duration::from_secs(5));
+        assert_eq!(cm.macroflow_of(f2).unwrap(), home);
+    }
+
+    /// Expired macroflow shells are parked and reused, so macroflow
+    /// churn does not rebuild controller/scheduler boxes.
+    #[test]
+    fn expired_macroflow_shells_are_pooled() {
+        let mut cm = CongestionManager::new(CmConfig {
+            macroflow_linger: Duration::from_millis(100),
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.close(f, Time::ZERO).unwrap();
+        cm.tick(Time::from_secs(1));
+        assert_eq!(cm.macroflow_count(), 0);
+        assert_eq!(cm.macroflow_pool_len(), 1);
+        // The next open reuses the pooled shell with pristine state.
+        let f2 = cm.open(key(1000, 7), Time::from_secs(2)).unwrap();
+        assert_eq!(cm.macroflow_pool_len(), 0);
+        assert_eq!(cm.macroflow_slab_capacity(), 1);
+        let mf = cm.macroflow_of(f2).unwrap();
+        assert_eq!(cm.window_of(mf).unwrap(), 1460);
+        assert_eq!(cm.outstanding_of(mf).unwrap(), 0);
     }
 
     #[test]

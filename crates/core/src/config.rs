@@ -2,6 +2,116 @@
 
 use cm_util::Duration;
 
+use crate::types::FlowKey;
+
+/// How `cm_open` groups flows into macroflows.
+///
+/// The paper's default granularity is the destination host ("all flows
+/// destined to the same end host take the same path in the common case",
+/// §2), but §5 explicitly anticipates coarser aggregates — several
+/// destinations behind one bottleneck — and the API's `split`/`merge`
+/// calls exist so applications can restructure groups themselves. This
+/// enum makes the granularity a first-class, pluggable policy: `open`
+/// consults it to pick (or create) the flow's macroflow, and dynamic
+/// re-aggregation (see [`ReaggregationConfig`]) moves flows whose
+/// congestion signals disagree with their group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggregationPolicy {
+    /// One macroflow per destination host (the paper's default; exactly
+    /// the grouping previous versions hardcoded).
+    Destination,
+    /// One macroflow per destination prefix: addresses that agree above
+    /// the low `host_bits` bits share congestion state — the "multiple
+    /// destination hosts behind the same shared bottleneck" aggregate of
+    /// §5. Use [`AggregationPolicy::SUBNET_HOST_BITS`] to match the
+    /// simulator's subnet addressing.
+    Subnet {
+        /// Number of low address bits that distinguish hosts within one
+        /// group (the prefix is `addr >> host_bits`).
+        host_bits: u8,
+    },
+    /// One macroflow per local interface address: every flow leaving the
+    /// same interface shares the same first hop, so this is the coarsest
+    /// "same path" granularity (all traffic through one access link).
+    Path,
+    /// No default grouping: every `open` creates a private macroflow and
+    /// the application constructs aggregates explicitly with
+    /// `merge`/`merge_unchecked` — the ALF server composing the §3.5
+    /// web-plus-streamer macroflow by hand.
+    AppDirected,
+}
+
+impl AggregationPolicy {
+    /// The `host_bits` value matching `cm-netsim`'s subnet addressing
+    /// (`Addr::from_subnet`), where the low byte is the host number.
+    pub const SUBNET_HOST_BITS: u8 = 8;
+
+    /// The aggregation group a flow key belongs to under this policy, or
+    /// `None` when the policy assigns no default group (app-directed).
+    pub fn group_of(&self, key: &FlowKey) -> Option<u64> {
+        match *self {
+            AggregationPolicy::Destination => Some(key.remote.addr as u64),
+            AggregationPolicy::Subnet { host_bits } => {
+                Some((key.remote.addr >> host_bits.min(31)) as u64)
+            }
+            AggregationPolicy::Path => Some(key.local.addr as u64),
+            AggregationPolicy::AppDirected => None,
+        }
+    }
+
+    /// Stable label for experiment and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregationPolicy::Destination => "destination",
+            AggregationPolicy::Subnet { .. } => "subnet",
+            AggregationPolicy::Path => "path",
+            AggregationPolicy::AppDirected => "app-directed",
+        }
+    }
+}
+
+/// Thresholds for dynamic re-aggregation: the CM watches each flow's
+/// feedback and *splits out* a flow whose RTT/loss signals persistently
+/// disagree with its macroflow (it is evidently not sharing the group's
+/// bottleneck), then *merges it back* once the signals re-converge.
+///
+/// Disabled by default ([`CmConfig::reaggregation`] is `None`): the
+/// paper's CM never regroups on its own, and byte-compatibility with the
+/// static grouping is the default contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReaggregationConfig {
+    /// A flow's RTT sample diverges when it differs from the macroflow's
+    /// smoothed RTT by more than this factor (in either direction).
+    pub rtt_ratio: f64,
+    /// A flow's loss estimate diverges when it differs from the
+    /// macroflow's by more than this absolute fraction.
+    pub loss_delta: f64,
+    /// Consecutive diverging feedback reports before the flow is split
+    /// onto its own macroflow.
+    pub divergence_samples: u32,
+    /// An auto-split flow merges back once its private smoothed RTT is
+    /// within this factor of its home macroflow's (and the loss
+    /// estimates agree within `loss_delta`).
+    pub converge_ratio: f64,
+    /// Minimum time a split-out flow stays on its private macroflow
+    /// before a merge-back is considered (hysteresis against flapping).
+    pub min_dwell: Duration,
+}
+
+impl Default for ReaggregationConfig {
+    /// Conservative defaults: split after 8 consecutive reports off by
+    /// 2x RTT (or 15% loss), merge back after 2 s once within 1.5x.
+    fn default() -> Self {
+        ReaggregationConfig {
+            rtt_ratio: 2.0,
+            loss_delta: 0.15,
+            divergence_samples: 8,
+            converge_ratio: 1.5,
+            min_dwell: Duration::from_secs(2),
+        }
+    }
+}
+
 /// Which congestion-control algorithm each macroflow runs.
 ///
 /// The paper's CM uses a TCP-style window AIMD with slow start, with
@@ -63,6 +173,12 @@ pub struct CmConfig {
     pub controller: ControllerKind,
     /// Inter-flow scheduler.
     pub scheduler: SchedulerKind,
+    /// How flows are grouped into macroflows (paper §2 default plus the
+    /// §5 coarser granularities).
+    pub aggregation: AggregationPolicy,
+    /// Dynamic re-aggregation thresholds; `None` (the default) keeps
+    /// grouping static, exactly as the paper's CM behaves.
+    pub reaggregation: Option<ReaggregationConfig>,
     /// Include the DSCP in the macroflow key, so differentiated-services
     /// classes do not share congestion state (paper §5).
     pub group_by_dscp: bool,
@@ -99,6 +215,8 @@ impl Default for CmConfig {
                 byte_counting: true,
             },
             scheduler: SchedulerKind::RoundRobin,
+            aggregation: AggregationPolicy::Destination,
+            reaggregation: None,
             group_by_dscp: false,
             aging_interval: None,
             macroflow_linger: Duration::from_secs(120),
@@ -144,6 +262,57 @@ mod tests {
         );
         assert_eq!(c.scheduler, SchedulerKind::RoundRobin);
         assert_eq!(c.initial_window_bytes(), 1460);
+    }
+
+    #[test]
+    fn aggregation_groups_by_policy() {
+        use crate::types::Endpoint;
+        let key = |local: u32, remote: u32| {
+            FlowKey::new(Endpoint::new(local, 1000), Endpoint::new(remote, 80))
+        };
+        let dest = AggregationPolicy::Destination;
+        assert_eq!(dest.group_of(&key(1, 0x0203)), Some(0x0203));
+        assert_ne!(
+            dest.group_of(&key(1, 0x0203)),
+            dest.group_of(&key(1, 0x0204))
+        );
+
+        let subnet = AggregationPolicy::Subnet {
+            host_bits: AggregationPolicy::SUBNET_HOST_BITS,
+        };
+        // Same /24-style prefix: one group. Different prefix: another.
+        assert_eq!(
+            subnet.group_of(&key(1, 0x0203)),
+            subnet.group_of(&key(1, 0x0204))
+        );
+        assert_ne!(
+            subnet.group_of(&key(1, 0x0203)),
+            subnet.group_of(&key(1, 0x0303))
+        );
+
+        let path = AggregationPolicy::Path;
+        assert_eq!(path.group_of(&key(7, 100)), path.group_of(&key(7, 200)));
+        assert_ne!(path.group_of(&key(7, 100)), path.group_of(&key(8, 100)));
+
+        assert_eq!(AggregationPolicy::AppDirected.group_of(&key(1, 2)), None);
+    }
+
+    #[test]
+    fn aggregation_labels_are_stable() {
+        assert_eq!(AggregationPolicy::Destination.label(), "destination");
+        assert_eq!(AggregationPolicy::Subnet { host_bits: 8 }.label(), "subnet");
+        assert_eq!(AggregationPolicy::Path.label(), "path");
+        assert_eq!(AggregationPolicy::AppDirected.label(), "app-directed");
+    }
+
+    #[test]
+    fn default_config_keeps_static_destination_grouping() {
+        let c = CmConfig::default();
+        assert_eq!(c.aggregation, AggregationPolicy::Destination);
+        assert!(c.reaggregation.is_none());
+        let r = ReaggregationConfig::default();
+        assert!(r.rtt_ratio > 1.0 && r.converge_ratio > 1.0);
+        assert!(r.divergence_samples > 0);
     }
 
     #[test]

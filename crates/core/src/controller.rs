@@ -40,6 +40,11 @@ pub trait CongestionController: Send {
     /// per interval, never below the initial window.
     fn decay_idle(&mut self, intervals: u32);
 
+    /// Restores pristine initial state per `cfg`, as if freshly built —
+    /// used when a pooled macroflow shell is re-issued, so macroflow
+    /// churn does not rebuild (re-allocate) controllers.
+    fn reset(&mut self, cfg: &CmConfig);
+
     /// Human-readable algorithm name (for experiment output).
     fn name(&self) -> &'static str;
 }
@@ -172,6 +177,14 @@ impl CongestionController for AimdController {
         self.ca_accum = 0;
     }
 
+    fn reset(&mut self, cfg: &CmConfig) {
+        self.mtu = cfg.mtu as u64;
+        self.init_window = cfg.initial_window_bytes();
+        self.cwnd = self.init_window;
+        self.ssthresh = cfg.initial_ssthresh;
+        self.ca_accum = 0;
+    }
+
     fn name(&self) -> &'static str {
         if self.byte_counting {
             "aimd-bytes"
@@ -264,6 +277,14 @@ impl CongestionController for RateBasedController {
             }
             self.wnd = (self.wnd * 3 / 4).max(self.init_window);
         }
+    }
+
+    fn reset(&mut self, cfg: &CmConfig) {
+        self.mtu = cfg.mtu as u64;
+        self.init_window = cfg.initial_window_bytes();
+        self.wnd = self.init_window;
+        self.ssthresh = u64::MAX / 2;
+        self.accum = 0;
     }
 
     fn name(&self) -> &'static str {
@@ -413,6 +434,34 @@ mod tests {
         // Gentle decrease (7/8) rather than halving.
         assert_eq!(c.window(), before * 7 / 8);
         assert_eq!(c.name(), "rate-aimd");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let cfg = CmConfig::default();
+        let mut c = build_controller(&cfg);
+        for _ in 0..6 {
+            c.on_ack(c.window(), 4, Time::ZERO);
+        }
+        c.on_loss(LossMode::Transient, Time::ZERO);
+        assert_ne!(c.window(), cfg.initial_window_bytes());
+        c.reset(&cfg);
+        assert_eq!(c.window(), cfg.initial_window_bytes());
+        assert_eq!(c.ssthresh(), cfg.initial_ssthresh);
+        // And it slow-starts from scratch again.
+        c.on_ack(1460, 1, Time::ZERO);
+        assert_eq!(c.window(), 2920);
+
+        let rb_cfg = CmConfig {
+            controller: ControllerKind::RateBased,
+            ..Default::default()
+        };
+        let mut rb = build_controller(&rb_cfg);
+        for _ in 0..10 {
+            rb.on_ack(rb.window(), 2, Time::ZERO);
+        }
+        rb.reset(&rb_cfg);
+        assert_eq!(rb.window(), rb_cfg.initial_window_bytes());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-flow state.
 
-use cm_util::{Rate, Time};
+use cm_util::{Ewma, Rate, Time};
 
 use crate::types::{FlowId, FlowKey, MacroflowId, Thresholds};
 
@@ -43,11 +43,26 @@ pub struct Flow {
     pub bytes_acked: u64,
     /// Total bytes reported lost via `cm_update`.
     pub bytes_lost: u64,
+    /// This flow's own smoothed loss fraction (the macroflow keeps the
+    /// shared estimate); dynamic re-aggregation compares the two.
+    pub loss_est: Ewma,
+    /// Consecutive feedback reports whose RTT/loss signals diverged from
+    /// the macroflow's shared estimates; reaching the configured
+    /// threshold triggers an automatic split.
+    pub diverge_streak: u32,
 }
 
 impl Flow {
-    /// Creates flow state at open time.
-    pub fn new(id: FlowId, key: FlowKey, macroflow: MacroflowId, mtu: usize, now: Time) -> Self {
+    /// Creates flow state at open time; `loss_gain` is the EWMA gain for
+    /// the flow-local loss estimate (the CM passes its configured gain).
+    pub fn new(
+        id: FlowId,
+        key: FlowKey,
+        macroflow: MacroflowId,
+        mtu: usize,
+        loss_gain: f64,
+        now: Time,
+    ) -> Self {
         Flow {
             id,
             key,
@@ -63,6 +78,8 @@ impl Flow {
             bytes_sent: 0,
             bytes_acked: 0,
             bytes_lost: 0,
+            loss_est: Ewma::new(loss_gain),
+            diverge_streak: 0,
         }
     }
 }
@@ -75,10 +92,12 @@ mod tests {
     #[test]
     fn new_flow_is_quiescent() {
         let key = FlowKey::new(Endpoint::new(1, 1000), Endpoint::new(2, 80));
-        let f = Flow::new(FlowId(0), key, MacroflowId(0), 1460, Time::ZERO);
+        let f = Flow::new(FlowId(0), key, MacroflowId(0), 1460, 0.125, Time::ZERO);
         assert_eq!(f.granted, 0);
         assert_eq!(f.weight, 1);
         assert!(f.update_interest.is_none());
         assert_eq!(f.bytes_sent + f.bytes_acked + f.bytes_lost, 0);
+        assert_eq!(f.diverge_streak, 0);
+        assert_eq!(f.loss_est.get_or(0.0), 0.0);
     }
 }

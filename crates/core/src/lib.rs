@@ -79,7 +79,7 @@ pub mod scheduler;
 pub mod types;
 
 pub use api::{CmNotification, CmStats, CongestionManager};
-pub use config::{CmConfig, ControllerKind, SchedulerKind};
+pub use config::{AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind};
 pub use controller::{AimdController, CongestionController, RateBasedController};
 pub use error::CmError;
 pub use types::{
@@ -89,7 +89,9 @@ pub use types::{
 /// Convenient glob-import surface for CM clients.
 pub mod prelude {
     pub use crate::api::{CmNotification, CongestionManager};
-    pub use crate::config::{CmConfig, ControllerKind, SchedulerKind};
+    pub use crate::config::{
+        AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind,
+    };
     pub use crate::error::CmError;
     pub use crate::types::{
         Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,

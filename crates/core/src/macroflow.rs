@@ -17,12 +17,14 @@ use std::collections::VecDeque;
 use cm_util::ewma::RttEstimator;
 use cm_util::{Duration, Ewma, Rate, Time};
 
-use crate::config::CmConfig;
+use crate::config::{AggregationPolicy, CmConfig};
 use crate::controller::{build_controller, CongestionController};
 use crate::scheduler::{build_scheduler, Scheduler};
 use crate::types::{FlowId, MacroflowId};
 
-/// What a macroflow aggregates over.
+/// What a macroflow aggregates over: one variant per
+/// [`AggregationPolicy`] granularity, plus the private macroflows that
+/// `split` (explicit or divergence-driven) creates.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MacroflowKey {
     /// The default: all flows to one destination address (optionally
@@ -33,9 +35,64 @@ pub enum MacroflowKey {
         /// DSCP class (zero unless `group_by_dscp`).
         dscp: u8,
     },
-    /// A macroflow created by an explicit `split`; not eligible for
-    /// default assignment.
+    /// All flows whose destination shares one prefix
+    /// ([`AggregationPolicy::Subnet`]).
+    Subnet {
+        /// The shared prefix (`addr >> host_bits`).
+        prefix: u32,
+        /// DSCP class (zero unless `group_by_dscp`).
+        dscp: u8,
+    },
+    /// All flows leaving one local interface ([`AggregationPolicy::Path`]).
+    Path {
+        /// The shared local (source) address.
+        local: u32,
+        /// DSCP class (zero unless `group_by_dscp`).
+        dscp: u8,
+    },
+    /// A macroflow created by an explicit or divergence-driven `split`
+    /// (or by every `open` under [`AggregationPolicy::AppDirected`]);
+    /// not eligible for default assignment.
     Private(u32),
+}
+
+impl MacroflowKey {
+    /// Builds the key for aggregation group `group` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`AggregationPolicy::AppDirected`], which has no group
+    /// keys (every open is private).
+    pub fn for_group(policy: AggregationPolicy, group: u64, dscp: u8) -> Self {
+        match policy {
+            AggregationPolicy::Destination => MacroflowKey::Destination {
+                addr: group as u32,
+                dscp,
+            },
+            AggregationPolicy::Subnet { .. } => MacroflowKey::Subnet {
+                prefix: group as u32,
+                dscp,
+            },
+            AggregationPolicy::Path => MacroflowKey::Path {
+                local: group as u32,
+                dscp,
+            },
+            AggregationPolicy::AppDirected => {
+                panic!("app-directed aggregation has no group keys")
+            }
+        }
+    }
+
+    /// The `(group, dscp)` pair this key indexes in the CM's group map,
+    /// or `None` for private macroflows.
+    pub fn group(&self) -> Option<(u64, u8)> {
+        match *self {
+            MacroflowKey::Destination { addr, dscp } => Some((addr as u64, dscp)),
+            MacroflowKey::Subnet { prefix, dscp } => Some((prefix as u64, dscp)),
+            MacroflowKey::Path { local, dscp } => Some((local as u64, dscp)),
+            MacroflowKey::Private(_) => None,
+        }
+    }
 }
 
 /// One grant awaiting its matching `cm_notify`.
@@ -92,6 +149,13 @@ pub struct Macroflow {
     pub grants_reclaimed: u64,
     /// MTU used for window math (largest member MTU).
     pub mtu: usize,
+    /// For a macroflow created by divergence-driven auto-split: the
+    /// `(group, dscp)` it was split out of, so the maintenance pass can
+    /// merge its members back once their signals re-converge. `None` for
+    /// default-assigned and explicitly split macroflows.
+    pub home: Option<(u64, u8)>,
+    /// When `home` was set (merge-back honours the configured dwell).
+    pub home_since: Time,
 }
 
 impl Macroflow {
@@ -114,7 +178,34 @@ impl Macroflow {
             empty_since: None,
             grants_reclaimed: 0,
             mtu: cfg.mtu,
+            home: None,
+            home_since: Time::ZERO,
         }
+    }
+
+    /// Re-initialises a pooled macroflow shell for a new tenant, reusing
+    /// the controller and scheduler boxes and every retained buffer, so
+    /// macroflow churn (notably divergence-driven split/merge cycles) is
+    /// allocation-free once the pool and slabs are warm.
+    pub fn reset(&mut self, id: MacroflowId, key: MacroflowKey, cfg: &CmConfig, now: Time) {
+        self.id = id;
+        self.key = key;
+        self.controller.reset(cfg);
+        self.scheduler.reset();
+        self.flows.clear();
+        self.outstanding = 0;
+        self.granted_unnotified = 0;
+        self.grant_queue.clear();
+        self.rtt = RttEstimator::new();
+        self.loss_rate = Ewma::new(cfg.loss_ewma_gain);
+        self.last_activity = now;
+        self.recovery_until = Time::ZERO;
+        self.next_grant_at = Time::ZERO;
+        self.empty_since = None;
+        self.grants_reclaimed = 0;
+        self.mtu = cfg.mtu;
+        self.home = None;
+        self.home_since = Time::ZERO;
     }
 
     /// Window headroom available for new grants, in bytes.

@@ -50,6 +50,13 @@ pub trait Scheduler: Send {
     /// Total pending requests across flows.
     fn pending(&self) -> usize;
 
+    /// Pending requests queued for one flow (0 if unregistered).
+    fn pending_of(&self, flow: FlowId) -> u32;
+
+    /// Unregisters every flow and drops all pending requests, retaining
+    /// allocated capacity — the pooled-macroflow recycling path.
+    fn reset(&mut self);
+
     /// The weight registered for `flow` (1 for unweighted disciplines).
     fn weight_of(&self, flow: FlowId) -> u32;
 
@@ -286,6 +293,21 @@ impl Ring {
             self.head = self.slots[self.head as usize].next;
         }
     }
+
+    /// Empties the ring while retaining capacity. The index keeps its
+    /// length (re-filled with [`NIL`]) so re-registering previously seen
+    /// flow ids never re-allocates.
+    fn reset(&mut self) {
+        for x in &mut self.index {
+            *x = NIL;
+        }
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.total = 0;
+        self.weight_sum = 0;
+        self.registered = 0;
+    }
 }
 
 /// The paper's default: unweighted round-robin.
@@ -332,6 +354,14 @@ impl Scheduler for RoundRobinScheduler {
 
     fn pending(&self) -> usize {
         self.ring.total
+    }
+
+    fn pending_of(&self, flow: FlowId) -> u32 {
+        self.ring.slot(flow).map(|s| s.pending).unwrap_or(0)
+    }
+
+    fn reset(&mut self) {
+        self.ring.reset();
     }
 
     fn weight_of(&self, _flow: FlowId) -> u32 {
@@ -408,6 +438,15 @@ impl Scheduler for WeightedRoundRobinScheduler {
 
     fn pending(&self) -> usize {
         self.ring.total
+    }
+
+    fn pending_of(&self, flow: FlowId) -> u32 {
+        self.ring.slot(flow).map(|s| s.pending).unwrap_or(0)
+    }
+
+    fn reset(&mut self) {
+        self.ring.reset();
+        self.credit = 0;
     }
 
     fn weight_of(&self, flow: FlowId) -> u32 {
@@ -570,6 +609,22 @@ impl Scheduler for StrideScheduler {
 
     fn pending(&self) -> usize {
         self.total
+    }
+
+    fn pending_of(&self, flow: FlowId) -> u32 {
+        self.local(flow)
+            .map(|l| self.flows[l as usize].pending)
+            .unwrap_or(0)
+    }
+
+    fn reset(&mut self) {
+        for x in &mut self.index {
+            *x = NIL;
+        }
+        self.flows.clear();
+        self.free.clear();
+        self.total = 0;
+        self.weight_sum = 0;
     }
 
     fn weight_of(&self, flow: FlowId) -> u32 {
@@ -849,6 +904,35 @@ mod tests {
         let grants = drain(&mut s, 20);
         let cb = count(&grants, b);
         assert!((8..=12).contains(&cb), "late joiner got {cb} of 20");
+    }
+
+    #[test]
+    fn pending_of_and_reset_across_disciplines() {
+        for kind in [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::WeightedRoundRobin,
+            SchedulerKind::Stride,
+        ] {
+            let mut s = build_scheduler(kind);
+            let (a, b) = (FlowId(1), FlowId(2));
+            s.add_flow(a, 2);
+            s.add_flow(b, 1);
+            s.enqueue(a);
+            s.enqueue(a);
+            s.enqueue(b);
+            assert_eq!(s.pending_of(a), 2, "{}", s.name());
+            assert_eq!(s.pending_of(b), 1, "{}", s.name());
+            assert_eq!(s.pending_of(FlowId(9)), 0, "{}", s.name());
+            s.reset();
+            assert_eq!(s.pending(), 0, "{}", s.name());
+            assert_eq!(s.pending_of(a), 0, "{}", s.name());
+            assert_eq!(s.total_weight(), 0, "{}", s.name());
+            assert!(s.dequeue().is_none(), "{}", s.name());
+            // The scheduler is fully reusable after a reset.
+            s.add_flow(a, 3);
+            s.enqueue(a);
+            assert_eq!(s.dequeue(), Some(a), "{}", s.name());
+        }
     }
 
     #[test]

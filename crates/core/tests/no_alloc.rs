@@ -1,0 +1,159 @@
+//! Zero-allocation enforcement for the CM's re-aggregation paths.
+//!
+//! docs/perf.md's flat-state rules require the hot entry points to
+//! allocate nothing in steady state. PR 1 established that for
+//! request/notify/update/tick; this test extends the guarantee to
+//! dynamic re-aggregation: divergence-driven auto-split (which runs
+//! inside `update`) and the maintenance merge-back must reuse pooled
+//! macroflow shells, retained scheduler slabs, and the recycled grant
+//! queues — a full split/merge/expire cycle performs zero heap
+//! allocation once the pool is warm.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cm_core::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Drives one full re-aggregation cycle: f2's feedback diverges until it
+/// auto-splits, both flows keep granted traffic moving, the signals
+/// re-converge, the maintenance tick merges f2 back, and a later tick
+/// expires the emptied private macroflow into the shell pool.
+fn cycle(
+    cm: &mut CongestionManager,
+    f1: FlowId,
+    f2: FlowId,
+    now: &mut Time,
+    notes: &mut Vec<CmNotification>,
+) {
+    // Divergence phase: three straight reports at 5x the shared RTT.
+    for _ in 0..3 {
+        cm.update(
+            f1,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+            *now,
+        )
+        .unwrap();
+        cm.update(
+            f2,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(250)),
+            *now,
+        )
+        .unwrap();
+        *now += Duration::from_millis(20);
+    }
+    // Convergence phase with live granted traffic on both macroflows.
+    for _ in 0..16 {
+        for f in [f1, f2] {
+            cm.request(f, *now).unwrap();
+        }
+        notes.clear();
+        cm.drain_notifications_into(notes);
+        for &n in notes.iter() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, *now).unwrap();
+            }
+        }
+        cm.update(
+            f1,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+            *now,
+        )
+        .unwrap();
+        cm.update(
+            f2,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+            *now,
+        )
+        .unwrap();
+        *now += Duration::from_millis(20);
+    }
+    // Dwell elapses; the maintenance pass merges f2 back.
+    *now += Duration::from_millis(150);
+    cm.tick(*now);
+    // The emptied private macroflow lingers, then expires into the pool.
+    *now += Duration::from_millis(300);
+    cm.tick(*now);
+    notes.clear();
+    cm.drain_notifications_into(notes);
+}
+
+#[test]
+fn reaggregation_cycle_never_allocates_in_steady_state() {
+    let reagg = ReaggregationConfig {
+        rtt_ratio: 2.0,
+        loss_delta: 0.15,
+        divergence_samples: 3,
+        converge_ratio: 1.5,
+        min_dwell: Duration::from_millis(100),
+    };
+    let mut cm = CongestionManager::new(CmConfig {
+        scheduler: SchedulerKind::WeightedRoundRobin,
+        reaggregation: Some(reagg),
+        macroflow_linger: Duration::from_millis(200),
+        pacing: false,
+        ..Default::default()
+    });
+    let k = |p: u16| FlowKey::new(Endpoint::new(1, p), Endpoint::new(9, 80));
+    let f1 = cm.open(k(1000), Time::ZERO).unwrap();
+    let f2 = cm.open(k(1001), Time::ZERO).unwrap();
+    cm.set_weight(f2, 3).unwrap();
+    let mut now = Time::ZERO;
+    let mut notes: Vec<CmNotification> = Vec::with_capacity(64);
+
+    // Warm-up: two full cycles size every slab, ring, queue, and the
+    // macroflow shell pool.
+    for _ in 0..2 {
+        cycle(&mut cm, f1, f2, &mut now, &mut notes);
+    }
+    let warm_splits = cm.stats().auto_splits;
+    assert!(warm_splits >= 2, "warm-up cycles never auto-split");
+    assert_eq!(cm.stats().auto_splits, cm.stats().auto_merges);
+    assert_eq!(cm.macroflow_count(), 1, "private macroflow not expired");
+    assert!(cm.macroflow_pool_len() >= 1, "no shell parked for reuse");
+
+    // Steady state: the counter is process-global, so take the minimum
+    // delta over several trials (ambient libtest allocations are
+    // one-shot; a real per-cycle allocation shows up in every trial).
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..20 {
+            cycle(&mut cm, f1, f2, &mut now, &mut notes);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
+    }
+    assert!(
+        cm.stats().auto_splits >= warm_splits + 100,
+        "cycles stopped re-aggregating ({} splits)",
+        cm.stats().auto_splits
+    );
+    assert_eq!(cm.stats().auto_splits, cm.stats().auto_merges);
+    assert_eq!(cm.weight_of(f2).unwrap(), 3, "weight lost under churn");
+    assert_eq!(
+        min_delta, 0,
+        "re-aggregation cycle allocated in every trial (at least {min_delta} \
+         allocations per 20 split/merge/expire cycles)"
+    );
+}

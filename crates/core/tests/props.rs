@@ -35,6 +35,33 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// One arbitrary operation for the membership/re-aggregation churn test.
+#[derive(Clone, Debug)]
+enum ChurnOp {
+    Open(u16, u32),
+    Close(usize),
+    Request(usize),
+    SetWeight(usize, u8),
+    /// Ack with an RTT sample; wide RTT spread drives auto split/merge.
+    Ack(usize, u16),
+    Split(usize),
+    Merge(usize, usize),
+    Tick(u16),
+}
+
+fn churn_op_strategy() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (1u16..2000, 1u32..4).prop_map(|(p, d)| ChurnOp::Open(p, d)),
+        (0usize..16).prop_map(ChurnOp::Close),
+        (0usize..16).prop_map(ChurnOp::Request),
+        ((0usize..16), (1u8..8)).prop_map(|(i, w)| ChurnOp::SetWeight(i, w)),
+        ((0usize..16), (10u16..1000)).prop_map(|(i, r)| ChurnOp::Ack(i, r)),
+        (0usize..16).prop_map(ChurnOp::Split),
+        ((0usize..16), (0usize..16)).prop_map(|(i, j)| ChurnOp::Merge(i, j)),
+        (1u16..400).prop_map(ChurnOp::Tick),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -207,6 +234,161 @@ proptest! {
             cm.update(f, FeedbackReport::ack(bytes, 1), Time::ZERO).unwrap();
         }
         prop_assert_eq!(cm.window_of(mf).unwrap(), 2 * w0);
+    }
+
+    /// Membership invariant under arbitrary open/close/request/notify/
+    /// split/merge/re-aggregation churn: every live flow belongs to
+    /// exactly one macroflow, `flows_in` and `macroflow_of` agree
+    /// exactly, scheduler weights survive every migration, and the
+    /// flow/macroflow slabs stay bounded by their peak live counts
+    /// (no leak).
+    #[test]
+    fn membership_partition_under_reaggregation_churn(
+        ops in proptest::collection::vec(churn_op_strategy(), 1..250),
+    ) {
+        let mut cm = CongestionManager::new(CmConfig {
+            scheduler: SchedulerKind::WeightedRoundRobin,
+            reaggregation: Some(ReaggregationConfig {
+                rtt_ratio: 2.0,
+                loss_delta: 0.15,
+                divergence_samples: 3,
+                converge_ratio: 1.5,
+                min_dwell: Duration::from_millis(200),
+            }),
+            macroflow_linger: Duration::from_millis(500),
+            pacing: false,
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let mut flows: Vec<FlowId> = Vec::new();
+        let mut weights: std::collections::HashMap<FlowId, u32> = Default::default();
+        let mut peak_flows = 0usize;
+        let mut peak_mfs = 0usize;
+        let mut notes = Vec::new();
+        for op in ops {
+            now += Duration::from_millis(11);
+            match op {
+                ChurnOp::Open(port, dst) => {
+                    let key = FlowKey::new(
+                        Endpoint::new(1, port),
+                        Endpoint::new(dst, 80),
+                    );
+                    if let Ok(f) = cm.open(key, now) {
+                        flows.push(f);
+                        weights.insert(f, 1);
+                    }
+                }
+                ChurnOp::Close(i) => {
+                    if !flows.is_empty() {
+                        let f = flows.remove(i % flows.len());
+                        weights.remove(&f);
+                        let _ = cm.close(f, now);
+                    }
+                }
+                ChurnOp::Request(i) => {
+                    if !flows.is_empty() {
+                        let _ = cm.request(flows[i % flows.len()], now);
+                    }
+                }
+                ChurnOp::SetWeight(i, w) => {
+                    if !flows.is_empty() {
+                        let f = flows[i % flows.len()];
+                        if cm.set_weight(f, w as u32).is_ok() {
+                            weights.insert(f, w as u32);
+                        }
+                    }
+                }
+                ChurnOp::Ack(i, rtt_ms) => {
+                    if !flows.is_empty() {
+                        let f = flows[i % flows.len()];
+                        let report = FeedbackReport::ack(1460, 1)
+                            .with_rtt(Duration::from_millis(rtt_ms as u64));
+                        let _ = cm.update(f, report, now);
+                    }
+                }
+                ChurnOp::Split(i) => {
+                    if !flows.is_empty() {
+                        let _ = cm.split(flows[i % flows.len()], now);
+                    }
+                }
+                ChurnOp::Merge(i, j) => {
+                    if flows.len() >= 2 {
+                        let f = flows[i % flows.len()];
+                        let target = flows[j % flows.len()];
+                        if let Ok(mf) = cm.macroflow_of(target) {
+                            let _ = cm.merge_unchecked(f, mf, now);
+                        }
+                    }
+                }
+                ChurnOp::Tick(ms) => {
+                    now += Duration::from_millis(ms as u64);
+                    cm.tick(now);
+                }
+            }
+            // Grants must be resolved so migrations stay possible;
+            // decline them all (zero notify releases the window).
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
+            for &n in &notes {
+                if let CmNotification::SendGrant { flow } = n {
+                    let _ = cm.notify(flow, 0, now);
+                }
+            }
+            let _ = cm.drain_notifications();
+            peak_flows = peak_flows.max(cm.flow_count());
+            peak_mfs = peak_mfs.max(cm.macroflow_count());
+
+            // INVARIANT: flows_in/macroflow_of agree, and each live
+            // flow appears in exactly one macroflow's member list.
+            let mut seen = 0usize;
+            for slot in 0..cm.macroflow_slab_capacity() {
+                let mf = MacroflowId(slot as u32);
+                let Ok(members) = cm.flows_in(mf) else { continue };
+                for &m in members {
+                    prop_assert_eq!(
+                        cm.macroflow_of(m).expect("member flow is live"),
+                        mf,
+                        "flows_in lists a flow whose macroflow_of disagrees"
+                    );
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, cm.flow_count(), "membership partition broken");
+            for &f in &flows {
+                let mf = cm.macroflow_of(f).expect("live flow has a macroflow");
+                prop_assert!(
+                    cm.flows_in(mf).expect("macroflow exists").contains(&f),
+                    "live flow missing from its macroflow's member list"
+                );
+                // Scheduler weight survives every migration path.
+                prop_assert_eq!(cm.weight_of(f).expect("live flow"), weights[&f]);
+            }
+        }
+        // Drain: close everything and expire all state; slabs must be
+        // bounded by the peaks, not by cumulative churn.
+        for f in flows.drain(..) {
+            let _ = cm.close(f, now);
+        }
+        now += Duration::from_secs(10);
+        cm.tick(now);
+        prop_assert_eq!(cm.flow_count(), 0);
+        prop_assert_eq!(cm.macroflow_count(), 0);
+        prop_assert!(
+            cm.flow_slab_capacity() <= peak_flows,
+            "flow slab {} exceeds peak {}",
+            cm.flow_slab_capacity(),
+            peak_flows
+        );
+        prop_assert!(
+            cm.macroflow_slab_capacity() <= peak_mfs + 1,
+            "macroflow slab {} exceeds peak {}",
+            cm.macroflow_slab_capacity(),
+            peak_mfs
+        );
+        prop_assert!(
+            cm.macroflow_pool_len() <= cm.macroflow_slab_capacity(),
+            "pool outgrew the slab"
+        );
     }
 
     /// Flows to distinct destinations never share a macroflow; flows to

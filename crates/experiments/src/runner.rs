@@ -11,9 +11,10 @@
 
 use cm_adapt::{AdaptationStats, FleetStats};
 use cm_apps::ack_clients::{AckReceiver, FeedbackPolicy};
+use cm_apps::co_sched::CoScheduledWeb;
 use cm_apps::layered::{AdaptMode, LayeredStreamer};
 use cm_apps::vat::{DropPolicy, VatAudio};
-use cm_core::config::{CmConfig, ControllerKind};
+use cm_core::config::{CmConfig, ControllerKind, SchedulerKind};
 use cm_netsim::channel::PathSpec;
 use cm_netsim::link::QueueSpec;
 use cm_netsim::schedule::BandwidthSchedule;
@@ -68,8 +69,13 @@ pub struct CellOutcome {
     pub track: Vec<QualitySample>,
     /// Per-schedule-phase summary (layered cells; empty for vat).
     pub phases: Vec<PhaseSummary>,
+    /// A secondary per-flow track for cells running more than one
+    /// application — the co-scheduled web flow's CM-rate samples
+    /// (`level` is always 0 there). Empty otherwise.
+    pub aux_track: Vec<QualitySample>,
     /// App-specific scalars (`name`, value) — e.g. vat delivery
-    /// fraction and mean frame age.
+    /// fraction and mean frame age, or the co-scheduling share
+    /// accuracy.
     pub extra: Vec<(&'static str, f64)>,
 }
 
@@ -117,8 +123,8 @@ pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
             .build()
             .unwrap_or_else(|e| panic!("schedule {}: {e}", sched.name));
         for &policy in &exp.policies {
-            // The vat app's policy is fixed; run its cells once.
-            if exp.app == AppKind::Vat && policy != exp.policies[0] {
+            // Fixed-policy apps (vat, co-scheduling) run their cells once.
+            if exp.app.fixed_policy() && policy != exp.policies[0] {
                 continue;
             }
             for &controller in &exp.controllers {
@@ -128,6 +134,14 @@ pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
                             layered_cell(policy, controller, &schedule, exp.secs, seed)
                         }
                         AppKind::Vat => vat_cell(controller, &schedule, exp.secs, seed),
+                        AppKind::CoSchedule => co_sched_cell(
+                            controller,
+                            &schedule,
+                            exp.secs,
+                            seed,
+                            CO_SCHED_WEB_WEIGHT,
+                            CO_SCHED_STREAM_WEIGHT,
+                        ),
                     };
                     cell.schedule = sched.name.clone();
                     cells.push(cell);
@@ -220,24 +234,7 @@ pub fn layered_cell(
         .app_ref::<LayeredStreamer>(tx_app);
     let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
 
-    // Reconstruct the quality track: the level in force after each CM
-    // rate sample. In ALF mode the streamer adapts on exactly the
-    // samples it records, and a layer change lands at the same instant
-    // as the sample that caused it.
-    let mut track = Vec::with_capacity(tx.cm_rate.len());
-    let mut level = 0usize;
-    let mut change_idx = 0usize;
-    for &(t, rate_kbps) in tx.cm_rate.points() {
-        while change_idx < tx.layer_changes.len() && tx.layer_changes[change_idx].0 <= t {
-            level = tx.layer_changes[change_idx].1;
-            change_idx += 1;
-        }
-        track.push(QualitySample {
-            t_secs: t.as_secs_f64(),
-            cm_rate_kbps: rate_kbps,
-            level,
-        });
-    }
+    let track = quality_track(&tx.cm_rate, &tx.layer_changes);
     let phases = phase_summaries(schedule, stop, &track);
 
     CellOutcome {
@@ -249,7 +246,157 @@ pub fn layered_cell(
         stats: tx.adaptation_stats().clone(),
         track,
         phases,
+        aux_track: Vec::new(),
         extra: Vec::new(),
+    }
+}
+
+/// Reconstructs a quality track: the level in force after each CM rate
+/// sample. In ALF mode the streamer adapts on exactly the samples it
+/// records, and a layer change lands at the same instant as the sample
+/// that caused it.
+fn quality_track(
+    cm_rate: &cm_util::TimeSeries,
+    layer_changes: &[(Time, usize)],
+) -> Vec<QualitySample> {
+    let mut track = Vec::with_capacity(cm_rate.len());
+    let mut level = 0usize;
+    let mut change_idx = 0usize;
+    for &(t, rate_kbps) in cm_rate.points() {
+        while change_idx < layer_changes.len() && layer_changes[change_idx].0 <= t {
+            level = layer_changes[change_idx].1;
+            change_idx += 1;
+        }
+        track.push(QualitySample {
+            t_secs: t.as_secs_f64(),
+            cm_rate_kbps: rate_kbps,
+            level,
+        });
+    }
+    track
+}
+
+/// Scheduler weight of the web flow in co-scheduling cells.
+pub const CO_SCHED_WEB_WEIGHT: u32 = 1;
+/// Scheduler weight of the streamer flow in co-scheduling cells.
+pub const CO_SCHED_STREAM_WEIGHT: u32 = 3;
+
+/// Runs one §3.5 co-scheduling cell: a weighted web transfer and a
+/// layered streamer from one host to one destination, sharing a single
+/// macroflow under the weighted round-robin scheduler, over a
+/// time-varying bottleneck. Reports the streamer's quality track, the
+/// web flow's rate track (`aux_track`), and steady-state share accuracy
+/// against the configured weights.
+pub fn co_sched_cell(
+    controller: ControllerKind,
+    schedule: &BandwidthSchedule,
+    secs: u64,
+    seed: u64,
+    web_weight: u32,
+    stream_weight: u32,
+) -> CellOutcome {
+    let stop = Time::from_secs(secs);
+    let cm = CmConfig {
+        controller,
+        scheduler: SchedulerKind::WeightedRoundRobin,
+        ..Default::default()
+    };
+    let host_cfg = HostConfig {
+        cm,
+        ..Default::default()
+    };
+    let mut topo = Topology::new(seed);
+    let mut rx_host = Host::new(HostConfig::default());
+    let stream_rx = rx_host.add_app(Box::new(AckReceiver::new(9000, FeedbackPolicy::PerPacket)));
+    let web_rx = rx_host.add_app(Box::new(AckReceiver::new(9001, FeedbackPolicy::PerPacket)));
+    let rx_id = topo.add_host(Box::new(rx_host));
+    let rx_addr = topo.sim().addr_of(rx_id);
+
+    let mut tx_host = Host::new(host_cfg);
+    let mut streamer = LayeredStreamer::new(rx_addr, 9000, AdaptMode::Alf, stop);
+    streamer.weight = stream_weight;
+    let stream_app = tx_host.add_app(Box::new(streamer));
+    let web_app = tx_host.add_app(Box::new(CoScheduledWeb::new(
+        rx_addr, 9001, web_weight, stop,
+    )));
+    let tx_id = topo.add_host(Box::new(tx_host));
+
+    let base = base_rate(schedule, Rate::from_mbps(8));
+    let d = topo.emulated_path(
+        tx_id,
+        rx_id,
+        &PathSpec::new(base, Duration::from_millis(40)),
+    );
+    topo.schedule_link(d.forward, schedule);
+    let mut sim = topo.build();
+    sim.run_until(stop + Duration::from_secs(1));
+
+    let tx_host_ref = sim.node_ref::<Host>(tx_id);
+    let streamer = tx_host_ref.app_ref::<LayeredStreamer>(stream_app);
+    let web = tx_host_ref.app_ref::<CoScheduledWeb>(web_app);
+    let rx = sim.node_ref::<Host>(rx_id);
+    let delivered =
+        rx.app_ref::<AckReceiver>(stream_rx).bytes + rx.app_ref::<AckReceiver>(web_rx).bytes;
+
+    let track = quality_track(&streamer.cm_rate, &streamer.layer_changes);
+    let aux_track = web
+        .cm_rate
+        .points()
+        .iter()
+        .map(|&(t, rate_kbps)| QualitySample {
+            t_secs: t.as_secs_f64(),
+            cm_rate_kbps: rate_kbps,
+            level: 0,
+        })
+        .collect();
+    let phases = phase_summaries(schedule, stop, &track);
+
+    // Steady-state share accuracy: both flows stay backlogged (the ALF
+    // pipelines never drain), so the scheduler alone decides the byte
+    // split. Skip the slow-start warm-up, then compare transmitted
+    // bytes per flow against the configured weight fractions.
+    let window_start = Time::from_secs(secs / 5);
+    let in_window = |events: &[(Time, u32)]| -> f64 {
+        events
+            .iter()
+            .filter(|&&(t, _)| t >= window_start && t < stop)
+            .map(|&(_, b)| b as u64)
+            .sum::<u64>() as f64
+    };
+    let wb = in_window(&web.tx_events);
+    let sb = in_window(&streamer.tx_events);
+    let total = wb + sb;
+    let (web_share, stream_share) = if total > 0.0 {
+        (wb / total, sb / total)
+    } else {
+        (0.0, 0.0)
+    };
+    let wsum = (web_weight + stream_weight) as f64;
+    let web_target = web_weight as f64 / wsum;
+    let stream_target = stream_weight as f64 / wsum;
+    let share_err_pct = (web_share - web_target)
+        .abs()
+        .max((stream_share - stream_target).abs())
+        * 100.0;
+
+    CellOutcome {
+        schedule: String::new(),
+        policy: "co-sched",
+        controller: controller_label(controller),
+        seed,
+        delivered,
+        stats: streamer.adaptation_stats().clone(),
+        track,
+        phases,
+        aux_track,
+        extra: vec![
+            ("web_share", web_share),
+            ("web_target", web_target),
+            ("stream_share", stream_share),
+            ("stream_target", stream_target),
+            ("share_err_pct", share_err_pct),
+            ("macroflows", tx_host_ref.cm.macroflow_count() as f64),
+        ],
     }
 }
 
@@ -303,6 +450,7 @@ pub fn vat_cell(
         stats: vat.adaptation_stats().clone(),
         track: Vec::new(),
         phases: Vec::new(),
+        aux_track: Vec::new(),
         extra: vec![
             ("delivery_fraction", vat.delivery_fraction()),
             ("mean_send_age_ms", vat.mean_send_age_ms()),

@@ -173,6 +173,18 @@ pub enum AppKind {
     /// The vat audio policer (its 16-level utility grid is fixed by the
     /// app, so the policy axis is ignored).
     Vat,
+    /// The §3.5 co-scheduling pair: a weighted web transfer and a
+    /// layered streamer sharing one macroflow under a weighted
+    /// scheduler (fixed policies, so the policy axis is ignored).
+    CoSchedule,
+}
+
+impl AppKind {
+    /// Whether the app fixes its own adaptation policy, collapsing the
+    /// policy sweep axis to one cell group (matching the runner).
+    pub fn fixed_policy(self) -> bool {
+        matches!(self, AppKind::Vat | AppKind::CoSchedule)
+    }
 }
 
 /// A declarative experiment: the full cartesian sweep one figure runs.
@@ -202,13 +214,14 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Number of cells the sweep expands to. The vat app's policy is
-    /// fixed by the application, so its policy axis contributes one
-    /// cell group regardless of length (matching the runner).
+    /// Number of cells the sweep expands to. Apps with a fixed
+    /// adaptation policy (vat, co-scheduling) contribute one cell group
+    /// regardless of the policy axis length (matching the runner).
     pub fn cell_count(&self) -> usize {
-        let policies = match self.app {
-            AppKind::Layered => self.policies.len(),
-            AppKind::Vat => self.policies.len().min(1),
+        let policies = if self.app.fixed_policy() {
+            self.policies.len().min(1)
+        } else {
+            self.policies.len()
         };
         self.schedules.len() * policies * self.controllers.len() * self.seeds.len()
     }

@@ -2,7 +2,9 @@
 //! determinism, the Figure 8/9 immediate-ladder invariant, and the
 //! frontier's hysteresis gap.
 
-use cm_experiments::builtin::{self, bundled_traces, hysteresis_gap, immediate_track_mismatches};
+use cm_experiments::builtin::{
+    self, bundled_traces, extra_scalar, hysteresis_gap, immediate_track_mismatches,
+};
 use cm_netsim::schedule::BandwidthSchedule;
 
 fn figure(name: &str) -> builtin::Figure {
@@ -83,6 +85,13 @@ fn frontier_report_shows_the_hysteresis_gap() {
         md.contains("Hysteresis-vs-immediate oscillation gap"),
         "report omits the documented gap"
     );
+    // Percentile bands across sessions (satellite): the report table
+    // and the .dat frontier block both carry p5/p95 columns.
+    assert!(md.contains("osc p5/min"), "report lacks the p5 band column");
+    assert!(
+        md.contains("utility p95"),
+        "report lacks the p95 band column"
+    );
     // The .dat frontier block has one point per policy/controller group.
     let dat = out
         .files()
@@ -91,6 +100,10 @@ fn frontier_report_shows_the_hysteresis_gap() {
         .map(|(_, c)| c.as_str())
         .unwrap();
     assert!(dat.contains("# index 0: frontier"));
+    assert!(
+        dat.contains("osc_p5_per_min") && dat.contains("utility_p95_KBps"),
+        "frontier .dat lacks the percentile band columns"
+    );
 }
 
 #[test]
@@ -100,9 +113,29 @@ fn bundled_traces_parse_and_replay_degrades_and_recovers() {
             .unwrap_or_else(|e| panic!("bundled trace {name}: {e}"));
         assert!(!s.is_empty(), "{name} empty");
     }
+    // The bursty Wi-Fi trace round-trips with its step structure intact:
+    // a contention burst, the microwave near-outage, and the recovery.
+    let wifi = bundled_traces()
+        .into_iter()
+        .find(|(n, _)| *n == "wifi_cafe")
+        .map(|(_, t)| BandwidthSchedule::parse_trace(t).unwrap())
+        .expect("wifi_cafe bundled");
+    use cm_util::{Rate, Time};
+    assert_eq!(wifi.rate_at(Time::from_secs(1)), Some(Rate::from_mbps(24)));
+    assert_eq!(
+        wifi.rate_at(Time::from_millis(12_500)),
+        Some(Rate::from_mbps(1)),
+        "microwave burst missing"
+    );
+    assert_eq!(
+        wifi.rate_at(Time::from_millis(13_500)),
+        Some(Rate::from_kbps(800))
+    );
+    assert_eq!(wifi.rate_at(Time::from_secs(40)), Some(Rate::from_mbps(27)));
+
     let (result, _) = builtin::run_figure(&figure("trace_replay"));
     // One cell per trace x policy.
-    assert_eq!(result.cells.len(), 9);
+    assert_eq!(result.cells.len(), 12);
     for cell in &result.cells {
         assert!(
             cell.delivered > 0,
@@ -111,6 +144,52 @@ fn bundled_traces_parse_and_replay_degrades_and_recovers() {
             cell.policy
         );
     }
+}
+
+/// The §3.5 co-scheduling acceptance: the web transfer and the layered
+/// streamer land on ONE macroflow, the streamer visibly adapts as cross
+/// traffic squeezes the link, and the steady-state byte shares track
+/// the configured 1:3 weights within 5 percentage points. Generation is
+/// byte-deterministic like every other figure.
+#[test]
+fn co_scheduling_shares_track_weights_within_5pct() {
+    let fig = figure("co_scheduling");
+    let (result, out) = builtin::run_figure(&fig);
+    assert!(!result.cells.is_empty());
+    for cell in &result.cells {
+        assert_eq!(
+            extra_scalar(cell, "macroflows"),
+            1.0,
+            "{}: flows did not share one macroflow",
+            cell.schedule
+        );
+        let err = extra_scalar(cell, "share_err_pct");
+        assert!(
+            err < 5.0,
+            "{}: share error {err} percentage points exceeds the 5% bound",
+            cell.schedule
+        );
+        assert!(
+            cell.stats.switches >= 2,
+            "{}: streamer never adapted under cross traffic",
+            cell.schedule
+        );
+        assert!(
+            !cell.track.is_empty() && !cell.aux_track.is_empty(),
+            "{}: missing a per-flow track",
+            cell.schedule
+        );
+    }
+    let md = out
+        .files()
+        .iter()
+        .find(|(n, _)| n == "co_scheduling.md")
+        .map(|(_, c)| c.as_str())
+        .expect("markdown report emitted");
+    assert!(md.contains("Worst-case share error"));
+    // Deterministic generation, same as the other figures.
+    let (_, out2) = builtin::run_figure(&fig);
+    assert_eq!(out.concat(), out2.concat());
 }
 
 #[test]

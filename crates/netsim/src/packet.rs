@@ -23,15 +23,59 @@ impl Addr {
     /// The unspecified address.
     pub const UNSPECIFIED: Addr = Addr(0);
 
+    /// Bits of an address that number the host within its subnet; the
+    /// rest is the prefix. Matches the CM's
+    /// `AggregationPolicy::SUBNET_HOST_BITS`, so per-subnet macroflow
+    /// aggregation groups exactly the hosts a topology placed together.
+    pub const HOST_BITS: u32 = 8;
+
     /// Returns true if this is the unspecified address.
     pub fn is_unspecified(self) -> bool {
         self.0 == 0
+    }
+
+    /// Composes a prefix-structured address: host `host` within subnet
+    /// `subnet` (think `10.x.<subnet>.<host>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` does not fit in [`Addr::HOST_BITS`] bits, if
+    /// `subnet` does not fit in 16 bits (the bound keeps every
+    /// composed address inside the 24 bits the dotted display renders,
+    /// and far away from `u32` shift overflow), or if the resulting
+    /// address would be unspecified.
+    pub fn from_subnet(subnet: u32, host: u32) -> Addr {
+        assert!(host < (1 << Self::HOST_BITS), "host {host} out of range");
+        assert!(subnet < (1 << 16), "subnet {subnet} out of range");
+        let addr = Addr((subnet << Self::HOST_BITS) | host);
+        assert!(!addr.is_unspecified(), "subnet 0 host 0 is unspecified");
+        addr
+    }
+
+    /// The subnet (prefix) part of this address.
+    pub fn subnet(self) -> u32 {
+        self.0 >> Self::HOST_BITS
+    }
+
+    /// The host number within the subnet.
+    pub fn host(self) -> u32 {
+        self.0 & ((1 << Self::HOST_BITS) - 1)
     }
 }
 
 impl fmt::Display for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "10.0.0.{}", self.0)
+        // Dotted form exposing the prefix structure; plain dense
+        // addresses (subnet 0) render as 10.0.0.N, as before. Only the
+        // low 24 bits are rendered — `from_subnet`'s bounds keep every
+        // composed address inside them.
+        write!(
+            f,
+            "10.{}.{}.{}",
+            (self.0 >> 16) & 0xff,
+            (self.0 >> 8) & 0xff,
+            self.0 & 0xff
+        )
     }
 }
 

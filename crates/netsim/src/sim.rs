@@ -237,11 +237,32 @@ impl Simulator {
         }
     }
 
-    /// Adds a node; its address is assigned automatically and can be
-    /// retrieved with [`Simulator::addr_of`].
+    /// Adds a node; its address is assigned automatically (dense, in
+    /// subnet 0) and can be retrieved with [`Simulator::addr_of`].
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let addr = Addr(self.nodes.len() as u32 + 1);
+        self.add_node_with_addr(node, addr)
+    }
+
+    /// Adds a node at an explicit address — how topologies give hosts
+    /// prefix-structured addresses (see [`Addr::from_subnet`]) so
+    /// per-subnet macroflow aggregation is meaningful. Mixing automatic
+    /// and explicit addressing is fine as long as explicit addresses
+    /// stay outside the dense automatic range (use subnets >= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unspecified or already assigned.
+    pub fn add_node_with_addr(&mut self, node: Box<dyn Node>, addr: Addr) -> NodeId {
+        assert!(
+            !addr.is_unspecified(),
+            "cannot assign the unspecified address"
+        );
+        assert!(
+            self.node_of_addr(addr).is_none(),
+            "address {addr} already assigned"
+        );
         let id = NodeId(self.nodes.len());
-        let addr = Addr(id.0 as u32 + 1);
         self.nodes.push(Some(node));
         self.world.addrs.push(addr);
         if self.world.addr_to_node.len() <= addr.0 as usize {
