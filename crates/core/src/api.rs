@@ -22,16 +22,39 @@
 //! (checked by a property test in `tests/`): the ensemble of flows on one
 //! macroflow can never have more data in flight than one well-behaved TCP
 //! would.
+//!
+//! # Sharding
+//!
+//! Internally the CM is a set of shards (`crate::shard::Shard`) keyed by
+//! aggregation group id: each shard owns its own flow/macroflow slabs,
+//! free-lists, generation arrays, notification outbox, and
+//! re-aggregation state, and this type is a thin front that routes every
+//! entry point to the owning shard — by the shard index encoded in the
+//! id's high bits for flow/macroflow-addressed calls, and by
+//! [`crate::config::AggregationPolicy::group_of`] plus the group→shard
+//! map for `open`/`lookup`. Under the default
+//! [`crate::config::ShardingMode::Single`] there is exactly one shard
+//! and behaviour (ids included) is byte-compatible with the historical
+//! unsharded CM; [`crate::config::ShardingMode::ByGroup`] gives each
+//! group its own shard, created lazily and recycled through a shell
+//! pool when empty, with optional per-group [`CmConfig`] overrides
+//! ([`CongestionManager::set_group_config`]). `split`/`merge` and
+//! dynamic re-aggregation stay intra-shard by construction (a flow's
+//! private macroflows live in its home shard). `merge_unchecked` is
+//! bounded by the *shard*, not the group: a target in another shard is
+//! rejected with [`CmError::CrossShardMerge`] (shards own disjoint
+//! slabs), while groups that share a shard — always in single mode,
+//! and past the `max_shards` cap in by-group mode — keep the
+//! historical §5 cross-group semantics.
 
-use std::collections::VecDeque;
+use cm_util::{FxHashMap, Time};
 
-use cm_util::{Duration, FxHashMap, Rate, Time};
-
-use crate::config::{CmConfig, ReaggregationConfig};
+use crate::config::{CmConfig, ShardingMode, TickStrategy};
 use crate::error::{CmError, CmResult};
-use crate::flow::Flow;
-use crate::macroflow::{GrantEntry, Macroflow, MacroflowKey};
-use crate::types::{FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds};
+use crate::shard::Shard;
+use crate::types::{
+    FeedbackReport, FlowId, FlowInfo, FlowKey, MacroflowId, Thresholds, MAX_SHARDS,
+};
 
 /// A deferred callback to a CM client.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,68 +112,127 @@ pub struct CmStats {
     /// Flows automatically merged back into their home group after
     /// their congestion signals re-converged.
     pub auto_merges: u64,
+    /// Shards created (lazily, on a group's first `open`).
+    pub shards_created: u64,
+    /// Shards recycled into the shell pool after emptying.
+    pub shards_recycled: u64,
+    /// Shards whose slabs a `tick` call actually scanned.
+    pub tick_shards_visited: u64,
+    /// Quiet shards a `tick` call skipped in O(1) (neither dirtied by an
+    /// API call nor left with timed maintenance work).
+    pub tick_shards_skipped: u64,
+    /// Macroflow slab slots examined across all `tick` scans — the
+    /// deterministic measure of maintenance cost the `shard_scaling`
+    /// figure and the `sharding` bench group report.
+    pub tick_mfs_scanned: u64,
 }
 
-/// The Congestion Manager.
+impl CmStats {
+    /// Folds another counter set into this one (the front aggregates
+    /// per-shard stats on demand). The exhaustive destructuring makes a
+    /// counter added to `CmStats` but forgotten here a compile error
+    /// instead of a silently-dropped statistic.
+    fn accumulate(&mut self, other: &CmStats) {
+        let CmStats {
+            opens,
+            closes,
+            requests,
+            grants,
+            notifies,
+            updates,
+            queries,
+            rate_callbacks,
+            grants_reclaimed,
+            outstanding_reclaimed,
+            write_off_congestion_signals,
+            macroflows_created,
+            macroflows_expired,
+            auto_splits,
+            auto_merges,
+            shards_created,
+            shards_recycled,
+            tick_shards_visited,
+            tick_shards_skipped,
+            tick_mfs_scanned,
+        } = *other;
+        self.opens += opens;
+        self.closes += closes;
+        self.requests += requests;
+        self.grants += grants;
+        self.notifies += notifies;
+        self.updates += updates;
+        self.queries += queries;
+        self.rate_callbacks += rate_callbacks;
+        self.grants_reclaimed += grants_reclaimed;
+        self.outstanding_reclaimed += outstanding_reclaimed;
+        self.write_off_congestion_signals += write_off_congestion_signals;
+        self.macroflows_created += macroflows_created;
+        self.macroflows_expired += macroflows_expired;
+        self.auto_splits += auto_splits;
+        self.auto_merges += auto_merges;
+        self.shards_created += shards_created;
+        self.shards_recycled += shards_recycled;
+        self.tick_shards_visited += tick_shards_visited;
+        self.tick_shards_skipped += tick_shards_skipped;
+        self.tick_mfs_scanned += tick_mfs_scanned;
+    }
+}
+
+/// The Congestion Manager: a thin front routing every entry point to the
+/// owning shard (`crate::shard::Shard`).
 ///
 /// See the crate-level documentation for the API correspondence table and
-/// a usage example.
+/// a usage example, and the module docs above for the sharding model.
 pub struct CongestionManager {
     cfg: CmConfig,
-    /// Flow slab: `FlowId` is the slot index; vacated slots are recycled
-    /// through `free_flows`, so the id space (and every `FlowId`-indexed
-    /// array, notably the schedulers') stays dense under churn.
-    flows: Vec<Option<Flow>>,
-    free_flows: Vec<u32>,
-    /// Per-slot generation, bumped whenever a slot's grant-queue entries
-    /// become invalid (close, split, merge); lets the grant queue drop
-    /// stale entries lazily instead of `retain`-scanning on every close.
-    flow_gens: Vec<u32>,
-    live_flows: usize,
-    key_to_flow: FxHashMap<FlowKey, FlowId>,
-    /// Macroflow slab with the same recycling scheme.
-    mfs: Vec<Option<Macroflow>>,
-    free_mfs: Vec<u32>,
-    live_mfs: usize,
-    /// Expired macroflow shells parked for reuse: `alloc_macroflow`
-    /// resets a pooled shell (controller, scheduler, and buffers kept)
-    /// instead of re-boxing, so macroflow churn — including
-    /// divergence-driven split/merge cycles — allocates nothing once the
-    /// pool is warm.
-    mf_pool: Vec<Macroflow>,
-    /// Aggregation-group index: `(group, dscp) -> macroflow`, where the
-    /// group id is computed by the configured [`crate::config::AggregationPolicy`]
-    /// (destination address, subnet prefix, or local interface).
-    group_to_mf: FxHashMap<(u64, u8), MacroflowId>,
-    outbox: VecDeque<CmNotification>,
-    stats: CmStats,
-    next_private_key: u32,
-    /// Pooled buffers so the hot entry points allocate nothing.
-    scratch_mfs: Vec<MacroflowId>,
-    scratch_flows: Vec<FlowId>,
+    /// Dense shard table; the index is the shard part of every id this
+    /// CM hands out. Vacated slots are recycled through `free_shards`.
+    shards: Vec<Option<Shard>>,
+    free_shards: Vec<u32>,
+    /// Emptied shard shells parked for reuse: slabs, maps, and the
+    /// macroflow pools inside survive, so shard churn under group churn
+    /// allocates nothing once warm.
+    shard_pool: Vec<Shard>,
+    /// Routing map: aggregation group id → dense shard index.
+    shard_map: FxHashMap<u64, u32>,
+    /// Where app-directed opens (no group) live in sharded mode.
+    private_shard: Option<u32>,
+    /// Per-group configuration overrides, applied when the group's shard
+    /// is created ([`CongestionManager::set_group_config`]).
+    group_overrides: FxHashMap<u64, CmConfig>,
+    live_shards: usize,
+    /// Round-robin tick cursor (slot index to start from next call).
+    rr_cursor: usize,
+    /// Front-level counters (tick accounting, shard lifecycle, and the
+    /// stats of shards that have been recycled).
+    front_stats: CmStats,
+    /// Pooled buffer for `bulk_request`'s touched-shard set.
+    scratch_shards: Vec<u32>,
 }
 
 impl CongestionManager {
-    /// Creates a CM with the given configuration.
+    /// Creates a CM with the given configuration. Under the default
+    /// single-shard mode the one shard exists from the start; under
+    /// [`ShardingMode::ByGroup`] shards are created lazily as groups
+    /// first open flows.
     pub fn new(cfg: CmConfig) -> Self {
-        CongestionManager {
+        let mut cm = CongestionManager {
             cfg,
-            flows: Vec::new(),
-            free_flows: Vec::new(),
-            flow_gens: Vec::new(),
-            live_flows: 0,
-            key_to_flow: FxHashMap::default(),
-            mfs: Vec::new(),
-            free_mfs: Vec::new(),
-            live_mfs: 0,
-            mf_pool: Vec::new(),
-            group_to_mf: FxHashMap::default(),
-            outbox: VecDeque::new(),
-            stats: CmStats::default(),
-            next_private_key: 0,
-            scratch_mfs: Vec::new(),
-            scratch_flows: Vec::new(),
+            shards: Vec::new(),
+            free_shards: Vec::new(),
+            shard_pool: Vec::new(),
+            shard_map: FxHashMap::default(),
+            private_shard: None,
+            group_overrides: FxHashMap::default(),
+            live_shards: 0,
+            rr_cursor: 0,
+            front_stats: CmStats::default(),
+            scratch_shards: Vec::new(),
+        };
+        if matches!(cm.cfg.sharding.mode, ShardingMode::Single) {
+            cm.create_shard(None);
         }
+        cm
     }
 
     /// The active configuration.
@@ -158,9 +240,14 @@ impl CongestionManager {
         &self.cfg
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &CmStats {
-        &self.stats
+    /// Lifetime counters, aggregated across all shards (live and
+    /// recycled).
+    pub fn stats(&self) -> CmStats {
+        let mut total = self.front_stats;
+        for shard in self.shards.iter().flatten() {
+            total.accumulate(&shard.stats);
+        }
+        total
     }
 
     // ------------------------------------------------------------------
@@ -173,115 +260,42 @@ impl CongestionManager {
     /// or creating one with fresh congestion state for the group's first
     /// flow. Under the app-directed policy every open gets a private
     /// macroflow and the client builds aggregates with
-    /// [`CongestionManager::merge`].
+    /// [`CongestionManager::merge`]. In sharded mode this is also where
+    /// the group's shard is created (lazily) and the returned id carries
+    /// its shard index.
     pub fn open(&mut self, key: FlowKey, now: Time) -> CmResult<FlowId> {
-        if self.key_to_flow.contains_key(&key) {
-            return Err(CmError::DuplicateFlow);
-        }
-        let dscp_class = if self.cfg.group_by_dscp { key.dscp } else { 0 };
-        let mf_id = match self.cfg.aggregation.group_of(&key) {
-            Some(group) => match self.group_to_mf.get(&(group, dscp_class)) {
-                Some(&id) => id,
-                None => {
-                    let id = self.alloc_macroflow(
-                        MacroflowKey::for_group(self.cfg.aggregation, group, dscp_class),
-                        now,
-                    );
-                    self.group_to_mf.insert((group, dscp_class), id);
-                    id
-                }
-            },
-            None => {
-                let key = MacroflowKey::Private(self.next_private_key);
-                self.next_private_key += 1;
-                self.alloc_macroflow(key, now)
-            }
-        };
-        let flow_id = match self.free_flows.pop() {
-            Some(slot) => FlowId(slot),
-            None => {
-                self.flow_gens.push(0);
-                self.flows.push(None);
-                FlowId(self.flows.len() as u32 - 1)
-            }
-        };
-        let mut flow = Flow::new(
-            flow_id,
-            key,
-            mf_id,
-            self.cfg.mtu,
-            self.cfg.loss_ewma_gain,
-            now,
-        );
-        self.key_to_flow.insert(key, flow_id);
-        let mf = self.mf_mut(mf_id)?;
-        flow.mf_pos = mf.flows.len() as u32;
-        mf.flows.push(flow_id);
-        mf.scheduler.add_flow(flow_id, 1);
-        mf.empty_since = None;
-        self.flows[flow_id.0 as usize] = Some(flow);
-        self.live_flows += 1;
-        self.stats.opens += 1;
-        Ok(flow_id)
+        let group = self.cfg.aggregation.group_of(&key);
+        let sid = self.shard_for_open(group);
+        let shard = self.shards[sid as usize].as_mut().expect("routed shard");
+        shard.dirty = true;
+        shard.open(key, now)
     }
 
     /// Closes a flow (`cm_close`). The macroflow's congestion state
     /// persists (lingering per config) so later flows to the same
     /// destination inherit it — the effect Figure 7 measures.
     pub fn close(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
-        let f = self.flow_mut(flow)?;
-        let mf_id = f.macroflow;
-        let key = f.key;
-        let granted = f.granted;
-        let mtu = f.mtu as u64;
-        let pos = f.mf_pos;
-        self.flows[flow.0 as usize] = None;
-        self.free_flows.push(flow.0);
-        // Invalidate the flow's grant-queue entries; the reclamation
-        // sweep drops stale-generation entries lazily in O(1) each.
-        self.flow_gens[flow.0 as usize] = self.flow_gens[flow.0 as usize].wrapping_add(1);
-        self.live_flows -= 1;
-        self.key_to_flow.remove(&key);
-        let Self { mfs, flows, .. } = self;
-        let mf = mfs
-            .get_mut(mf_id.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(CmError::UnknownMacroflow(mf_id))?;
-        mf.scheduler.remove_flow(flow);
-        remove_member(mf, flows, pos);
-        // Release window reserved by unresolved grants.
-        mf.granted_unnotified = mf.granted_unnotified.saturating_sub(granted as u64 * mtu);
-        if mf.flows.is_empty() {
-            mf.empty_since = Some(now);
-        }
-        self.stats.closes += 1;
-        self.try_grants(mf_id, now);
-        Ok(())
+        self.flow_shard_mut(flow)?.close(flow, now)
     }
 
     /// The flow's maximum transmission unit (`cm_mtu`): the most it may
     /// send per grant.
     pub fn mtu(&self, flow: FlowId) -> CmResult<usize> {
-        Ok(self.flow_ref(flow)?.mtu)
+        self.flow_shard_ref(flow)?.mtu(flow)
     }
 
     /// Looks up an open flow by its 4-tuple — the "well-defined CM
     /// interface" the IP output routine uses to find the flow to charge
     /// (paper §2.1.3).
     pub fn lookup(&self, key: &FlowKey) -> Option<FlowId> {
-        self.key_to_flow.get(key).copied()
+        let sid = self.shard_for_key(key)?;
+        self.shards.get(sid as usize)?.as_ref()?.lookup(key)
     }
 
     /// Sets a flow's scheduler weight (extension; the paper's default
     /// scheduler is unweighted).
     pub fn set_weight(&mut self, flow: FlowId, weight: u32) -> CmResult<()> {
-        if weight == 0 {
-            return Err(CmError::InvalidArgument("weight must be positive"));
-        }
-        let mf_id = self.flow_ref(flow)?.macroflow;
-        self.flow_mut(flow)?.weight = weight;
-        self.mf_mut(mf_id)?.scheduler.set_weight(flow, weight);
-        Ok(())
+        self.flow_shard_mut(flow)?.set_weight(flow, weight)
     }
 
     // ------------------------------------------------------------------
@@ -292,45 +306,43 @@ impl CongestionManager {
     /// grant arrives as a [`CmNotification::SendGrant`] — immediately if
     /// the macroflow's window has room, or later when feedback opens it.
     pub fn request(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
-        let mf_id = self.flow_ref(flow)?.macroflow;
-        self.stats.requests += 1;
-        let mf = self.mf_mut(mf_id)?;
-        mf.scheduler.enqueue(flow);
-        self.try_grants(mf_id, now);
-        Ok(())
+        self.flow_shard_mut(flow)?.request(flow, now)
     }
 
     /// Batched [`CongestionManager::request`] (`cm_bulk_request`, paper
-    /// §5 "Optimizations"): one call, many flows, one grant pass.
+    /// §5 "Optimizations"): one call, many flows, one grant pass per
+    /// touched macroflow. Batches may span shards; each touched shard
+    /// runs its own grant pass after the whole batch is enqueued.
     pub fn bulk_request(&mut self, flows: &[FlowId], now: Time) -> CmResult<()> {
-        let mut touched = std::mem::take(&mut self.scratch_mfs);
+        let mut touched = std::mem::take(&mut self.scratch_shards);
         touched.clear();
         let mut result = Ok(());
         for &flow in flows {
-            let mf_id = match self.flow_ref(flow) {
-                Ok(f) => f.macroflow,
-                Err(e) => {
-                    result = Err(e);
-                    break;
+            let sid = flow.shard();
+            match self.shard_mut(sid) {
+                Some(shard) => {
+                    shard.dirty = true;
+                    if let Err(e) = shard.enqueue_request(flow) {
+                        result = Err(e);
+                        break;
+                    }
                 }
-            };
-            self.stats.requests += 1;
-            match self.mf_mut(mf_id) {
-                Ok(mf) => mf.scheduler.enqueue(flow),
-                Err(e) => {
-                    result = Err(e);
+                None => {
+                    result = Err(CmError::UnknownFlow(flow));
                     break;
                 }
             }
-            if !touched.contains(&mf_id) {
-                touched.push(mf_id);
+            if !touched.contains(&sid) {
+                touched.push(sid);
             }
         }
-        for &mf_id in &touched {
-            self.try_grants(mf_id, now);
+        for &sid in &touched {
+            if let Some(shard) = self.shard_mut(sid) {
+                shard.flush_enqueued(now);
+            }
         }
         touched.clear();
-        self.scratch_mfs = touched;
+        self.scratch_shards = touched;
         result
     }
 
@@ -344,38 +356,7 @@ impl CongestionManager {
     /// grant so other flows may use the window — the required behaviour
     /// when a client declines its `cmapp_send` callback.
     pub fn notify(&mut self, flow: FlowId, bytes_sent: u64, now: Time) -> CmResult<()> {
-        let pacing = self.cfg.pacing;
-        let f = self.flow_mut(flow)?;
-        let mf_id = f.macroflow;
-        let mtu = f.mtu as u64;
-        let had_grant = f.granted > 0;
-        if had_grant {
-            f.granted -= 1;
-            f.dead_grant_entries += 1;
-        }
-        f.bytes_sent += bytes_sent;
-        self.stats.notifies += 1;
-        let mf = self.mf_mut(mf_id)?;
-        if had_grant {
-            mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mtu);
-            // The grant charged a full-MTU pacing quantum; refund the
-            // unused fraction now that the true size is known, so
-            // sub-MTU senders (vat's 160-byte frames) are paced by what
-            // they actually send.
-            if pacing && bytes_sent < mtu {
-                let refund = mf.pacing_interval().mul_ratio(mtu - bytes_sent, mtu);
-                mf.next_grant_at = Time::from_nanos(
-                    mf.next_grant_at
-                        .as_nanos()
-                        .saturating_sub(refund.as_nanos()),
-                );
-            }
-        }
-        mf.outstanding += bytes_sent;
-        mf.last_activity = now;
-        // A short send (or a released grant) can open window headroom.
-        self.try_grants(mf_id, now);
-        Ok(())
+        self.flow_shard_mut(flow)?.notify(flow, bytes_sent, now)
     }
 
     /// Reports receiver feedback (`cm_update`): acknowledged and lost
@@ -388,128 +369,10 @@ impl CongestionManager {
     /// estimate) persistently disagree with its macroflow's shared state
     /// is evidently not sharing the group's path, and is split out onto
     /// a private macroflow (the maintenance timer merges it back once
-    /// the signals re-converge).
+    /// the signals re-converge). The private macroflow lives in the
+    /// flow's own shard, so the cycle never crosses shards.
     pub fn update(&mut self, flow: FlowId, report: FeedbackReport, now: Time) -> CmResult<()> {
-        let min_rto = self.cfg.min_rto;
-        let reagg = self.cfg.reaggregation;
-        let f = self.flow_mut(flow)?;
-        let mf_id = f.macroflow;
-        f.bytes_acked += report.bytes_acked;
-        f.bytes_lost += report.bytes_lost;
-        let resolved = report.bytes_acked + report.bytes_lost;
-        if resolved > 0 {
-            f.loss_est
-                .update(report.bytes_lost as f64 / resolved as f64);
-        } else if report.loss != LossMode::None {
-            f.loss_est.update(1.0);
-        }
-        let flow_loss = f.loss_est.get_or(0.0);
-        self.stats.updates += 1;
-        let mf = self.mf_mut(mf_id)?;
-        // Divergence is judged against the shared estimates *before*
-        // this report folds in, so a flow pulling the shared sRTT toward
-        // itself still registers as disagreeing with the group.
-        let mut diverged = false;
-        if let Some(r) = reagg {
-            if let (Some(sample), Some(srtt)) = (report.rtt_sample, mf.rtt.srtt()) {
-                let (a, b) = (sample.as_nanos() as f64, srtt.as_nanos() as f64);
-                if b > 0.0 {
-                    let ratio = a / b;
-                    diverged |= ratio > r.rtt_ratio || ratio < 1.0 / r.rtt_ratio;
-                }
-            }
-            diverged |= (flow_loss - mf.loss_rate.get_or(0.0)).abs() > r.loss_delta;
-        }
-        mf.last_activity = now;
-        if let Some(rtt) = report.rtt_sample {
-            mf.rtt.update(rtt);
-        }
-        mf.outstanding = mf.outstanding.saturating_sub(resolved);
-        if resolved > 0 {
-            let frac = report.bytes_lost as f64 / resolved as f64;
-            mf.loss_rate.update(frac);
-        } else if report.loss != LossMode::None {
-            // A pure congestion signal (e.g. ECN) still counts against
-            // the loss estimate.
-            mf.loss_rate.update(1.0);
-        }
-        if (report.bytes_acked > 0 || report.ack_events > 0) && now >= mf.recovery_until {
-            mf.controller
-                .on_ack(report.bytes_acked, report.ack_events, now);
-        }
-        if report.loss != LossMode::None {
-            mf.controller.on_loss(report.loss, now);
-            // Freeze growth for roughly one RTT: the reduction must
-            // drain before positive feedback may reopen the window.
-            let freeze = mf.rtt.srtt().unwrap_or(min_rto);
-            mf.recovery_until = now + freeze;
-        }
-        if let Some(r) = reagg {
-            self.note_divergence(flow, mf_id, diverged, &r, now)?;
-        }
-        self.try_grants(mf_id, now);
-        self.emit_rate_callbacks(mf_id);
-        Ok(())
-    }
-
-    /// Applies one divergence observation to `flow`'s streak and splits
-    /// it out when the configured threshold is reached. Part of the
-    /// `update` hot path: allocation-free (the split reuses pooled
-    /// macroflow shells).
-    fn note_divergence(
-        &mut self,
-        flow: FlowId,
-        mf_id: MacroflowId,
-        diverged: bool,
-        r: &ReaggregationConfig,
-        now: Time,
-    ) -> CmResult<()> {
-        // The common, non-diverging case returns before any macroflow
-        // lookup: steady-state updates pay only the streak reset.
-        if !diverged {
-            self.flow_mut(flow)?.diverge_streak = 0;
-            return Ok(());
-        }
-        // Only flows on a multi-member *group* macroflow can split out:
-        // a private macroflow has no group to disagree with, and
-        // splitting a lone member changes nothing.
-        let eligible = {
-            let mf = self.mf_ref(mf_id)?;
-            mf.key.group().is_some() && mf.flows.len() > 1
-        };
-        let f = self.flow_mut(flow)?;
-        if !eligible {
-            f.diverge_streak = 0;
-            return Ok(());
-        }
-        f.diverge_streak = f.diverge_streak.saturating_add(1);
-        // A flow holding grants cannot move yet; keep counting and let a
-        // later (grant-free) report trigger the split.
-        if f.diverge_streak >= r.divergence_samples && f.granted == 0 {
-            f.diverge_streak = 0;
-            self.auto_split(flow, mf_id, now)?;
-        }
-        Ok(())
-    }
-
-    /// Splits a diverging flow onto a private macroflow that remembers
-    /// its home group for later merge-back. Unlike the client-visible
-    /// [`CongestionManager::split`], the RTT estimate is *not* inherited:
-    /// the flow split precisely because the shared estimate does not
-    /// describe its path.
-    fn auto_split(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<MacroflowId> {
-        let home = self.mf_ref(from)?.key.group();
-        let key = MacroflowKey::Private(self.next_private_key);
-        self.next_private_key += 1;
-        let new_mf = self.alloc_macroflow(key, now);
-        {
-            let mf = self.mf_mut(new_mf)?;
-            mf.home = home;
-            mf.home_since = now;
-        }
-        self.move_flow(flow, from, new_mf, now)?;
-        self.stats.auto_splits += 1;
-        Ok(new_mf)
+        self.flow_shard_mut(flow)?.update(flow, report, now)
     }
 
     // ------------------------------------------------------------------
@@ -520,24 +383,14 @@ impl CongestionManager {
     /// share, the shared smoothed RTT, and the loss estimate. Idle aging
     /// is applied first so a stale macroflow reports a decayed rate.
     pub fn query(&mut self, flow: FlowId, now: Time) -> CmResult<FlowInfo> {
-        let mf_id = self.flow_ref(flow)?.macroflow;
-        let cfg = self.cfg.clone();
-        let mf = self.mf_mut(mf_id)?;
-        mf.age_if_idle(now, &cfg);
-        self.stats.queries += 1;
-        self.flow_info(flow, mf_id)
+        self.flow_shard_mut(flow)?.query(flow, now)
     }
 
     /// Registers (or, with `None`, cancels) interest in rate callbacks
     /// (`cm_register_update` + `cm_thresh`). The next threshold crossing
     /// emits a [`CmNotification::RateChange`].
     pub fn set_thresholds(&mut self, flow: FlowId, thresholds: Option<Thresholds>) -> CmResult<()> {
-        let mf_id = self.flow_ref(flow)?.macroflow;
-        let current = self.mf_ref(mf_id)?.share_of(flow);
-        let f = self.flow_mut(flow)?;
-        f.update_interest = thresholds;
-        f.last_reported_rate = Some(current);
-        Ok(())
+        self.flow_shard_mut(flow)?.set_thresholds(flow, thresholds)
     }
 
     // ------------------------------------------------------------------
@@ -546,38 +399,25 @@ impl CongestionManager {
 
     /// The macroflow a flow currently belongs to.
     pub fn macroflow_of(&self, flow: FlowId) -> CmResult<MacroflowId> {
-        Ok(self.flow_ref(flow)?.macroflow)
+        self.flow_shard_ref(flow)?.macroflow_of(flow)
     }
 
     /// The flows grouped under a macroflow.
     pub fn flows_in(&self, mf: MacroflowId) -> CmResult<&[FlowId]> {
-        Ok(&self.mf_ref(mf)?.flows)
+        self.mf_shard_ref(mf)?.flows_in(mf)
     }
 
     /// Moves `flow` onto a brand-new private macroflow with fresh
     /// congestion state (splitting it from the policy-assigned
     /// aggregate). The shared RTT estimate is inherited — the path did
-    /// not change — but window state starts over.
+    /// not change — but window state starts over. The private macroflow
+    /// is created in the flow's own shard.
     ///
     /// The flow must have no unresolved grants (issue `cm_notify(0)` or
     /// send first); its scheduler weight and pending (ungranted)
     /// requests move with it.
     pub fn split(&mut self, flow: FlowId, now: Time) -> CmResult<MacroflowId> {
-        let f = self.flow_ref(flow)?;
-        if f.granted > 0 {
-            return Err(CmError::InvalidArgument(
-                "cannot split a flow with unresolved grants",
-            ));
-        }
-        let old_mf = f.macroflow;
-        let key = MacroflowKey::Private(self.next_private_key);
-        self.next_private_key += 1;
-        let new_mf = self.alloc_macroflow(key, now);
-        // Inherit the RTT estimate.
-        let rtt = self.mf_ref(old_mf)?.rtt;
-        self.mf_mut(new_mf)?.rtt = rtt;
-        self.move_flow(flow, old_mf, new_mf, now)?;
-        Ok(new_mf)
+        self.flow_shard_mut(flow)?.split(flow, now)
     }
 
     /// Moves `flow` onto an existing macroflow (`merge`). The target must
@@ -586,80 +426,35 @@ impl CongestionManager {
     /// per-subnet grouping) or be private; use
     /// [`CongestionManager::merge_unchecked`] for the paper's §5
     /// shared-bottleneck extension where unrelated groups share state.
+    /// In sharded mode the target must additionally live in the flow's
+    /// shard (always true for same-group targets and for private
+    /// macroflows the flow's own `split` created).
     pub fn merge(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
-        let f = self.flow_ref(flow)?;
-        let dscp_class = if self.cfg.group_by_dscp {
-            f.key.dscp
-        } else {
-            0
-        };
-        let natural = self
-            .cfg
-            .aggregation
-            .group_of(&f.key)
-            .map(|g| (g, dscp_class));
-        let target_ok = match self.mf_ref(into)?.key.group() {
-            Some(group) => natural == Some(group),
-            None => true,
-        };
-        if !target_ok {
-            return Err(CmError::DestinationMismatch);
+        if flow.shard() != into.shard() {
+            return Err(CmError::CrossShardMerge);
         }
-        self.merge_unchecked(flow, into, now)
+        self.flow_shard_mut(flow)?.merge(flow, into, now)
     }
 
     /// Moves `flow` onto `into` without the group check — aggregating
     /// "multiple destination hosts behind the same shared bottleneck
     /// link" (paper §5). The caller asserts path sharing. The flow's
     /// scheduler weight and pending requests move with it.
+    ///
+    /// The boundary is the **shard**, not the group: shards own
+    /// disjoint slabs, so a target in another shard is rejected with
+    /// [`CmError::CrossShardMerge`], while a target whose group shares
+    /// the flow's shard is accepted — always the case under the default
+    /// single-shard mode (every macroflow is reachable, exactly as
+    /// before), and, in by-group mode, for groups hash-shared onto one
+    /// shard past the `max_shards` cap. Callers that need a
+    /// placement-independent answer in by-group mode should compare
+    /// [`CongestionManager::shard_for_group`] for the two groups first.
     pub fn merge_unchecked(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
-        let f = self.flow_ref(flow)?;
-        if f.granted > 0 {
-            return Err(CmError::InvalidArgument(
-                "cannot merge a flow with unresolved grants",
-            ));
+        if flow.shard() != into.shard() {
+            return Err(CmError::CrossShardMerge);
         }
-        let old_mf = f.macroflow;
-        if old_mf == into {
-            return Ok(());
-        }
-        // Validate the target exists before detaching.
-        let _ = self.mf_ref(into)?;
-        self.move_flow(flow, old_mf, into, now)
-    }
-
-    /// The shared migration primitive behind `split`, `merge`, and
-    /// dynamic re-aggregation: moves `flow` from `from` onto `to` in
-    /// O(1) (plus re-queueing its pending requests), preserving the
-    /// flow's scheduler weight and its pending (ungranted) requests.
-    /// Callers guarantee the flow holds no unresolved grants.
-    fn move_flow(
-        &mut self,
-        flow: FlowId,
-        from: MacroflowId,
-        to: MacroflowId,
-        now: Time,
-    ) -> CmResult<()> {
-        let weight = self.flow_ref(flow)?.weight;
-        let pending = self.mf_ref(from)?.scheduler.pending_of(flow);
-        self.detach_flow(flow, from, now)?;
-        let mf = self.mf_mut(to)?;
-        let pos = mf.flows.len() as u32;
-        mf.flows.push(flow);
-        mf.scheduler.add_flow(flow, weight);
-        for _ in 0..pending {
-            mf.scheduler.enqueue(flow);
-        }
-        mf.empty_since = None;
-        let f = self.flow_mut(flow)?;
-        f.macroflow = to;
-        f.mf_pos = pos;
-        f.diverge_streak = 0;
-        // Migrated requests may be grantable immediately on the target.
-        if pending > 0 {
-            self.try_grants(to, now);
-        }
-        Ok(())
+        self.flow_shard_mut(flow)?.merge_unchecked(flow, into, now)
     }
 
     // ------------------------------------------------------------------
@@ -672,65 +467,63 @@ impl CongestionManager {
     /// merges re-converged auto-split flows back into their home groups,
     /// and expires long-empty macroflows. Hosts call this from a coarse
     /// timer (tens to hundreds of milliseconds).
+    ///
+    /// The walk is per-shard, governed by
+    /// [`crate::config::ShardingConfig::tick`]: all shards per call
+    /// (default) or a bounded round-robin. Either way a *quiet* shard —
+    /// no API call since its last scan and no timed work left behind —
+    /// costs one branch, not a slab scan, so a host with many idle
+    /// groups no longer pays for them on every timer fire
+    /// ([`CmStats::tick_shards_skipped`] counts these). Shards that
+    /// empty completely are recycled into the shell pool here (sharded
+    /// mode only).
     pub fn tick(&mut self, now: Time) {
-        let cfg = self.cfg.clone();
-        if let Some(r) = cfg.reaggregation {
-            self.merge_back_pass(&r, now);
+        let slots = self.shards.len();
+        if slots == 0 {
+            return;
         }
-        for i in 0..self.mfs.len() {
-            if self.mfs[i].is_none() {
-                continue;
+        let budget = match self.cfg.sharding.tick {
+            TickStrategy::AllShards => usize::MAX,
+            TickStrategy::RoundRobin { shards_per_tick } => shards_per_tick.max(1) as usize,
+        };
+        let recycle = matches!(self.cfg.sharding.mode, ShardingMode::ByGroup { .. });
+        let mut cursor = if budget == usize::MAX {
+            0
+        } else {
+            self.rr_cursor % slots
+        };
+        let mut processed = 0usize;
+        for _ in 0..slots {
+            if processed >= budget {
+                break;
             }
-            let mf_id = MacroflowId(i as u32);
-            self.reclaim_expired_grants(mf_id, now);
-            let expired = {
-                let mf = self.mfs[i].as_mut().expect("checked");
-                // Write off outstanding bytes whose feedback never came:
-                // their senders are gone or their packets (and ACKs) are
-                // lost, and holding window for them forever can wedge the
-                // macroflow — a collapsed 1-MTU window never reopens if a
-                // few stray bytes keep `available_window` below the MTU.
-                // The threshold is deliberately far beyond one RTO
-                // (several RTOs, floored at 3 s) so legitimately *slow*
-                // feedback — batched application ACKs run up to 2 s —
-                // is never written off while in flight; only the
-                // never-coming kind is.
-                let write_off_after = (mf.rto(&cfg) * 4).max(Duration::from_secs(3));
-                if mf.outstanding > 0 && now.since(mf.last_activity) >= write_off_after {
-                    self.stats.outstanding_reclaimed += mf.outstanding;
-                    mf.outstanding = 0;
-                    // Silence this long is indistinguishable from the
-                    // paper's CM_LOST_FEEDBACK: everything in flight (and
-                    // every ACK) vanished. Reopening the learned window
-                    // as-is would blast a stale estimate into unknown
-                    // conditions, so signal persistent congestion — the
-                    // controller collapses to its initial window and
-                    // re-probes from a conservative state — and freeze
-                    // growth for one RTT, mirroring `update`'s loss path.
-                    mf.controller.on_loss(LossMode::Persistent, now);
-                    let freeze = mf.rtt.srtt().unwrap_or(cfg.min_rto);
-                    mf.recovery_until = now + freeze;
-                    self.stats.write_off_congestion_signals += 1;
+            if let Some(shard) = self.shards[cursor].as_mut() {
+                if shard.needs_tick() {
+                    let scanned = shard.tick(now);
+                    self.front_stats.tick_mfs_scanned += scanned;
+                    self.front_stats.tick_shards_visited += 1;
+                    processed += 1;
+                    if recycle && shard.is_empty() {
+                        if shard.outbox.is_empty() {
+                            self.recycle_shard(cursor as u32);
+                        } else {
+                            // Undrained notifications pin the shard (the
+                            // shell pool must never swallow them). Keep
+                            // it dirty so a later tick — after the
+                            // client drains — reaches this check again
+                            // instead of the shard going quiet
+                            // unrecyclable forever.
+                            shard.dirty = true;
+                        }
+                    }
+                } else {
+                    self.front_stats.tick_shards_skipped += 1;
                 }
-                mf.age_if_idle(now, &cfg);
-                matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
-            };
-            if expired {
-                let mut mf = self.mfs[i].take().expect("checked");
-                self.free_mfs.push(i as u32);
-                self.live_mfs -= 1;
-                if let Some(group) = mf.key.group() {
-                    self.group_to_mf.remove(&group);
-                }
-                // Park the shell so the next macroflow creation reuses
-                // its boxes and buffers instead of allocating.
-                mf.grant_queue.clear();
-                self.mf_pool.push(mf);
-                self.stats.macroflows_expired += 1;
-                continue;
             }
-            self.try_grants(mf_id, now);
-            self.emit_rate_callbacks(mf_id);
+            cursor = (cursor + 1) % slots;
+        }
+        if budget != usize::MAX {
+            self.rr_cursor = cursor;
         }
     }
 
@@ -739,23 +532,17 @@ impl CongestionManager {
     /// should arm a timer for this instant and then call
     /// [`CongestionManager::release_paced`].
     pub fn next_grant_deadline(&self) -> Option<Time> {
-        if !self.cfg.pacing {
-            return None;
-        }
-        self.mfs
+        self.shards
             .iter()
             .flatten()
-            .filter(|mf| mf.scheduler.pending() > 0 && mf.available_window() >= mf.mtu as u64)
-            .map(|mf| mf.next_grant_at)
+            .filter_map(|s| s.next_grant_deadline())
             .min()
     }
 
     /// Releases any grants whose pacing deadline has passed.
     pub fn release_paced(&mut self, now: Time) {
-        for i in 0..self.mfs.len() {
-            if self.mfs[i].is_some() {
-                self.try_grants(MacroflowId(i as u32), now);
-            }
+        for shard in self.shards.iter_mut().flatten() {
+            shard.release_paced(now);
         }
     }
 
@@ -770,53 +557,138 @@ impl CongestionManager {
     /// tests and doc examples only.
     #[doc(hidden)]
     pub fn drain_notifications(&mut self) -> Vec<CmNotification> {
-        self.outbox.drain(..).collect()
+        let mut out = Vec::new();
+        self.drain_notifications_into(&mut out);
+        out
     }
 
     /// Drains all pending notifications into `out` (appending), reusing
     /// the caller's buffer — the allocation-free drain the host's settle
     /// loop (and every other steady-state caller) runs on each event.
+    /// Order is preserved within a shard; across shards the walk is in
+    /// shard-index order (cross-shard ordering carries no semantics —
+    /// shards share no congestion state).
     pub fn drain_notifications_into(&mut self, out: &mut Vec<CmNotification>) {
-        out.extend(self.outbox.drain(..));
+        for shard in self.shards.iter_mut().flatten() {
+            out.extend(shard.outbox.drain(..));
+        }
     }
 
     /// True if notifications are waiting (the control socket's readable
     /// bits).
     pub fn has_notifications(&self) -> bool {
-        !self.outbox.is_empty()
+        self.shards.iter().flatten().any(|s| !s.outbox.is_empty())
     }
 
     // ------------------------------------------------------------------
-    // Introspection for tests and experiments
+    // Sharding control and introspection
     // ------------------------------------------------------------------
 
-    /// Number of open flows.
+    /// Registers a per-group [`CmConfig`] override: when `group`'s shard
+    /// is (next) created, it uses this configuration instead of the
+    /// CM-wide one — e.g. a gentler rate-based controller for a
+    /// media-heavy destination group. Routing-relevant fields
+    /// (`aggregation`, `group_by_dscp`, `sharding`) are forced to the
+    /// CM-wide values; only under [`ShardingMode::ByGroup`] does the
+    /// override take effect, and only for groups that get a dedicated
+    /// shard (a group hash-shared onto an existing shard under the
+    /// `max_shards` cap keeps that shard's configuration).
+    pub fn set_group_config(&mut self, group: u64, cfg: CmConfig) {
+        self.group_overrides.insert(group, cfg);
+    }
+
+    /// The override registered for `group`, if any.
+    pub fn group_config(&self, group: u64) -> Option<&CmConfig> {
+        self.group_overrides.get(&group)
+    }
+
+    /// The configuration a given live shard is running (its override if
+    /// it was created for an overridden group).
+    pub fn shard_config(&self, shard: u32) -> Option<&CmConfig> {
+        self.shards.get(shard as usize)?.as_ref().map(|s| &s.cfg)
+    }
+
+    /// Number of live shards (1 under the default single-shard mode).
+    pub fn shard_count(&self) -> usize {
+        self.live_shards
+    }
+
+    /// Shard table size (live + recyclable slots); bounded by the peak
+    /// concurrent shard count and by the configured `max_shards`.
+    pub fn shard_slots(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `group` currently routes to, if its shard exists.
+    pub fn shard_for_group(&self, group: u64) -> Option<u32> {
+        match self.cfg.sharding.mode {
+            ShardingMode::Single => Some(0),
+            ShardingMode::ByGroup { .. } => self.shard_map.get(&group).copied(),
+        }
+    }
+
+    /// Number of open flows (all shards).
     pub fn flow_count(&self) -> usize {
-        self.live_flows
+        self.shards.iter().flatten().map(|s| s.flow_count()).sum()
     }
 
     /// Number of live macroflows (including empty, lingering ones).
     pub fn macroflow_count(&self) -> usize {
-        self.live_mfs
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.macroflow_count())
+            .sum()
     }
 
-    /// Capacity of the flow slab (live + recyclable slots). Bounded by
-    /// the peak number of concurrently open flows, regardless of churn —
-    /// the regression tests assert this stays flat.
+    /// Total flow-slab capacity (live + recyclable slots) across shards.
+    /// Each shard's slab is bounded by *its* peak concurrent flow count,
+    /// regardless of churn — the regression tests assert this stays
+    /// flat; see [`CongestionManager::flow_slab_capacity_of`] for the
+    /// per-shard figure.
     pub fn flow_slab_capacity(&self) -> usize {
-        self.flows.len()
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.flow_slab_capacity())
+            .sum()
     }
 
-    /// Capacity of the macroflow slab (live + recyclable slots); bounded
-    /// by the peak concurrent macroflow count, regardless of churn.
+    /// One shard's flow-slab capacity (0 for a vacant slot).
+    pub fn flow_slab_capacity_of(&self, shard: u32) -> usize {
+        self.shards
+            .get(shard as usize)
+            .and_then(Option::as_ref)
+            .map_or(0, |s| s.flow_slab_capacity())
+    }
+
+    /// Total macroflow-slab capacity across shards; per shard it is
+    /// bounded by that shard's peak concurrent macroflow count.
     pub fn macroflow_slab_capacity(&self) -> usize {
-        self.mfs.len()
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.macroflow_slab_capacity())
+            .sum()
     }
 
-    /// Expired macroflow shells parked for reuse (bounded by the peak
-    /// concurrent macroflow count).
+    /// One shard's macroflow-slab capacity (0 for a vacant slot).
+    pub fn macroflow_slab_capacity_of(&self, shard: u32) -> usize {
+        self.shards
+            .get(shard as usize)
+            .and_then(Option::as_ref)
+            .map_or(0, |s| s.macroflow_slab_capacity())
+    }
+
+    /// Expired macroflow shells parked for reuse across live shards
+    /// (each shard's pool is bounded by its peak concurrent macroflow
+    /// count).
     pub fn macroflow_pool_len(&self) -> usize {
-        self.mf_pool.len()
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.macroflow_pool_len())
+            .sum()
     }
 
     /// The scheduler weight registered for `flow` on its current
@@ -824,354 +696,205 @@ impl CongestionManager {
     /// weight-preservation regression tests: migration via `split`,
     /// `merge`, or dynamic re-aggregation must never reset it.
     pub fn weight_of(&self, flow: FlowId) -> CmResult<u32> {
-        let f = self.flow_ref(flow)?;
-        Ok(self.mf_ref(f.macroflow)?.scheduler.weight_of(flow))
+        self.flow_shard_ref(flow)?.weight_of(flow)
     }
 
     /// Pending (requested but ungranted) sends for `flow`.
     pub fn pending_of(&self, flow: FlowId) -> CmResult<u32> {
-        let f = self.flow_ref(flow)?;
-        Ok(self.mf_ref(f.macroflow)?.scheduler.pending_of(flow))
+        self.flow_shard_ref(flow)?.pending_of(flow)
     }
 
     /// The macroflow's congestion window in bytes.
     pub fn window_of(&self, mf: MacroflowId) -> CmResult<u64> {
-        Ok(self.mf_ref(mf)?.controller.window())
+        self.mf_shard_ref(mf)?.window_of(mf)
     }
 
     /// The macroflow's outstanding (unacknowledged) bytes.
     pub fn outstanding_of(&self, mf: MacroflowId) -> CmResult<u64> {
-        Ok(self.mf_ref(mf)?.outstanding)
+        self.mf_shard_ref(mf)?.outstanding_of(mf)
     }
 
     /// The macroflow's window bytes reserved by unclaimed grants.
     pub fn reserved_of(&self, mf: MacroflowId) -> CmResult<u64> {
-        Ok(self.mf_ref(mf)?.granted_unnotified)
+        self.mf_shard_ref(mf)?.reserved_of(mf)
     }
 
     /// A state snapshot for `flow` without the query bookkeeping.
     pub fn flow_info(&self, flow: FlowId, mf_id: MacroflowId) -> CmResult<FlowInfo> {
-        let f = self.flow_ref(flow)?;
-        let mf = self.mf_ref(mf_id)?;
-        Ok(FlowInfo {
-            rate: mf.share_of(flow),
-            srtt: mf.rtt.srtt(),
-            rttvar: mf.rtt.rttvar(),
-            loss_rate: mf.loss_rate.get_or(0.0),
-            cwnd: mf.controller.window(),
-            mtu: f.mtu,
-        })
+        if flow.shard() != mf_id.shard() {
+            return Err(CmError::UnknownMacroflow(mf_id));
+        }
+        self.flow_shard_ref(flow)?.flow_info(flow, mf_id)
     }
 
     // ------------------------------------------------------------------
-    // Internals
+    // Internals: routing
     // ------------------------------------------------------------------
 
-    fn alloc_macroflow(&mut self, key: MacroflowKey, now: Time) -> MacroflowId {
-        let slot = match self.free_mfs.pop() {
-            Some(slot) => slot,
+    fn shard_ref(&self, idx: u32) -> Option<&Shard> {
+        self.shards.get(idx as usize).and_then(Option::as_ref)
+    }
+
+    fn shard_mut(&mut self, idx: u32) -> Option<&mut Shard> {
+        self.shards.get_mut(idx as usize).and_then(Option::as_mut)
+    }
+
+    /// The shard owning a flow id, for read-only access.
+    fn flow_shard_ref(&self, flow: FlowId) -> CmResult<&Shard> {
+        self.shard_ref(flow.shard())
+            .ok_or(CmError::UnknownFlow(flow))
+    }
+
+    /// The shard owning a flow id, for mutation: marks it dirty so the
+    /// next tick scans it.
+    fn flow_shard_mut(&mut self, flow: FlowId) -> CmResult<&mut Shard> {
+        let shard = self
+            .shard_mut(flow.shard())
+            .ok_or(CmError::UnknownFlow(flow))?;
+        shard.dirty = true;
+        Ok(shard)
+    }
+
+    fn mf_shard_ref(&self, mf: MacroflowId) -> CmResult<&Shard> {
+        self.shard_ref(mf.shard())
+            .ok_or(CmError::UnknownMacroflow(mf))
+    }
+
+    /// Where `open` places a flow of the given aggregation group,
+    /// creating the shard if needed.
+    fn shard_for_open(&mut self, group: Option<u64>) -> u32 {
+        match self.cfg.sharding.mode {
+            ShardingMode::Single => 0,
+            ShardingMode::ByGroup { .. } => match group {
+                Some(g) => match self.shard_map.get(&g) {
+                    Some(&sid) => sid,
+                    None => self.create_shard(Some(g)),
+                },
+                None => match self.private_shard {
+                    Some(sid) if self.shard_ref(sid).is_some() => sid,
+                    _ => {
+                        let sid = self.create_shard(None);
+                        self.private_shard = Some(sid);
+                        sid
+                    }
+                },
+            },
+        }
+    }
+
+    /// The shard a flow key would route to (read-only; `None` when the
+    /// group's shard does not exist yet).
+    fn shard_for_key(&self, key: &FlowKey) -> Option<u32> {
+        match self.cfg.sharding.mode {
+            ShardingMode::Single => Some(0),
+            ShardingMode::ByGroup { .. } => match self.cfg.aggregation.group_of(key) {
+                Some(g) => self.shard_map.get(&g).copied(),
+                None => self.private_shard,
+            },
+        }
+    }
+
+    /// The configured shard cap (1 in single mode), clamped to what the
+    /// id encoding can address.
+    fn max_shards(&self) -> usize {
+        match self.cfg.sharding.mode {
+            ShardingMode::Single => 1,
+            ShardingMode::ByGroup { max_shards } => max_shards.clamp(1, MAX_SHARDS) as usize,
+        }
+    }
+
+    /// The configuration a new shard for `route` runs: the group's
+    /// override if one is registered, with routing-relevant fields
+    /// forced to the CM-wide values so a shard can never disagree with
+    /// the front about grouping.
+    fn shard_cfg(&self, route: Option<u64>) -> CmConfig {
+        let mut cfg = route
+            .and_then(|g| self.group_overrides.get(&g))
+            .cloned()
+            .unwrap_or_else(|| self.cfg.clone());
+        cfg.aggregation = self.cfg.aggregation;
+        cfg.group_by_dscp = self.cfg.group_by_dscp;
+        cfg.sharding = self.cfg.sharding;
+        cfg
+    }
+
+    /// Creates (or, past the `max_shards` cap, shares) the shard for a
+    /// routing group, registering the routing so later opens and lookups
+    /// find it. Reuses a pooled shell when one is parked.
+    fn create_shard(&mut self, route: Option<u64>) -> u32 {
+        let max = self.max_shards();
+        let idx = match self.free_shards.pop() {
+            Some(i) => i,
+            None if self.shards.len() < max => {
+                let new_slot = self.shards.len();
+                debug_assert!(new_slot < MAX_SHARDS as usize);
+                self.shards.push(None);
+                new_slot as u32
+            }
             None => {
-                self.mfs.push(None);
-                self.mfs.len() as u32 - 1
+                // At the cap with every slot occupied: deterministically
+                // hash the group onto an existing shard. It shares slabs
+                // (not congestion state — the group map inside keeps
+                // macroflows apart), exactly like the single-shard mode
+                // does for all groups.
+                let h = route
+                    .unwrap_or(u64::MAX)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let idx = (h % self.shards.len() as u64) as u32;
+                debug_assert!(self.shards[idx as usize].is_some());
+                if let (Some(g), Some(shard)) = (route, self.shard_mut(idx)) {
+                    shard.route_groups.push(g);
+                    self.shard_map.insert(g, idx);
+                }
+                return idx;
             }
         };
-        let id = MacroflowId(slot);
-        let mf = match self.mf_pool.pop() {
+        let cfg = self.shard_cfg(route);
+        let mut shard = match self.shard_pool.pop() {
             Some(mut shell) => {
-                shell.reset(id, key, &self.cfg, now);
+                shell.reset(cfg, idx);
                 shell
             }
-            None => Macroflow::new(id, key, &self.cfg, now),
+            None => Shard::new(cfg, idx),
         };
-        self.mfs[slot as usize] = Some(mf);
-        self.live_mfs += 1;
-        self.stats.macroflows_created += 1;
-        id
-    }
-
-    /// The maintenance half of dynamic re-aggregation: for every
-    /// auto-split private macroflow whose dwell has elapsed, compare its
-    /// RTT/loss estimates against its home group's; once they agree
-    /// within the configured factors, move its grant-free members back.
-    fn merge_back_pass(&mut self, r: &ReaggregationConfig, now: Time) {
-        for i in 0..self.mfs.len() {
-            let Some(mf) = self.mfs[i].as_ref() else {
-                continue;
-            };
-            let Some(home_key) = mf.home else {
-                continue;
-            };
-            if mf.flows.is_empty() || now.since(mf.home_since) < r.min_dwell {
-                continue;
-            }
-            let mf_id = MacroflowId(i as u32);
-            let Some(&home_mf) = self.group_to_mf.get(&home_key) else {
-                // The home group expired while the flow was away; this
-                // is now a plain private macroflow.
-                self.mfs[i].as_mut().expect("checked").home = None;
-                continue;
-            };
-            let converged = {
-                let Ok(home) = self.mf_ref(home_mf) else {
-                    continue;
-                };
-                let mf = self.mfs[i].as_ref().expect("checked");
-                match (mf.rtt.srtt(), home.rtt.srtt()) {
-                    (Some(a), Some(b)) if !b.is_zero() => {
-                        let ratio = a.as_nanos() as f64 / b.as_nanos() as f64;
-                        ratio <= r.converge_ratio
-                            && ratio >= 1.0 / r.converge_ratio
-                            && (mf.loss_rate.get_or(0.0) - home.loss_rate.get_or(0.0)).abs()
-                                <= r.loss_delta
-                    }
-                    _ => false,
-                }
-            };
-            if !converged {
-                continue;
-            }
-            let mut members = std::mem::take(&mut self.scratch_flows);
-            members.clear();
-            members.extend_from_slice(&self.mfs[i].as_ref().expect("checked").flows);
-            // Only flows that *naturally belong* to the home group go
-            // back: the app may have explicitly merged foreign flows
-            // onto this private macroflow, and moving those would
-            // bypass the checked-merge group guard and silently undo
-            // the app's grouping.
-            let mut home_member_left_behind = false;
-            for &f in &members {
-                let (movable, belongs_home) = match self.flow_ref(f) {
-                    Ok(fl) => {
-                        let dscp = if self.cfg.group_by_dscp {
-                            fl.key.dscp
-                        } else {
-                            0
-                        };
-                        let natural = self.cfg.aggregation.group_of(&fl.key).map(|g| (g, dscp));
-                        (fl.granted == 0, natural == Some(home_key))
-                    }
-                    Err(_) => (false, false),
-                };
-                if !belongs_home {
-                    continue;
-                }
-                if movable && self.move_flow(f, mf_id, home_mf, now).is_ok() {
-                    self.stats.auto_merges += 1;
-                } else {
-                    home_member_left_behind = true;
-                }
-            }
-            members.clear();
-            self.scratch_flows = members;
-            // If only app-placed foreign flows remain, this is now a
-            // plain private macroflow: stop re-checking it. A home
-            // member skipped for holding grants keeps `home` so a later
-            // pass can still return it.
-            if !home_member_left_behind {
-                if let Some(mf) = self.mfs[i].as_mut() {
-                    if !mf.flows.is_empty() {
-                        mf.home = None;
-                    }
-                }
-            }
+        if let Some(g) = route {
+            shard.route_groups.push(g);
+            self.shard_map.insert(g, idx);
         }
+        self.shards[idx as usize] = Some(shard);
+        self.live_shards += 1;
+        self.front_stats.shards_created += 1;
+        idx
     }
 
-    fn detach_flow(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<()> {
-        let pos = self.flow_ref(flow)?.mf_pos;
-        let Self { mfs, flows, .. } = self;
-        let mf = mfs
-            .get_mut(from.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(CmError::UnknownMacroflow(from))?;
-        mf.scheduler.remove_flow(flow);
-        remove_member(mf, flows, pos);
-        if mf.flows.is_empty() {
-            mf.empty_since = Some(now);
-        }
-        // The flow moves with zero unresolved grants (callers enforce
-        // this), so its entries still in the old queue are all dead:
-        // stale their generation and reset the lazy-deletion counter.
-        self.flow_gens[flow.0 as usize] = self.flow_gens[flow.0 as usize].wrapping_add(1);
-        self.flow_mut(flow)?.dead_grant_entries = 0;
-        Ok(())
-    }
-
-    /// Issues grants while the window has headroom and requests wait,
-    /// subject to rate pacing. When pacing defers a grant, the caller can
-    /// learn the release time from
-    /// [`CongestionManager::next_grant_deadline`] and call
-    /// [`CongestionManager::release_paced`] then.
-    fn try_grants(&mut self, mf_id: MacroflowId, now: Time) {
-        let pacing = self.cfg.pacing;
-        let Self {
-            mfs,
-            flows,
-            flow_gens,
-            outbox,
-            stats,
-            ..
-        } = self;
-        let Some(mf) = mfs.get_mut(mf_id.0 as usize).and_then(Option::as_mut) else {
+    /// Parks an emptied shard's shell in the pool and clears its routing
+    /// entries. Its counters fold into the front's so `stats()` never
+    /// loses history.
+    fn recycle_shard(&mut self, idx: u32) {
+        let Some(mut shard) = self.shards[idx as usize].take() else {
             return;
         };
-        while mf.available_window() >= mf.mtu as u64 && mf.scheduler.pending() > 0 {
-            if pacing && now < mf.next_grant_at {
-                break;
-            }
-            let Some(flow_id) = mf.scheduler.dequeue() else {
-                break;
-            };
-            let Some(flow) = flows.get_mut(flow_id.0 as usize).and_then(Option::as_mut) else {
-                continue; // Flow closed with requests still queued.
-            };
-            flow.granted += 1;
-            mf.granted_unnotified += mf.mtu as u64;
-            mf.grant_queue.push_back(GrantEntry {
-                flow: flow_id,
-                gen: flow_gens[flow_id.0 as usize],
-                issued: now,
-            });
-            outbox.push_back(CmNotification::SendGrant { flow: flow_id });
-            stats.grants += 1;
-            if pacing {
-                let interval = mf.pacing_interval();
-                mf.next_grant_at = mf.next_grant_at.max(now) + interval;
+        for g in shard.route_groups.drain(..) {
+            if self.shard_map.get(&g) == Some(&idx) {
+                self.shard_map.remove(&g);
             }
         }
-    }
-
-    /// Reclaims grants older than the grant timeout whose `cm_notify`
-    /// never arrived (client bug or deliberate decline without a zero
-    /// notify); the paper's timer-driven "error handling".
-    fn reclaim_expired_grants(&mut self, mf_id: MacroflowId, now: Time) {
-        let timeout = self.cfg.grant_timeout;
-        let Self {
-            mfs,
-            flows,
-            flow_gens,
-            stats,
-            ..
-        } = self;
-        let Some(mf) = mfs.get_mut(mf_id.0 as usize).and_then(Option::as_mut) else {
-            return;
-        };
-        while let Some(front) = mf.grant_queue.front().copied() {
-            let idx = front.flow.0 as usize;
-            // A generation mismatch means the flow closed or moved
-            // macroflow after this grant was issued; its reservation was
-            // released then, so the entry is dropped with no accounting.
-            let flow = if flow_gens[idx] == front.gen {
-                flows.get_mut(idx).and_then(Option::as_mut)
-            } else {
-                None
-            };
-            match flow {
-                None => {
-                    mf.grant_queue.pop_front();
-                }
-                Some(f) if f.dead_grant_entries > 0 => {
-                    // This entry was resolved by a notify; drop it lazily.
-                    f.dead_grant_entries -= 1;
-                    mf.grant_queue.pop_front();
-                }
-                Some(f) => {
-                    if now.since(front.issued) < timeout {
-                        break;
-                    }
-                    f.granted = f.granted.saturating_sub(1);
-                    mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mf.mtu as u64);
-                    mf.grants_reclaimed += 1;
-                    stats.grants_reclaimed += 1;
-                    mf.grant_queue.pop_front();
-                }
-            }
+        if self.private_shard == Some(idx) {
+            self.private_shard = None;
         }
-    }
-
-    /// Emits `cmapp_update`-style callbacks for flows whose rate share
-    /// crossed their registered thresholds.
-    fn emit_rate_callbacks(&mut self, mf_id: MacroflowId) {
-        let mut member_flows = std::mem::take(&mut self.scratch_flows);
-        member_flows.clear();
-        let Ok(mf) = self.mf_ref(mf_id) else {
-            self.scratch_flows = member_flows;
-            return;
-        };
-        member_flows.extend_from_slice(&mf.flows);
-        for &flow_id in &member_flows {
-            let Ok(f) = self.flow_ref(flow_id) else {
-                continue;
-            };
-            let Some(thresh) = f.update_interest else {
-                continue;
-            };
-            let last = f.last_reported_rate.unwrap_or(Rate::ZERO);
-            let mf = self.mf_ref(mf_id).expect("checked above");
-            let current = mf.share_of(flow_id);
-            if thresh.crossed(last, current) {
-                let info = self
-                    .flow_info(flow_id, mf_id)
-                    .expect("flow and macroflow exist");
-                self.outbox.push_back(CmNotification::RateChange {
-                    flow: flow_id,
-                    info,
-                });
-                self.stats.rate_callbacks += 1;
-                if let Ok(f) = self.flow_mut(flow_id) {
-                    f.last_reported_rate = Some(current);
-                }
-            }
-        }
-        member_flows.clear();
-        self.scratch_flows = member_flows;
-    }
-
-    fn flow_ref(&self, id: FlowId) -> CmResult<&Flow> {
-        self.flows
-            .get(id.0 as usize)
-            .and_then(Option::as_ref)
-            .ok_or(CmError::UnknownFlow(id))
-    }
-
-    fn flow_mut(&mut self, id: FlowId) -> CmResult<&mut Flow> {
-        self.flows
-            .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(CmError::UnknownFlow(id))
-    }
-
-    fn mf_ref(&self, id: MacroflowId) -> CmResult<&Macroflow> {
-        self.mfs
-            .get(id.0 as usize)
-            .and_then(Option::as_ref)
-            .ok_or(CmError::UnknownMacroflow(id))
-    }
-
-    fn mf_mut(&mut self, id: MacroflowId) -> CmResult<&mut Macroflow> {
-        self.mfs
-            .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(CmError::UnknownMacroflow(id))
-    }
-}
-
-/// Swap-removes the member at `pos` from `mf.flows`, repairing the moved
-/// flow's back-pointer so membership removal stays O(1).
-fn remove_member(mf: &mut Macroflow, flows: &mut [Option<Flow>], pos: u32) {
-    mf.flows.swap_remove(pos as usize);
-    if (pos as usize) < mf.flows.len() {
-        let moved = mf.flows[pos as usize];
-        if let Some(f) = flows.get_mut(moved.0 as usize).and_then(Option::as_mut) {
-            f.mf_pos = pos;
-        }
+        self.front_stats.accumulate(&shard.stats);
+        shard.stats = CmStats::default();
+        self.shard_pool.push(shard);
+        self.free_shards.push(idx);
+        self.live_shards -= 1;
+        self.front_stats.shards_recycled += 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::Endpoint;
+    use crate::types::{Endpoint, LossMode};
     use cm_util::Duration;
 
     fn key(sport: u16, daddr: u32) -> FlowKey {
@@ -2159,5 +1882,515 @@ mod tests {
         cm.update(f, FeedbackReport::loss(LossMode::Ecn, 0), now)
             .unwrap();
         assert_eq!(cm.window_of(mf).unwrap(), before / 2);
+    }
+
+    /// Regression (satellite): once `tick` writes off feedback-free
+    /// outstanding bytes, the `LossMode::Persistent` signal and the
+    /// `write_off_congestion_signals` counter must NOT re-fire on every
+    /// subsequent tick while the macroflow stays idle. Zeroing
+    /// `outstanding` is the latch: a re-fire would also re-arm
+    /// `recovery_until` each tick and freeze window growth forever.
+    #[test]
+    fn write_off_signal_does_not_refire_while_idle() {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        // Grow the window, then send a burst whose feedback never comes.
+        let mut now = Time::ZERO;
+        for _ in 0..6 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        cm.request(f, now).unwrap();
+        for n in cm.drain_notifications() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, now).unwrap();
+            }
+        }
+        let write_off_at = now + Duration::from_secs(60);
+        cm.tick(write_off_at);
+        assert_eq!(cm.stats().write_off_congestion_signals, 1);
+        assert_eq!(cm.outstanding_of(mf).unwrap(), 0);
+        // The macroflow stays completely idle through many more ticks:
+        // the signal and counter must not repeat.
+        for i in 1..=20u64 {
+            cm.tick(write_off_at + Duration::from_secs(i));
+        }
+        assert_eq!(
+            cm.stats().write_off_congestion_signals,
+            1,
+            "write-off signal re-fired on an idle macroflow"
+        );
+        // And growth is not latched frozen: one RTT after the single
+        // signal, positive feedback reopens the window as usual.
+        let later = write_off_at + Duration::from_secs(21);
+        cm.update(f, FeedbackReport::ack(1460, 1), later).unwrap();
+        assert!(
+            cm.window_of(mf).unwrap() > 1460,
+            "window frozen by repeated write-off signals"
+        );
+    }
+
+    /// Regression (satellite): a recycled flow slot must not inherit the
+    /// previous tenant's `diverge_streak`. Flow A accumulates a streak
+    /// just below the split threshold and closes; flow B reuses the slot
+    /// and must need the FULL threshold of diverging reports before it
+    /// is auto-split — a stale streak would split it on its first one.
+    #[test]
+    fn recycled_flow_slot_does_not_inherit_diverge_streak() {
+        use crate::config::ReaggregationConfig;
+        let reagg = ReaggregationConfig {
+            divergence_samples: 4,
+            ..Default::default()
+        };
+        let mut cm = CongestionManager::new(CmConfig {
+            reaggregation: Some(reagg),
+            pacing: false,
+            ..Default::default()
+        });
+        let anchor = cm.open(key(999, 9), Time::ZERO).unwrap();
+        let mut now = Time::ZERO;
+        // Establish the shared RTT estimate at 50 ms.
+        for _ in 0..6 {
+            cm.update(
+                anchor,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        // Flow A diverges for 3 of the 4 required samples, then closes.
+        let a = cm.open(key(1000, 9), now).unwrap();
+        for _ in 0..3 {
+            cm.update(
+                a,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(600)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        assert_eq!(cm.stats().auto_splits, 0, "split below threshold");
+        cm.close(a, now).unwrap();
+        // Re-anchor the shared estimate while the anchor is the sole
+        // member (a lone flow is never divergence-eligible, so this
+        // cannot feed the anchor's own streak).
+        for _ in 0..6 {
+            cm.update(
+                anchor,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        // Flow B recycles A's slot (slab free-list is LIFO).
+        let b = cm.open(key(1001, 9), now).unwrap();
+        assert_eq!(b, a, "slab should recycle the freed slot");
+        // B needs all 4 diverging samples of its own: after 3 it must
+        // still be on the shared macroflow.
+        for _ in 0..3 {
+            cm.update(
+                b,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(600)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        assert_eq!(
+            cm.stats().auto_splits,
+            0,
+            "recycled slot inherited a stale diverge streak"
+        );
+        // The fourth diverging sample triggers the split as designed.
+        cm.update(
+            b,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(600)),
+            now,
+        )
+        .unwrap();
+        assert_eq!(cm.stats().auto_splits, 1, "threshold never reached");
+    }
+
+    /// Regression (review finding): the quiet-shard skip must not
+    /// disable the idle staleness rule. A macroflow with a learned
+    /// window and no other maintenance work keeps its shard scannable
+    /// until `age_if_idle` has decayed the window back to the initial
+    /// value — only then may the shard go quiet. (Old behaviour: every
+    /// tick aged every macroflow; a skip that freezes a stale window
+    /// would hand a resuming sender a full-window burst into unknown
+    /// conditions.)
+    #[test]
+    fn idle_window_ages_despite_quiet_skip() {
+        let mut cm = CongestionManager::new(CmConfig {
+            aging_interval: Some(Duration::from_secs(1)),
+            pacing: false,
+            ..Default::default()
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mf = cm.macroflow_of(f).unwrap();
+        let mut now = Time::ZERO;
+        // Grow the window well past the initial 1 MTU, resolving all
+        // outstanding so nothing else keeps the shard pending.
+        for _ in 0..4 {
+            cm.request(f, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+                now,
+            )
+            .unwrap();
+            now += Duration::from_millis(50);
+        }
+        let learned = cm.window_of(mf).unwrap();
+        assert!(learned >= 4 * 1460, "window never grew ({learned})");
+        // The flow idles; the periodic timer keeps firing. Each elapsed
+        // aging interval must halve the window down to the initial one.
+        for i in 1..=10u64 {
+            cm.tick(now + Duration::from_secs(i));
+        }
+        assert_eq!(
+            cm.window_of(mf).unwrap(),
+            1460,
+            "idle aging was skipped; the stale learned window survived"
+        );
+        // Fully decayed and otherwise idle, the shard finally goes
+        // quiet: later ticks skip it.
+        let skipped_before = cm.stats().tick_shards_skipped;
+        cm.tick(now + Duration::from_secs(11));
+        cm.tick(now + Duration::from_secs(12));
+        assert!(
+            cm.stats().tick_shards_skipped >= skipped_before + 2,
+            "decayed idle shard still being scanned"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-mode behaviour
+    // ------------------------------------------------------------------
+
+    use crate::config::{ShardingConfig, ShardingMode, TickStrategy};
+
+    fn sharded(max: u32) -> CmConfig {
+        CmConfig {
+            sharding: ShardingConfig::by_group(max),
+            pacing: false,
+            ..Default::default()
+        }
+    }
+
+    /// Groups get their own shards: ids carry the shard index, routing
+    /// agrees with the policy's group, and state stays per-shard.
+    #[test]
+    fn by_group_sharding_partitions_state() {
+        let mut cm = CongestionManager::new(sharded(16));
+        assert_eq!(cm.shard_count(), 0, "shards are created lazily");
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        let f3 = cm.open(key(1002, 7), Time::ZERO).unwrap();
+        assert_eq!(cm.shard_count(), 2);
+        assert_eq!(f1.shard(), f2.shard(), "same group, same shard");
+        assert_ne!(f1.shard(), f3.shard(), "distinct groups, distinct shards");
+        assert_eq!(cm.shard_for_group(9), Some(f1.shard()));
+        assert_eq!(cm.shard_for_group(7), Some(f3.shard()));
+        // Macroflow ids carry the same shard index as their members.
+        let mf1 = cm.macroflow_of(f1).unwrap();
+        let mf3 = cm.macroflow_of(f3).unwrap();
+        assert_eq!(mf1.shard(), f1.shard());
+        assert_eq!(mf3.shard(), f3.shard());
+        assert_eq!(cm.macroflow_of(f2).unwrap(), mf1);
+        // The full request/grant/notify/update cycle works per shard.
+        for &f in &[f1, f3] {
+            cm.request(f, Time::ZERO).unwrap();
+        }
+        let granted = grants_in(&cm.drain_notifications());
+        assert_eq!(granted.len(), 2, "each shard granted from its own window");
+        for &f in &granted {
+            cm.notify(f, 1460, Time::ZERO).unwrap();
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(20)),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(cm.flow_count(), 3);
+        assert_eq!(cm.macroflow_count(), 2);
+        // lookup routes through the group map.
+        assert_eq!(cm.lookup(&key(1001, 9)), Some(f2));
+        assert_eq!(cm.lookup(&key(1002, 7)), Some(f3));
+    }
+
+    /// Cross-shard `merge_unchecked` is rejected: shards own disjoint
+    /// slabs. (Single-shard mode keeps the historical §5 semantics — see
+    /// `merge_rejects_destination_mismatch`.)
+    #[test]
+    fn sharded_cross_shard_merge_rejected() {
+        let mut cm = CongestionManager::new(sharded(16));
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 7), Time::ZERO).unwrap();
+        let mf1 = cm.macroflow_of(f1).unwrap();
+        assert_eq!(
+            cm.merge_unchecked(f2, mf1, Time::ZERO),
+            Err(CmError::CrossShardMerge)
+        );
+        assert_eq!(cm.merge(f2, mf1, Time::ZERO), Err(CmError::CrossShardMerge));
+        // Intra-shard split + merge-back still work.
+        let private = cm.split(f1, Time::ZERO).unwrap();
+        assert_eq!(private.shard(), f1.shard());
+        cm.merge(f1, mf1, Time::ZERO).unwrap();
+        assert_eq!(cm.macroflow_of(f1).unwrap(), mf1);
+    }
+
+    /// An emptied shard (all macroflows expired) is recycled into the
+    /// shell pool, its routing entries removed; the group's next open
+    /// re-creates it with fresh state.
+    #[test]
+    fn sharded_shard_recycles_when_empty() {
+        let mut cm = CongestionManager::new(CmConfig {
+            macroflow_linger: Duration::from_millis(100),
+            ..sharded(16)
+        });
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.close(f, Time::ZERO).unwrap();
+        assert_eq!(cm.shard_count(), 1);
+        cm.tick(Time::from_secs(1));
+        assert_eq!(cm.shard_count(), 0, "empty shard not recycled");
+        assert_eq!(cm.stats().shards_recycled, 1);
+        assert_eq!(cm.shard_for_group(9), None, "routing entry leaked");
+        // Stats survive recycling.
+        assert_eq!(cm.stats().opens, 1);
+        assert_eq!(cm.stats().closes, 1);
+        // Reopening the group reuses the pooled shell.
+        let f2 = cm.open(key(1000, 9), Time::from_secs(2)).unwrap();
+        assert_eq!(cm.shard_count(), 1);
+        let mf = cm.macroflow_of(f2).unwrap();
+        assert_eq!(cm.window_of(mf).unwrap(), 1460, "stale state in shell");
+        assert_eq!(cm.stats().shards_created, 2);
+    }
+
+    /// App-directed opens (no aggregation group) share one private
+    /// shard, so the application's explicit `merge` composition keeps
+    /// working under sharding.
+    #[test]
+    fn sharded_app_directed_shares_private_shard() {
+        use crate::config::AggregationPolicy;
+        let mut cm = CongestionManager::new(CmConfig {
+            aggregation: AggregationPolicy::AppDirected,
+            ..sharded(16)
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 7), Time::ZERO).unwrap();
+        assert_eq!(f1.shard(), f2.shard(), "app-directed opens split shards");
+        assert_eq!(cm.shard_count(), 1);
+        let shared = cm.macroflow_of(f1).unwrap();
+        cm.merge(f2, shared, Time::ZERO).unwrap();
+        assert_eq!(cm.flows_in(shared).unwrap().len(), 2);
+        assert_eq!(cm.lookup(&key(1001, 7)), Some(f2));
+    }
+
+    /// Per-group `CmConfig` overrides ride the shard map: the overridden
+    /// group's shard runs its own configuration (a media-friendly
+    /// rate-based controller here), other groups keep the base config.
+    #[test]
+    fn per_group_config_override_applies_to_its_shard() {
+        use crate::config::ControllerKind;
+        let mut cm = CongestionManager::new(sharded(16));
+        cm.set_group_config(
+            9,
+            CmConfig {
+                controller: ControllerKind::RateBased,
+                mtu: 512,
+                ..sharded(16)
+            },
+        );
+        let f_media = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f_bulk = cm.open(key(1001, 7), Time::ZERO).unwrap();
+        assert_eq!(cm.mtu(f_media).unwrap(), 512, "override mtu not applied");
+        assert_eq!(cm.mtu(f_bulk).unwrap(), 1460, "base config disturbed");
+        let sc = cm
+            .shard_config(f_media.shard())
+            .expect("media shard is live");
+        assert_eq!(sc.controller, ControllerKind::RateBased);
+        assert_eq!(
+            cm.shard_config(f_bulk.shard()).unwrap().controller,
+            CmConfig::default().controller
+        );
+        // Routing-relevant fields cannot be overridden per group.
+        assert_eq!(sc.aggregation, cm.config().aggregation);
+        assert_eq!(sc.sharding, cm.config().sharding);
+    }
+
+    /// A host with many groups but one active group skips the idle
+    /// shards' slab scans: the quiet-shard gate in action.
+    #[test]
+    fn quiet_shards_skipped_by_tick() {
+        let mut cm = CongestionManager::new(sharded(16));
+        let active = cm.open(key(1000, 1), Time::ZERO).unwrap();
+        let _idle: Vec<FlowId> = (2..=16)
+            .map(|d| cm.open(key(1000 + d as u16, d), Time::ZERO).unwrap())
+            .collect();
+        assert_eq!(cm.shard_count(), 16);
+        // First tick scans everything (every shard is dirty from open).
+        cm.tick(Time::from_millis(100));
+        assert_eq!(cm.stats().tick_shards_visited, 16);
+        // Steady state: only the active group's shard sees API calls.
+        let mut now = Time::from_millis(100);
+        for _ in 0..10 {
+            now += Duration::from_millis(100);
+            cm.request(active, now).unwrap();
+            for n in cm.drain_notifications() {
+                if let CmNotification::SendGrant { flow } = n {
+                    cm.notify(flow, 1460, now).unwrap();
+                }
+            }
+            cm.update(
+                active,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(20)),
+                now,
+            )
+            .unwrap();
+            cm.tick(now);
+        }
+        let s = cm.stats();
+        assert!(
+            s.tick_shards_skipped >= 10 * 15,
+            "idle shards were scanned: only {} skips",
+            s.tick_shards_skipped
+        );
+        assert_eq!(s.tick_shards_visited, 16 + 10, "active shard not ticked");
+    }
+
+    /// Round-robin ticking bounds the per-call work: each tick call
+    /// processes at most `shards_per_tick` shards that need maintenance.
+    #[test]
+    fn round_robin_tick_bounds_shards_per_call() {
+        let mut cm = CongestionManager::new(CmConfig {
+            sharding: ShardingConfig {
+                mode: ShardingMode::ByGroup { max_shards: 16 },
+                tick: TickStrategy::RoundRobin { shards_per_tick: 1 },
+            },
+            macroflow_linger: Duration::from_millis(100),
+            pacing: false,
+            ..Default::default()
+        });
+        // Four groups, each left with timed maintenance work (a
+        // lingering empty macroflow).
+        for d in 1..=4u32 {
+            let f = cm.open(key(1000 + d as u16, d), Time::ZERO).unwrap();
+            cm.close(f, Time::ZERO).unwrap();
+        }
+        assert_eq!(cm.shard_count(), 4);
+        // Each call processes exactly one needy shard; four calls drain
+        // the whole host.
+        for i in 1..=4u64 {
+            cm.tick(Time::from_secs(i));
+            assert_eq!(
+                cm.stats().tick_shards_visited,
+                i,
+                "round-robin budget not enforced"
+            );
+        }
+        assert_eq!(cm.shard_count(), 0, "lingering macroflows never expired");
+    }
+
+    /// More groups than `max_shards`: the overflow groups share shards
+    /// (slabs, not congestion state) and everything keeps working.
+    #[test]
+    fn shard_cap_overflow_shares_shards() {
+        let mut cm = CongestionManager::new(sharded(2));
+        let flows: Vec<FlowId> = (1..=6u32)
+            .map(|d| cm.open(key(1000 + d as u16, d), Time::ZERO).unwrap())
+            .collect();
+        assert!(cm.shard_count() <= 2, "cap exceeded");
+        // Groups keep separate macroflows even when sharing a shard.
+        let mfs: std::collections::HashSet<MacroflowId> =
+            flows.iter().map(|&f| cm.macroflow_of(f).unwrap()).collect();
+        assert_eq!(mfs.len(), 6, "overflow groups shared congestion state");
+        // Lookups and the data path still route correctly.
+        for (i, &f) in flows.iter().enumerate() {
+            assert_eq!(cm.lookup(&key(1001 + i as u16, i as u32 + 1)), Some(f));
+            cm.request(f, Time::ZERO).unwrap();
+        }
+        assert_eq!(grants_in(&cm.drain_notifications()).len(), 6);
+    }
+
+    /// Regression (review finding): a shard that empties while
+    /// undrained notifications sit in its outbox must not become
+    /// permanently unrecyclable. The expiry tick may not recycle it
+    /// (the pool must never swallow notifications), but it stays
+    /// flagged so the tick after the client drains completes the
+    /// recycle.
+    #[test]
+    fn shard_with_undrained_notes_recycles_after_drain() {
+        let mut cm = CongestionManager::new(CmConfig {
+            macroflow_linger: Duration::from_millis(100),
+            ..sharded(16)
+        });
+        let f1 = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let f2 = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        cm.request(f1, Time::ZERO).unwrap();
+        cm.request(f2, Time::ZERO).unwrap();
+        // Drain f1's grant only; then f1's close releases the window
+        // and grants f2 — a notification nobody drains.
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f1]);
+        cm.close(f1, Time::ZERO).unwrap();
+        cm.close(f2, Time::ZERO).unwrap();
+        assert!(cm.has_notifications(), "setup: no pending note");
+        // Linger elapses: the macroflow expires, the shard is empty,
+        // but the undrained grant pins it.
+        cm.tick(Time::from_secs(1));
+        assert_eq!(cm.shard_count(), 1, "recycled with notes in the outbox");
+        // More ticks without a drain must neither recycle nor wedge.
+        cm.tick(Time::from_secs(2));
+        assert_eq!(cm.shard_count(), 1);
+        // The client finally drains; the next tick recycles the shard.
+        let _ = cm.drain_notifications();
+        cm.tick(Time::from_secs(3));
+        assert_eq!(cm.shard_count(), 0, "shard never recycled after drain");
+        assert_eq!(cm.stats().shards_recycled, 1);
+    }
+
+    /// Unknown ids with out-of-range shard bits fail cleanly.
+    #[test]
+    fn sharded_unknown_ids_error() {
+        let mut cm = CongestionManager::new(sharded(4));
+        let bogus = FlowId::from_parts(3, 7);
+        assert!(matches!(
+            cm.request(bogus, Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            cm.window_of(MacroflowId::from_parts(9, 0)),
+            Err(CmError::UnknownMacroflow(_))
+        ));
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        // A valid slot with the wrong shard bits is not the same flow.
+        let wrong_shard = FlowId::from_parts(f.shard() + 1, f.slot());
+        assert!(matches!(
+            cm.notify(wrong_shard, 0, Time::ZERO),
+            Err(CmError::UnknownFlow(_))
+        ));
     }
 }

@@ -112,6 +112,89 @@ impl Default for ReaggregationConfig {
     }
 }
 
+/// How the CM's state is partitioned into shards.
+///
+/// The unsharded CM keeps one flow slab, one macroflow slab, and one
+/// maintenance scan for the whole host. At the scale the roadmap targets
+/// (millions of flows), the aggregation group *is* the natural sharding
+/// key: flows in different groups share no congestion state, so each
+/// group's slabs, free-lists, notification outbox, and re-aggregation
+/// machinery can live in their own shard, and the maintenance `tick` can
+/// skip shards with nothing to do instead of scanning every macroflow on
+/// the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardingMode {
+    /// One shard for everything — byte-compatible with the historical
+    /// unsharded CM (ids, grouping, and `merge_unchecked` semantics are
+    /// exactly as before). The default.
+    Single,
+    /// One shard per aggregation group (as computed by
+    /// [`AggregationPolicy::group_of`]), created lazily on the group's
+    /// first `open` and recycled into a shell pool once every macroflow
+    /// in it has expired. At most `max_shards` shards exist at once;
+    /// additional groups are deterministically hashed onto the existing
+    /// shards (sharing slabs, not congestion state). App-directed opens
+    /// (no group) share one private shard.
+    ///
+    /// Cross-*shard* `merge_unchecked` is rejected with
+    /// [`crate::CmError::CrossShardMerge`]: shards share no slabs, so
+    /// the §5 shared-bottleneck aggregate across groups needs the
+    /// detector-driven design tracked in the roadmap.
+    ByGroup {
+        /// Upper bound on concurrently live shards (clamped to the id
+        /// encoding's limit, [`crate::types::MAX_SHARDS`]).
+        max_shards: u32,
+    },
+}
+
+/// How the maintenance timer visits shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TickStrategy {
+    /// Every `tick` call visits all shards (quiet shards are still
+    /// skipped in O(1) each).
+    AllShards,
+    /// Every `tick` call processes at most this many shards that
+    /// actually need maintenance, round-robin, so the per-call cost is
+    /// bounded regardless of shard count. Maintenance timeouts (grant
+    /// reclamation, write-off, linger expiry) remain lower bounds: a
+    /// shard's deadlines are enforced when its turn comes.
+    RoundRobin {
+        /// Shards processed per `tick` call (minimum 1).
+        shards_per_tick: u32,
+    },
+}
+
+/// Sharding configuration: the partitioning mode plus the tick visiting
+/// strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardingConfig {
+    /// How state is partitioned.
+    pub mode: ShardingMode,
+    /// How `tick` walks the shards.
+    pub tick: TickStrategy,
+}
+
+impl Default for ShardingConfig {
+    /// Unsharded, full-sweep ticks — the paper's single-trust-domain CM.
+    fn default() -> Self {
+        ShardingConfig {
+            mode: ShardingMode::Single,
+            tick: TickStrategy::AllShards,
+        }
+    }
+}
+
+impl ShardingConfig {
+    /// Convenience: shard by aggregation group with the given cap,
+    /// keeping full-sweep ticks.
+    pub fn by_group(max_shards: u32) -> Self {
+        ShardingConfig {
+            mode: ShardingMode::ByGroup { max_shards },
+            tick: TickStrategy::AllShards,
+        }
+    }
+}
+
 /// Which congestion-control algorithm each macroflow runs.
 ///
 /// The paper's CM uses a TCP-style window AIMD with slow start, with
@@ -179,6 +262,12 @@ pub struct CmConfig {
     /// Dynamic re-aggregation thresholds; `None` (the default) keeps
     /// grouping static, exactly as the paper's CM behaves.
     pub reaggregation: Option<ReaggregationConfig>,
+    /// How the CM's state is partitioned into shards (default: one
+    /// shard, the paper's single trust domain). Per-group `CmConfig`
+    /// overrides ([`crate::CongestionManager::set_group_config`]) take
+    /// effect only under [`ShardingMode::ByGroup`], where a group's
+    /// shard carries its own configuration.
+    pub sharding: ShardingConfig,
     /// Include the DSCP in the macroflow key, so differentiated-services
     /// classes do not share congestion state (paper §5).
     pub group_by_dscp: bool,
@@ -217,6 +306,7 @@ impl Default for CmConfig {
             scheduler: SchedulerKind::RoundRobin,
             aggregation: AggregationPolicy::Destination,
             reaggregation: None,
+            sharding: ShardingConfig::default(),
             group_by_dscp: false,
             aging_interval: None,
             macroflow_linger: Duration::from_secs(120),

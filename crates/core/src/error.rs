@@ -23,6 +23,12 @@ pub enum CmError {
     /// `merge` would move a flow onto a macroflow for a different
     /// destination, which would corrupt shared congestion state.
     DestinationMismatch,
+    /// The operation would move a flow between shards, which own
+    /// disjoint slabs (sharded mode only; see
+    /// [`crate::config::ShardingMode::ByGroup`]). The shared-bottleneck
+    /// aggregate across groups needs the detector-driven cross-shard
+    /// design tracked in the roadmap.
+    CrossShardMerge,
 }
 
 impl fmt::Display for CmError {
@@ -34,6 +40,9 @@ impl fmt::Display for CmError {
             CmError::InvalidArgument(what) => write!(f, "invalid argument: {}", what),
             CmError::DestinationMismatch => {
                 write!(f, "cannot merge flows with different destinations")
+            }
+            CmError::CrossShardMerge => {
+                write!(f, "cannot merge flows across CM shards")
             }
         }
     }

@@ -76,10 +76,14 @@ pub mod error;
 pub mod flow;
 pub mod macroflow;
 pub mod scheduler;
+mod shard;
 pub mod types;
 
 pub use api::{CmNotification, CmStats, CongestionManager};
-pub use config::{AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind};
+pub use config::{
+    AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind,
+    ShardingConfig, ShardingMode, TickStrategy,
+};
 pub use controller::{AimdController, CongestionController, RateBasedController};
 pub use error::CmError;
 pub use types::{
@@ -91,6 +95,7 @@ pub mod prelude {
     pub use crate::api::{CmNotification, CongestionManager};
     pub use crate::config::{
         AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind,
+        ShardingConfig, ShardingMode, TickStrategy,
     };
     pub use crate::error::CmError;
     pub use crate::types::{

@@ -227,7 +227,9 @@ impl Macroflow {
     }
 
     /// One flow's proportional share of the macroflow rate, by scheduler
-    /// weight.
+    /// weight. Takes the *scheduler-local* (slot) form of the flow id —
+    /// the shard strips the shard bits before registering flows with the
+    /// scheduler, so callers must pass the same form here.
     pub fn share_of(&self, flow: FlowId) -> Rate {
         let total = self.scheduler.total_weight();
         if total == 0 {

@@ -1,0 +1,1141 @@
+//! One CM shard: the slab-backed state machine behind the API.
+//!
+//! A [`Shard`] owns everything the historical monolithic CM owned — the
+//! flow and macroflow slabs with their free-lists and generation arrays,
+//! the notification outbox, the pooled macroflow shells, and the dynamic
+//! re-aggregation state — for one partition of the host's flows. The
+//! [`crate::CongestionManager`] front routes every entry point to the
+//! owning shard by the shard index encoded in the id's high bits (see
+//! [`crate::types::SLOT_BITS`]); under the default single-shard
+//! configuration there is exactly one shard and its ids are numerically
+//! identical to the unsharded CM's.
+//!
+//! Ids handed to clients (and stored in `key_to_flow`, macroflow member
+//! lists, and the grant queue) are *global* — shard bits included. The
+//! schedulers are the one exception: their dense index arrays are sized
+//! by the ids they see, so the shard hands them *local* slot ids
+//! (`FlowId(slot)` with zero shard bits) and re-encodes on the way out.
+//!
+//! # Quiet-shard skip
+//!
+//! Each shard tracks whether the maintenance timer has anything to do:
+//! `dirty` is set by every mutating entry point, and
+//! `pending_maintenance` is recomputed during each tick scan (grant
+//! queues, outstanding bytes, lingering empty macroflows, auto-split
+//! homes, queued requests, or registered rate-callback thresholds all
+//! keep it set). A shard with neither flag costs the front one branch
+//! per tick instead of a slab scan — on a host where one group is active
+//! and fifteen idle, `tick` touches one shard's slab, not sixteen.
+
+use std::collections::VecDeque;
+
+use cm_util::{Duration, FxHashMap, Rate, Time};
+
+use crate::api::{CmNotification, CmStats};
+use crate::config::{CmConfig, ReaggregationConfig};
+use crate::error::{CmError, CmResult};
+use crate::flow::Flow;
+use crate::macroflow::{GrantEntry, Macroflow, MacroflowKey};
+use crate::types::{
+    FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds, SLOT_BITS,
+    SLOT_MASK,
+};
+
+/// The slab-slot index a global id addresses inside this shard.
+#[inline]
+fn slot(id: u32) -> usize {
+    (id & SLOT_MASK) as usize
+}
+
+/// The scheduler-local form of a global flow id (shard bits stripped —
+/// schedulers size their index arrays by the ids they are given).
+#[inline]
+fn lid(id: FlowId) -> FlowId {
+    FlowId(id.0 & SLOT_MASK)
+}
+
+/// One partition of the CM: a full flow/macroflow state machine over its
+/// own slabs. See the module docs for the id conventions.
+pub(crate) struct Shard {
+    pub(crate) cfg: CmConfig,
+    /// Precomputed `shard_index << SLOT_BITS`, OR-ed into every id this
+    /// shard hands out.
+    base: u32,
+    /// Flow slab: the id's slot bits index it; vacated slots are
+    /// recycled through `free_flows`, so the id space (and every
+    /// slot-indexed array, notably the schedulers') stays dense under
+    /// churn.
+    flows: Vec<Option<Flow>>,
+    free_flows: Vec<u32>,
+    /// Per-slot generation, bumped whenever a slot's grant-queue entries
+    /// become invalid (close, split, merge); lets the grant queue drop
+    /// stale entries lazily instead of `retain`-scanning on every close.
+    flow_gens: Vec<u32>,
+    live_flows: usize,
+    key_to_flow: FxHashMap<FlowKey, FlowId>,
+    /// Macroflow slab with the same recycling scheme.
+    mfs: Vec<Option<Macroflow>>,
+    free_mfs: Vec<u32>,
+    live_mfs: usize,
+    /// Expired macroflow shells parked for reuse: `alloc_macroflow`
+    /// resets a pooled shell (controller, scheduler, and buffers kept)
+    /// instead of re-boxing, so macroflow churn — including
+    /// divergence-driven split/merge cycles — allocates nothing once the
+    /// pool is warm.
+    mf_pool: Vec<Macroflow>,
+    /// Aggregation-group index: `(group, dscp) -> macroflow`, where the
+    /// group id is computed by the configured
+    /// [`crate::config::AggregationPolicy`]. A shard normally hosts one
+    /// routing group, but overflow routing (more groups than shards) and
+    /// the single-shard mode put several here; the map keeps them apart.
+    group_to_mf: FxHashMap<(u64, u8), MacroflowId>,
+    pub(crate) outbox: VecDeque<CmNotification>,
+    pub(crate) stats: CmStats,
+    next_private_key: u32,
+    /// Pooled buffers so the hot entry points allocate nothing.
+    scratch_mfs: Vec<MacroflowId>,
+    scratch_flows: Vec<FlowId>,
+    /// Routing groups the front has mapped onto this shard, so recycling
+    /// the shard can clean the front's shard map.
+    pub(crate) route_groups: Vec<u64>,
+    /// Set by every mutating entry point; cleared by `tick`. A shard
+    /// that is neither dirty nor pending maintenance is skipped in O(1).
+    pub(crate) dirty: bool,
+    /// Whether the previous tick scan left timed work behind (grants to
+    /// reclaim, outstanding to write off, lingering macroflows, homes to
+    /// merge back, queued requests, or threshold registrations).
+    pending_maintenance: bool,
+    /// Live rate-callback registrations (aging can move shares, so any
+    /// registration keeps the tick scan alive).
+    thresh_regs: usize,
+}
+
+impl Shard {
+    pub(crate) fn new(cfg: CmConfig, index: u32) -> Self {
+        Shard {
+            cfg,
+            base: index << SLOT_BITS,
+            flows: Vec::new(),
+            free_flows: Vec::new(),
+            flow_gens: Vec::new(),
+            live_flows: 0,
+            key_to_flow: FxHashMap::default(),
+            mfs: Vec::new(),
+            free_mfs: Vec::new(),
+            live_mfs: 0,
+            mf_pool: Vec::new(),
+            group_to_mf: FxHashMap::default(),
+            outbox: VecDeque::new(),
+            stats: CmStats::default(),
+            next_private_key: 0,
+            scratch_mfs: Vec::new(),
+            scratch_flows: Vec::new(),
+            route_groups: Vec::new(),
+            dirty: true,
+            pending_maintenance: true,
+            thresh_regs: 0,
+        }
+    }
+
+    /// Re-initialises a pooled shard shell for a new tenant, retaining
+    /// every slab, map, and buffer capacity (and the parked macroflow
+    /// shells) so shard churn under group churn is allocation-free once
+    /// the pool is warm.
+    pub(crate) fn reset(&mut self, cfg: CmConfig, index: u32) {
+        debug_assert!(self.live_flows == 0 && self.live_mfs == 0);
+        self.cfg = cfg;
+        self.base = index << SLOT_BITS;
+        self.flows.clear();
+        self.free_flows.clear();
+        self.flow_gens.clear();
+        self.live_flows = 0;
+        self.key_to_flow.clear();
+        self.mfs.clear();
+        self.free_mfs.clear();
+        self.live_mfs = 0;
+        // mf_pool retained: shells are fully reset at allocation time.
+        self.group_to_mf.clear();
+        self.outbox.clear();
+        self.stats = CmStats::default();
+        self.next_private_key = 0;
+        self.scratch_mfs.clear();
+        self.scratch_flows.clear();
+        self.route_groups.clear();
+        self.dirty = true;
+        self.pending_maintenance = true;
+        self.thresh_regs = 0;
+    }
+
+    /// True when the shard holds no live flows and no live macroflows
+    /// (lingering state included) — the recycling condition.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live_flows == 0 && self.live_mfs == 0
+    }
+
+    /// Whether the next tick needs to scan this shard at all.
+    pub(crate) fn needs_tick(&self) -> bool {
+        self.dirty || self.pending_maintenance
+    }
+
+    // ------------------------------------------------------------------
+    // State management (paper §2.1.1)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn open(&mut self, key: FlowKey, now: Time) -> CmResult<FlowId> {
+        if self.key_to_flow.contains_key(&key) {
+            return Err(CmError::DuplicateFlow);
+        }
+        let dscp_class = if self.cfg.group_by_dscp { key.dscp } else { 0 };
+        let mf_id = match self.cfg.aggregation.group_of(&key) {
+            Some(group) => match self.group_to_mf.get(&(group, dscp_class)) {
+                Some(&id) => id,
+                None => {
+                    let id = self.alloc_macroflow(
+                        MacroflowKey::for_group(self.cfg.aggregation, group, dscp_class),
+                        now,
+                    );
+                    self.group_to_mf.insert((group, dscp_class), id);
+                    id
+                }
+            },
+            None => {
+                let key = MacroflowKey::Private(self.next_private_key);
+                self.next_private_key += 1;
+                self.alloc_macroflow(key, now)
+            }
+        };
+        // Checked slot arithmetic: the slot is taken *before* the push
+        // (so there is no `len - 1` underflow hazard to reason about).
+        // The recycled-slot fast path stays branch-free; the overflow
+        // check lives only on the cold slab-growth branch, and is a
+        // real assert because silently minting a slot past SLOT_MASK
+        // would corrupt the id's shard bits and alias another flow.
+        let flow_id = match self.free_flows.pop() {
+            Some(free_slot) => FlowId(self.base | free_slot),
+            None => {
+                let new_slot = self.flows.len();
+                assert!(
+                    new_slot <= SLOT_MASK as usize,
+                    "flow slab exhausted the id encoding's slot space"
+                );
+                self.flow_gens.push(0);
+                self.flows.push(None);
+                FlowId(self.base | new_slot as u32)
+            }
+        };
+        let mut flow = Flow::new(
+            flow_id,
+            key,
+            mf_id,
+            self.cfg.mtu,
+            self.cfg.loss_ewma_gain,
+            now,
+        );
+        self.key_to_flow.insert(key, flow_id);
+        let mf = self.mf_mut(mf_id)?;
+        flow.mf_pos = mf.flows.len() as u32;
+        mf.flows.push(flow_id);
+        mf.scheduler.add_flow(lid(flow_id), 1);
+        mf.empty_since = None;
+        self.flows[slot(flow_id.0)] = Some(flow);
+        self.live_flows += 1;
+        self.stats.opens += 1;
+        Ok(flow_id)
+    }
+
+    pub(crate) fn close(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        let key = f.key;
+        let granted = f.granted;
+        let mtu = f.mtu as u64;
+        let pos = f.mf_pos;
+        let registered = f.update_interest.is_some();
+        self.flows[slot(flow.0)] = None;
+        self.free_flows.push(flow.0 & SLOT_MASK);
+        // Invalidate the flow's grant-queue entries; the reclamation
+        // sweep drops stale-generation entries lazily in O(1) each.
+        self.flow_gens[slot(flow.0)] = self.flow_gens[slot(flow.0)].wrapping_add(1);
+        self.live_flows -= 1;
+        if registered {
+            self.thresh_regs -= 1;
+        }
+        self.key_to_flow.remove(&key);
+        let Self { mfs, flows, .. } = self;
+        let mf = mfs
+            .get_mut(slot(mf_id.0))
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownMacroflow(mf_id))?;
+        mf.scheduler.remove_flow(lid(flow));
+        remove_member(mf, flows, pos);
+        // Release window reserved by unresolved grants.
+        mf.granted_unnotified = mf.granted_unnotified.saturating_sub(granted as u64 * mtu);
+        if mf.flows.is_empty() {
+            mf.empty_since = Some(now);
+        }
+        self.stats.closes += 1;
+        self.try_grants(mf_id, now);
+        Ok(())
+    }
+
+    pub(crate) fn mtu(&self, flow: FlowId) -> CmResult<usize> {
+        Ok(self.flow_ref(flow)?.mtu)
+    }
+
+    pub(crate) fn lookup(&self, key: &FlowKey) -> Option<FlowId> {
+        self.key_to_flow.get(key).copied()
+    }
+
+    pub(crate) fn set_weight(&mut self, flow: FlowId, weight: u32) -> CmResult<()> {
+        if weight == 0 {
+            return Err(CmError::InvalidArgument("weight must be positive"));
+        }
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        self.flow_mut(flow)?.weight = weight;
+        self.mf_mut(mf_id)?.scheduler.set_weight(lid(flow), weight);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data transmission (paper §2.1.2)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn request(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        self.stats.requests += 1;
+        let mf = self.mf_mut(mf_id)?;
+        mf.scheduler.enqueue(lid(flow));
+        self.try_grants(mf_id, now);
+        Ok(())
+    }
+
+    /// The enqueue half of `bulk_request`: records the request and the
+    /// touched macroflow without granting, so the front can run one
+    /// grant pass per touched macroflow after the whole batch (batches
+    /// may span shards; each shard flushes its own touched set).
+    pub(crate) fn enqueue_request(&mut self, flow: FlowId) -> CmResult<()> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        self.stats.requests += 1;
+        let mf = self.mf_mut(mf_id)?;
+        mf.scheduler.enqueue(lid(flow));
+        if !self.scratch_mfs.contains(&mf_id) {
+            self.scratch_mfs.push(mf_id);
+        }
+        Ok(())
+    }
+
+    /// The grant half of `bulk_request`: one `try_grants` pass per
+    /// macroflow touched by `enqueue_request` since the last flush.
+    pub(crate) fn flush_enqueued(&mut self, now: Time) {
+        let mut touched = std::mem::take(&mut self.scratch_mfs);
+        for &mf_id in &touched {
+            self.try_grants(mf_id, now);
+        }
+        touched.clear();
+        self.scratch_mfs = touched;
+    }
+
+    pub(crate) fn notify(&mut self, flow: FlowId, bytes_sent: u64, now: Time) -> CmResult<()> {
+        let pacing = self.cfg.pacing;
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        let mtu = f.mtu as u64;
+        let had_grant = f.granted > 0;
+        if had_grant {
+            f.granted -= 1;
+            f.dead_grant_entries += 1;
+        }
+        f.bytes_sent += bytes_sent;
+        self.stats.notifies += 1;
+        let mf = self.mf_mut(mf_id)?;
+        if had_grant {
+            mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mtu);
+            // The grant charged a full-MTU pacing quantum; refund the
+            // unused fraction now that the true size is known, so
+            // sub-MTU senders (vat's 160-byte frames) are paced by what
+            // they actually send.
+            if pacing && bytes_sent < mtu {
+                let refund = mf.pacing_interval().mul_ratio(mtu - bytes_sent, mtu);
+                mf.next_grant_at = Time::from_nanos(
+                    mf.next_grant_at
+                        .as_nanos()
+                        .saturating_sub(refund.as_nanos()),
+                );
+            }
+        }
+        mf.outstanding += bytes_sent;
+        mf.last_activity = now;
+        // A short send (or a released grant) can open window headroom.
+        self.try_grants(mf_id, now);
+        Ok(())
+    }
+
+    pub(crate) fn update(
+        &mut self,
+        flow: FlowId,
+        report: FeedbackReport,
+        now: Time,
+    ) -> CmResult<()> {
+        let min_rto = self.cfg.min_rto;
+        let reagg = self.cfg.reaggregation;
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        f.bytes_acked += report.bytes_acked;
+        f.bytes_lost += report.bytes_lost;
+        let resolved = report.bytes_acked + report.bytes_lost;
+        if resolved > 0 {
+            f.loss_est
+                .update(report.bytes_lost as f64 / resolved as f64);
+        } else if report.loss != LossMode::None {
+            f.loss_est.update(1.0);
+        }
+        let flow_loss = f.loss_est.get_or(0.0);
+        self.stats.updates += 1;
+        let mf = self.mf_mut(mf_id)?;
+        // Divergence is judged against the shared estimates *before*
+        // this report folds in, so a flow pulling the shared sRTT toward
+        // itself still registers as disagreeing with the group.
+        let mut diverged = false;
+        if let Some(r) = reagg {
+            if let (Some(sample), Some(srtt)) = (report.rtt_sample, mf.rtt.srtt()) {
+                let (a, b) = (sample.as_nanos() as f64, srtt.as_nanos() as f64);
+                if b > 0.0 {
+                    let ratio = a / b;
+                    diverged |= ratio > r.rtt_ratio || ratio < 1.0 / r.rtt_ratio;
+                }
+            }
+            diverged |= (flow_loss - mf.loss_rate.get_or(0.0)).abs() > r.loss_delta;
+        }
+        mf.last_activity = now;
+        if let Some(rtt) = report.rtt_sample {
+            mf.rtt.update(rtt);
+        }
+        mf.outstanding = mf.outstanding.saturating_sub(resolved);
+        if resolved > 0 {
+            let frac = report.bytes_lost as f64 / resolved as f64;
+            mf.loss_rate.update(frac);
+        } else if report.loss != LossMode::None {
+            // A pure congestion signal (e.g. ECN) still counts against
+            // the loss estimate.
+            mf.loss_rate.update(1.0);
+        }
+        if (report.bytes_acked > 0 || report.ack_events > 0) && now >= mf.recovery_until {
+            mf.controller
+                .on_ack(report.bytes_acked, report.ack_events, now);
+        }
+        if report.loss != LossMode::None {
+            mf.controller.on_loss(report.loss, now);
+            // Freeze growth for roughly one RTT: the reduction must
+            // drain before positive feedback may reopen the window.
+            let freeze = mf.rtt.srtt().unwrap_or(min_rto);
+            mf.recovery_until = now + freeze;
+        }
+        if let Some(r) = reagg {
+            self.note_divergence(flow, mf_id, diverged, &r, now)?;
+        }
+        self.try_grants(mf_id, now);
+        self.emit_rate_callbacks(mf_id);
+        Ok(())
+    }
+
+    /// Applies one divergence observation to `flow`'s streak and splits
+    /// it out when the configured threshold is reached. Part of the
+    /// `update` hot path: allocation-free (the split reuses pooled
+    /// macroflow shells).
+    fn note_divergence(
+        &mut self,
+        flow: FlowId,
+        mf_id: MacroflowId,
+        diverged: bool,
+        r: &ReaggregationConfig,
+        now: Time,
+    ) -> CmResult<()> {
+        // The common, non-diverging case returns before any macroflow
+        // lookup: steady-state updates pay only the streak reset.
+        if !diverged {
+            self.flow_mut(flow)?.diverge_streak = 0;
+            return Ok(());
+        }
+        // Only flows on a multi-member *group* macroflow can split out:
+        // a private macroflow has no group to disagree with, and
+        // splitting a lone member changes nothing.
+        let eligible = {
+            let mf = self.mf_ref(mf_id)?;
+            mf.key.group().is_some() && mf.flows.len() > 1
+        };
+        let f = self.flow_mut(flow)?;
+        if !eligible {
+            f.diverge_streak = 0;
+            return Ok(());
+        }
+        f.diverge_streak = f.diverge_streak.saturating_add(1);
+        // A flow holding grants cannot move yet; keep counting and let a
+        // later (grant-free) report trigger the split.
+        if f.diverge_streak >= r.divergence_samples && f.granted == 0 {
+            f.diverge_streak = 0;
+            self.auto_split(flow, mf_id, now)?;
+        }
+        Ok(())
+    }
+
+    /// Splits a diverging flow onto a private macroflow that remembers
+    /// its home group for later merge-back. Unlike the client-visible
+    /// `split`, the RTT estimate is *not* inherited: the flow split
+    /// precisely because the shared estimate does not describe its path.
+    /// The private macroflow lives in this shard (its home group is
+    /// here), so merge-back never crosses shards.
+    fn auto_split(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<MacroflowId> {
+        let home = self.mf_ref(from)?.key.group();
+        let key = MacroflowKey::Private(self.next_private_key);
+        self.next_private_key += 1;
+        let new_mf = self.alloc_macroflow(key, now);
+        {
+            let mf = self.mf_mut(new_mf)?;
+            mf.home = home;
+            mf.home_since = now;
+        }
+        self.move_flow(flow, from, new_mf, now)?;
+        self.stats.auto_splits += 1;
+        Ok(new_mf)
+    }
+
+    // ------------------------------------------------------------------
+    // Querying (paper §2.1.4)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn query(&mut self, flow: FlowId, now: Time) -> CmResult<FlowInfo> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        let cfg = self.cfg.clone();
+        let mf = self.mf_mut(mf_id)?;
+        mf.age_if_idle(now, &cfg);
+        self.stats.queries += 1;
+        self.flow_info(flow, mf_id)
+    }
+
+    pub(crate) fn set_thresholds(
+        &mut self,
+        flow: FlowId,
+        thresholds: Option<Thresholds>,
+    ) -> CmResult<()> {
+        let mf_id = self.flow_ref(flow)?.macroflow;
+        let current = self.mf_ref(mf_id)?.share_of(lid(flow));
+        let f = self.flow_mut(flow)?;
+        match (f.update_interest.is_some(), thresholds.is_some()) {
+            (false, true) => self.thresh_regs += 1,
+            (true, false) => self.thresh_regs -= 1,
+            _ => {}
+        }
+        let f = self.flow_mut(flow)?;
+        f.update_interest = thresholds;
+        f.last_reported_rate = Some(current);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Macroflow construction (paper §2.1, §5)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn macroflow_of(&self, flow: FlowId) -> CmResult<MacroflowId> {
+        Ok(self.flow_ref(flow)?.macroflow)
+    }
+
+    pub(crate) fn flows_in(&self, mf: MacroflowId) -> CmResult<&[FlowId]> {
+        Ok(&self.mf_ref(mf)?.flows)
+    }
+
+    pub(crate) fn split(&mut self, flow: FlowId, now: Time) -> CmResult<MacroflowId> {
+        let f = self.flow_ref(flow)?;
+        if f.granted > 0 {
+            return Err(CmError::InvalidArgument(
+                "cannot split a flow with unresolved grants",
+            ));
+        }
+        let old_mf = f.macroflow;
+        let key = MacroflowKey::Private(self.next_private_key);
+        self.next_private_key += 1;
+        let new_mf = self.alloc_macroflow(key, now);
+        // Inherit the RTT estimate.
+        let rtt = self.mf_ref(old_mf)?.rtt;
+        self.mf_mut(new_mf)?.rtt = rtt;
+        self.move_flow(flow, old_mf, new_mf, now)?;
+        Ok(new_mf)
+    }
+
+    pub(crate) fn merge(&mut self, flow: FlowId, into: MacroflowId, now: Time) -> CmResult<()> {
+        let f = self.flow_ref(flow)?;
+        let dscp_class = if self.cfg.group_by_dscp {
+            f.key.dscp
+        } else {
+            0
+        };
+        let natural = self
+            .cfg
+            .aggregation
+            .group_of(&f.key)
+            .map(|g| (g, dscp_class));
+        let target_ok = match self.mf_ref(into)?.key.group() {
+            Some(group) => natural == Some(group),
+            None => true,
+        };
+        if !target_ok {
+            return Err(CmError::DestinationMismatch);
+        }
+        self.merge_unchecked(flow, into, now)
+    }
+
+    pub(crate) fn merge_unchecked(
+        &mut self,
+        flow: FlowId,
+        into: MacroflowId,
+        now: Time,
+    ) -> CmResult<()> {
+        let f = self.flow_ref(flow)?;
+        if f.granted > 0 {
+            return Err(CmError::InvalidArgument(
+                "cannot merge a flow with unresolved grants",
+            ));
+        }
+        let old_mf = f.macroflow;
+        if old_mf == into {
+            return Ok(());
+        }
+        // Validate the target exists before detaching.
+        let _ = self.mf_ref(into)?;
+        self.move_flow(flow, old_mf, into, now)
+    }
+
+    /// The shared migration primitive behind `split`, `merge`, and
+    /// dynamic re-aggregation: moves `flow` from `from` onto `to` in
+    /// O(1) (plus re-queueing its pending requests), preserving the
+    /// flow's scheduler weight and its pending (ungranted) requests.
+    /// Callers guarantee the flow holds no unresolved grants. Both
+    /// macroflows are in this shard by construction.
+    fn move_flow(
+        &mut self,
+        flow: FlowId,
+        from: MacroflowId,
+        to: MacroflowId,
+        now: Time,
+    ) -> CmResult<()> {
+        let weight = self.flow_ref(flow)?.weight;
+        let pending = self.mf_ref(from)?.scheduler.pending_of(lid(flow));
+        self.detach_flow(flow, from, now)?;
+        let mf = self.mf_mut(to)?;
+        let pos = mf.flows.len() as u32;
+        mf.flows.push(flow);
+        mf.scheduler.add_flow(lid(flow), weight);
+        for _ in 0..pending {
+            mf.scheduler.enqueue(lid(flow));
+        }
+        mf.empty_since = None;
+        let f = self.flow_mut(flow)?;
+        f.macroflow = to;
+        f.mf_pos = pos;
+        // A migrated flow starts its divergence bookkeeping over: the
+        // streak measured disagreement with the *old* group's estimates.
+        f.diverge_streak = 0;
+        // Migrated requests may be grantable immediately on the target.
+        if pending > 0 {
+            self.try_grants(to, now);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance (the paper's "timer-driven component ... background
+    // tasks and error handling")
+    // ------------------------------------------------------------------
+
+    /// Runs this shard's periodic maintenance: reclaims grants whose
+    /// clients never notified, writes off feedback-free outstanding
+    /// bytes, ages idle macroflows, grants freshly available window,
+    /// merges re-converged auto-split flows back into their home groups,
+    /// and expires long-empty macroflows. Returns the number of slab
+    /// slots scanned (the front's tick-cost accounting), and leaves
+    /// `pending_maintenance`/`dirty` reflecting whether the next tick
+    /// has anything to do.
+    pub(crate) fn tick(&mut self, now: Time) -> u64 {
+        let cfg = self.cfg.clone();
+        if let Some(r) = cfg.reaggregation {
+            self.merge_back_pass(&r, now);
+        }
+        let mut needs = self.thresh_regs > 0;
+        let scanned = self.mfs.len() as u64;
+        for i in 0..self.mfs.len() {
+            if self.mfs[i].is_none() {
+                continue;
+            }
+            let mf_id = MacroflowId(self.base | i as u32);
+            self.reclaim_expired_grants(mf_id, now);
+            let expired = {
+                let mf = self.mfs[i].as_mut().expect("checked");
+                // Write off outstanding bytes whose feedback never came:
+                // their senders are gone or their packets (and ACKs) are
+                // lost, and holding window for them forever can wedge the
+                // macroflow — a collapsed 1-MTU window never reopens if a
+                // few stray bytes keep `available_window` below the MTU.
+                // The threshold is deliberately far beyond one RTO
+                // (several RTOs, floored at 3 s) so legitimately *slow*
+                // feedback — batched application ACKs run up to 2 s —
+                // is never written off while in flight; only the
+                // never-coming kind is.
+                //
+                // Zeroing `outstanding` is also the re-fire latch: once
+                // written off, this branch cannot trigger again (and the
+                // persistent-congestion signal cannot repeat) until a
+                // new transmission both raises `outstanding` *and*
+                // refreshes `last_activity`, starting a fresh
+                // feedback-free clock. Pinned by the
+                // `write_off_signal_does_not_refire_while_idle` test.
+                let write_off_after = (mf.rto(&cfg) * 4).max(Duration::from_secs(3));
+                if mf.outstanding > 0 && now.since(mf.last_activity) >= write_off_after {
+                    self.stats.outstanding_reclaimed += mf.outstanding;
+                    mf.outstanding = 0;
+                    // Silence this long is indistinguishable from the
+                    // paper's CM_LOST_FEEDBACK: everything in flight (and
+                    // every ACK) vanished. Reopening the learned window
+                    // as-is would blast a stale estimate into unknown
+                    // conditions, so signal persistent congestion — the
+                    // controller collapses to its initial window and
+                    // re-probes from a conservative state — and freeze
+                    // growth for one RTT, mirroring `update`'s loss path.
+                    mf.controller.on_loss(LossMode::Persistent, now);
+                    let freeze = mf.rtt.srtt().unwrap_or(cfg.min_rto);
+                    mf.recovery_until = now + freeze;
+                    self.stats.write_off_congestion_signals += 1;
+                }
+                mf.age_if_idle(now, &cfg);
+                matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
+            };
+            if expired {
+                let mut mf = self.mfs[i].take().expect("checked");
+                self.free_mfs.push(i as u32);
+                self.live_mfs -= 1;
+                if let Some(group) = mf.key.group() {
+                    self.group_to_mf.remove(&group);
+                }
+                // Park the shell so the next macroflow creation reuses
+                // its boxes and buffers instead of allocating.
+                mf.grant_queue.clear();
+                self.mf_pool.push(mf);
+                self.stats.macroflows_expired += 1;
+                continue;
+            }
+            self.try_grants(mf_id, now);
+            self.emit_rate_callbacks(mf_id);
+            let mf = self.mfs[i].as_ref().expect("checked");
+            needs |= !mf.grant_queue.is_empty()
+                || mf.outstanding > 0
+                || mf.granted_unnotified > 0
+                || mf.empty_since.is_some()
+                || mf.home.is_some()
+                || mf.scheduler.pending() > 0
+                // A learned-but-idle window still owes the staleness
+                // rule: keep scanning so `age_if_idle` halves it per
+                // idle interval. Once decayed to the initial window the
+                // term clears and the shard can finally go quiet —
+                // aging is the one maintenance duty an otherwise-idle
+                // macroflow retains (pinned by
+                // `idle_window_ages_despite_quiet_skip`).
+                || mf.controller.window() > cfg.initial_window_bytes();
+        }
+        self.pending_maintenance = needs;
+        self.dirty = false;
+        scanned
+    }
+
+    pub(crate) fn next_grant_deadline(&self) -> Option<Time> {
+        if !self.cfg.pacing {
+            return None;
+        }
+        self.mfs
+            .iter()
+            .flatten()
+            .filter(|mf| mf.scheduler.pending() > 0 && mf.available_window() >= mf.mtu as u64)
+            .map(|mf| mf.next_grant_at)
+            .min()
+    }
+
+    pub(crate) fn release_paced(&mut self, now: Time) {
+        for i in 0..self.mfs.len() {
+            if self.mfs[i].is_some() {
+                self.try_grants(MacroflowId(self.base | i as u32), now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub(crate) fn flow_count(&self) -> usize {
+        self.live_flows
+    }
+
+    pub(crate) fn macroflow_count(&self) -> usize {
+        self.live_mfs
+    }
+
+    pub(crate) fn flow_slab_capacity(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub(crate) fn macroflow_slab_capacity(&self) -> usize {
+        self.mfs.len()
+    }
+
+    pub(crate) fn macroflow_pool_len(&self) -> usize {
+        self.mf_pool.len()
+    }
+
+    pub(crate) fn weight_of(&self, flow: FlowId) -> CmResult<u32> {
+        let f = self.flow_ref(flow)?;
+        Ok(self.mf_ref(f.macroflow)?.scheduler.weight_of(lid(flow)))
+    }
+
+    pub(crate) fn pending_of(&self, flow: FlowId) -> CmResult<u32> {
+        let f = self.flow_ref(flow)?;
+        Ok(self.mf_ref(f.macroflow)?.scheduler.pending_of(lid(flow)))
+    }
+
+    pub(crate) fn window_of(&self, mf: MacroflowId) -> CmResult<u64> {
+        Ok(self.mf_ref(mf)?.controller.window())
+    }
+
+    pub(crate) fn outstanding_of(&self, mf: MacroflowId) -> CmResult<u64> {
+        Ok(self.mf_ref(mf)?.outstanding)
+    }
+
+    pub(crate) fn reserved_of(&self, mf: MacroflowId) -> CmResult<u64> {
+        Ok(self.mf_ref(mf)?.granted_unnotified)
+    }
+
+    pub(crate) fn flow_info(&self, flow: FlowId, mf_id: MacroflowId) -> CmResult<FlowInfo> {
+        let f = self.flow_ref(flow)?;
+        let mf = self.mf_ref(mf_id)?;
+        Ok(FlowInfo {
+            rate: mf.share_of(lid(flow)),
+            srtt: mf.rtt.srtt(),
+            rttvar: mf.rtt.rttvar(),
+            loss_rate: mf.loss_rate.get_or(0.0),
+            cwnd: mf.controller.window(),
+            mtu: f.mtu,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn alloc_macroflow(&mut self, key: MacroflowKey, now: Time) -> MacroflowId {
+        // Same checked slot discipline as the flow slab: slot first, no
+        // subtraction, overflow asserted on the cold growth branch only
+        // (an id past SLOT_MASK would corrupt the shard bits).
+        let mf_slot = match self.free_mfs.pop() {
+            Some(free_slot) => free_slot,
+            None => {
+                let new_slot = self.mfs.len();
+                assert!(
+                    new_slot <= SLOT_MASK as usize,
+                    "macroflow slab exhausted the id encoding's slot space"
+                );
+                self.mfs.push(None);
+                new_slot as u32
+            }
+        };
+        let id = MacroflowId(self.base | mf_slot);
+        let mf = match self.mf_pool.pop() {
+            Some(mut shell) => {
+                shell.reset(id, key, &self.cfg, now);
+                shell
+            }
+            None => Macroflow::new(id, key, &self.cfg, now),
+        };
+        self.mfs[mf_slot as usize] = Some(mf);
+        self.live_mfs += 1;
+        self.stats.macroflows_created += 1;
+        id
+    }
+
+    /// The maintenance half of dynamic re-aggregation: for every
+    /// auto-split private macroflow whose dwell has elapsed, compare its
+    /// RTT/loss estimates against its home group's; once they agree
+    /// within the configured factors, move its grant-free members back.
+    /// Home groups live in this shard by construction (auto-split never
+    /// crosses shards), so the pass is shard-local.
+    fn merge_back_pass(&mut self, r: &ReaggregationConfig, now: Time) {
+        for i in 0..self.mfs.len() {
+            let Some(mf) = self.mfs[i].as_ref() else {
+                continue;
+            };
+            let Some(home_key) = mf.home else {
+                continue;
+            };
+            if mf.flows.is_empty() || now.since(mf.home_since) < r.min_dwell {
+                continue;
+            }
+            let mf_id = MacroflowId(self.base | i as u32);
+            let Some(&home_mf) = self.group_to_mf.get(&home_key) else {
+                // The home group expired while the flow was away; this
+                // is now a plain private macroflow.
+                self.mfs[i].as_mut().expect("checked").home = None;
+                continue;
+            };
+            let converged = {
+                let Ok(home) = self.mf_ref(home_mf) else {
+                    continue;
+                };
+                let mf = self.mfs[i].as_ref().expect("checked");
+                match (mf.rtt.srtt(), home.rtt.srtt()) {
+                    (Some(a), Some(b)) if !b.is_zero() => {
+                        let ratio = a.as_nanos() as f64 / b.as_nanos() as f64;
+                        ratio <= r.converge_ratio
+                            && ratio >= 1.0 / r.converge_ratio
+                            && (mf.loss_rate.get_or(0.0) - home.loss_rate.get_or(0.0)).abs()
+                                <= r.loss_delta
+                    }
+                    _ => false,
+                }
+            };
+            if !converged {
+                continue;
+            }
+            let mut members = std::mem::take(&mut self.scratch_flows);
+            members.clear();
+            members.extend_from_slice(&self.mfs[i].as_ref().expect("checked").flows);
+            // Only flows that *naturally belong* to the home group go
+            // back: the app may have explicitly merged foreign flows
+            // onto this private macroflow, and moving those would
+            // bypass the checked-merge group guard and silently undo
+            // the app's grouping.
+            let mut home_member_left_behind = false;
+            for &f in &members {
+                let (movable, belongs_home) = match self.flow_ref(f) {
+                    Ok(fl) => {
+                        let dscp = if self.cfg.group_by_dscp {
+                            fl.key.dscp
+                        } else {
+                            0
+                        };
+                        let natural = self.cfg.aggregation.group_of(&fl.key).map(|g| (g, dscp));
+                        (fl.granted == 0, natural == Some(home_key))
+                    }
+                    Err(_) => (false, false),
+                };
+                if !belongs_home {
+                    continue;
+                }
+                if movable && self.move_flow(f, mf_id, home_mf, now).is_ok() {
+                    self.stats.auto_merges += 1;
+                } else {
+                    home_member_left_behind = true;
+                }
+            }
+            members.clear();
+            self.scratch_flows = members;
+            // If only app-placed foreign flows remain, this is now a
+            // plain private macroflow: stop re-checking it. A home
+            // member skipped for holding grants keeps `home` so a later
+            // pass can still return it.
+            if !home_member_left_behind {
+                if let Some(mf) = self.mfs[i].as_mut() {
+                    if !mf.flows.is_empty() {
+                        mf.home = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn detach_flow(&mut self, flow: FlowId, from: MacroflowId, now: Time) -> CmResult<()> {
+        let pos = self.flow_ref(flow)?.mf_pos;
+        let Self { mfs, flows, .. } = self;
+        let mf = mfs
+            .get_mut(slot(from.0))
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownMacroflow(from))?;
+        mf.scheduler.remove_flow(lid(flow));
+        remove_member(mf, flows, pos);
+        if mf.flows.is_empty() {
+            mf.empty_since = Some(now);
+        }
+        // The flow moves with zero unresolved grants (callers enforce
+        // this), so its entries still in the old queue are all dead:
+        // stale their generation and reset the lazy-deletion counter.
+        self.flow_gens[slot(flow.0)] = self.flow_gens[slot(flow.0)].wrapping_add(1);
+        self.flow_mut(flow)?.dead_grant_entries = 0;
+        Ok(())
+    }
+
+    /// Issues grants while the window has headroom and requests wait,
+    /// subject to rate pacing.
+    fn try_grants(&mut self, mf_id: MacroflowId, now: Time) {
+        let pacing = self.cfg.pacing;
+        let base = self.base;
+        let Self {
+            mfs,
+            flows,
+            flow_gens,
+            outbox,
+            stats,
+            ..
+        } = self;
+        let Some(mf) = mfs.get_mut(slot(mf_id.0)).and_then(Option::as_mut) else {
+            return;
+        };
+        while mf.available_window() >= mf.mtu as u64 && mf.scheduler.pending() > 0 {
+            if pacing && now < mf.next_grant_at {
+                break;
+            }
+            // The scheduler hands back a local slot id; re-encode the
+            // shard bits before anything client-visible sees it.
+            let Some(local) = mf.scheduler.dequeue() else {
+                break;
+            };
+            let flow_id = FlowId(base | local.0);
+            let Some(flow) = flows.get_mut(local.0 as usize).and_then(Option::as_mut) else {
+                continue; // Flow closed with requests still queued.
+            };
+            flow.granted += 1;
+            mf.granted_unnotified += mf.mtu as u64;
+            mf.grant_queue.push_back(GrantEntry {
+                flow: flow_id,
+                gen: flow_gens[local.0 as usize],
+                issued: now,
+            });
+            outbox.push_back(CmNotification::SendGrant { flow: flow_id });
+            stats.grants += 1;
+            if pacing {
+                let interval = mf.pacing_interval();
+                mf.next_grant_at = mf.next_grant_at.max(now) + interval;
+            }
+        }
+    }
+
+    /// Reclaims grants older than the grant timeout whose `cm_notify`
+    /// never arrived (client bug or deliberate decline without a zero
+    /// notify); the paper's timer-driven "error handling".
+    fn reclaim_expired_grants(&mut self, mf_id: MacroflowId, now: Time) {
+        let timeout = self.cfg.grant_timeout;
+        let Self {
+            mfs,
+            flows,
+            flow_gens,
+            stats,
+            ..
+        } = self;
+        let Some(mf) = mfs.get_mut(slot(mf_id.0)).and_then(Option::as_mut) else {
+            return;
+        };
+        while let Some(front) = mf.grant_queue.front().copied() {
+            let idx = slot(front.flow.0);
+            // A generation mismatch means the flow closed or moved
+            // macroflow after this grant was issued; its reservation was
+            // released then, so the entry is dropped with no accounting.
+            let flow = if flow_gens[idx] == front.gen {
+                flows.get_mut(idx).and_then(Option::as_mut)
+            } else {
+                None
+            };
+            match flow {
+                None => {
+                    mf.grant_queue.pop_front();
+                }
+                Some(f) if f.dead_grant_entries > 0 => {
+                    // This entry was resolved by a notify; drop it lazily.
+                    f.dead_grant_entries -= 1;
+                    mf.grant_queue.pop_front();
+                }
+                Some(f) => {
+                    if now.since(front.issued) < timeout {
+                        break;
+                    }
+                    f.granted = f.granted.saturating_sub(1);
+                    mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mf.mtu as u64);
+                    mf.grants_reclaimed += 1;
+                    stats.grants_reclaimed += 1;
+                    mf.grant_queue.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Emits `cmapp_update`-style callbacks for flows whose rate share
+    /// crossed their registered thresholds.
+    fn emit_rate_callbacks(&mut self, mf_id: MacroflowId) {
+        let mut member_flows = std::mem::take(&mut self.scratch_flows);
+        member_flows.clear();
+        let Ok(mf) = self.mf_ref(mf_id) else {
+            self.scratch_flows = member_flows;
+            return;
+        };
+        member_flows.extend_from_slice(&mf.flows);
+        for &flow_id in &member_flows {
+            let Ok(f) = self.flow_ref(flow_id) else {
+                continue;
+            };
+            let Some(thresh) = f.update_interest else {
+                continue;
+            };
+            let last = f.last_reported_rate.unwrap_or(Rate::ZERO);
+            let mf = self.mf_ref(mf_id).expect("checked above");
+            let current = mf.share_of(lid(flow_id));
+            if thresh.crossed(last, current) {
+                let info = self
+                    .flow_info(flow_id, mf_id)
+                    .expect("flow and macroflow exist");
+                self.outbox.push_back(CmNotification::RateChange {
+                    flow: flow_id,
+                    info,
+                });
+                self.stats.rate_callbacks += 1;
+                if let Ok(f) = self.flow_mut(flow_id) {
+                    f.last_reported_rate = Some(current);
+                }
+            }
+        }
+        member_flows.clear();
+        self.scratch_flows = member_flows;
+    }
+
+    fn flow_ref(&self, id: FlowId) -> CmResult<&Flow> {
+        self.flows
+            .get(slot(id.0))
+            .and_then(Option::as_ref)
+            .ok_or(CmError::UnknownFlow(id))
+    }
+
+    fn flow_mut(&mut self, id: FlowId) -> CmResult<&mut Flow> {
+        self.flows
+            .get_mut(slot(id.0))
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownFlow(id))
+    }
+
+    fn mf_ref(&self, id: MacroflowId) -> CmResult<&Macroflow> {
+        self.mfs
+            .get(slot(id.0))
+            .and_then(Option::as_ref)
+            .ok_or(CmError::UnknownMacroflow(id))
+    }
+
+    fn mf_mut(&mut self, id: MacroflowId) -> CmResult<&mut Macroflow> {
+        self.mfs
+            .get_mut(slot(id.0))
+            .and_then(Option::as_mut)
+            .ok_or(CmError::UnknownMacroflow(id))
+    }
+}
+
+/// Swap-removes the member at `pos` from `mf.flows`, repairing the moved
+/// flow's back-pointer so membership removal stays O(1). Member lists
+/// hold global ids; the slab index is the slot part.
+fn remove_member(mf: &mut Macroflow, flows: &mut [Option<Flow>], pos: u32) {
+    mf.flows.swap_remove(pos as usize);
+    if (pos as usize) < mf.flows.len() {
+        let moved = mf.flows[pos as usize];
+        if let Some(f) = flows.get_mut(slot(moved.0)).and_then(Option::as_mut) {
+            f.mf_pos = pos;
+        }
+    }
+}

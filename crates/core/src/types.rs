@@ -64,13 +64,69 @@ impl FlowKey {
     }
 }
 
+/// Number of low id bits that address a slot inside one shard's slab;
+/// the bits above it carry the shard index. Shard 0's ids are therefore
+/// numerically identical to the ids an unsharded CM hands out, which is
+/// what keeps the default (single-shard) configuration byte-compatible.
+pub const SLOT_BITS: u32 = 22;
+
+/// Mask selecting the slab-slot part of an id.
+pub const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+/// Upper bound on concurrently live shards implied by the id encoding.
+pub const MAX_SHARDS: u32 = 1 << (32 - SLOT_BITS);
+
 /// Handle for an open CM flow (the paper's `cm_flowid`).
+///
+/// The id is opaque to clients, but internally it encodes
+/// `shard_index << SLOT_BITS | slab_slot` so every flow-addressed CM
+/// entry point routes to the owning shard in O(1) with no map lookup.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct FlowId(pub u32);
 
+impl FlowId {
+    /// The shard index encoded in the id's high bits (0 on an unsharded
+    /// CM).
+    pub fn shard(self) -> u32 {
+        self.0 >> SLOT_BITS
+    }
+
+    /// The slab slot inside the owning shard.
+    pub fn slot(self) -> u32 {
+        self.0 & SLOT_MASK
+    }
+
+    /// Composes an id from its shard index and slab slot (introspection
+    /// and test helper; clients normally treat ids as opaque).
+    pub fn from_parts(shard: u32, slot: u32) -> Self {
+        debug_assert!(shard < MAX_SHARDS && slot <= SLOT_MASK);
+        FlowId(shard << SLOT_BITS | slot)
+    }
+}
+
 /// Handle for a macroflow: the group of flows sharing congestion state.
+///
+/// Uses the same `shard << SLOT_BITS | slot` encoding as [`FlowId`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct MacroflowId(pub u32);
+
+impl MacroflowId {
+    /// The shard index encoded in the id's high bits.
+    pub fn shard(self) -> u32 {
+        self.0 >> SLOT_BITS
+    }
+
+    /// The slab slot inside the owning shard.
+    pub fn slot(self) -> u32 {
+        self.0 & SLOT_MASK
+    }
+
+    /// Composes an id from its shard index and slab slot.
+    pub fn from_parts(shard: u32, slot: u32) -> Self {
+        debug_assert!(shard < MAX_SHARDS && slot <= SLOT_MASK);
+        MacroflowId(shard << SLOT_BITS | slot)
+    }
+}
 
 /// The kind of congestion conveyed by a `cm_update` call.
 ///

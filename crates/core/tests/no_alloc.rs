@@ -157,3 +157,93 @@ fn reaggregation_cycle_never_allocates_in_steady_state() {
          allocations per 20 split/merge/expire cycles)"
     );
 }
+
+/// One cross-shard churn cycle under `ShardingMode::ByGroup`: open a
+/// flow in each of four groups (creating or re-creating their shards),
+/// run a request/grant/notify/update round in each, close everything,
+/// and tick past the linger so every macroflow expires and every shard
+/// is recycled into the shell pool.
+fn shard_cycle(cm: &mut CongestionManager, now: &mut Time, notes: &mut Vec<CmNotification>) {
+    let mut flows = [FlowId(0); 4];
+    for (i, slot) in flows.iter_mut().enumerate() {
+        let key = FlowKey::new(
+            Endpoint::new(1, 1000 + i as u16),
+            Endpoint::new(i as u32 + 2, 80),
+        );
+        *slot = cm.open(key, *now).expect("open");
+    }
+    for round in 0..4 {
+        for &f in &flows {
+            cm.request(f, *now).unwrap();
+        }
+        notes.clear();
+        cm.drain_notifications_into(notes);
+        for &n in notes.iter() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, *now).unwrap();
+            }
+        }
+        for &f in &flows {
+            cm.update(
+                f,
+                FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(30)),
+                *now,
+            )
+            .unwrap();
+        }
+        // Exercise the maintenance walk mid-traffic too (quiet-skip
+        // bookkeeping included).
+        if round == 1 {
+            cm.tick(*now);
+        }
+        *now += Duration::from_millis(30);
+    }
+    for &f in &flows {
+        cm.close(f, *now).unwrap();
+    }
+    // Linger elapses; the next tick expires the macroflows and recycles
+    // all four shards into the pool.
+    *now += Duration::from_millis(300);
+    cm.tick(*now);
+    notes.clear();
+    cm.drain_notifications_into(notes);
+}
+
+/// The flat-state rules extended to the sharded CM: once the shard
+/// shell pool, the per-shard slabs, and the routing map are warm, a full
+/// cross-shard open/traffic/close/tick cycle — shard creation and
+/// recycling included — performs zero heap allocation.
+#[test]
+fn sharded_churn_never_allocates_in_steady_state() {
+    let mut cm = CongestionManager::new(CmConfig {
+        sharding: ShardingConfig::by_group(8),
+        macroflow_linger: Duration::from_millis(200),
+        pacing: false,
+        ..Default::default()
+    });
+    let mut now = Time::ZERO;
+    let mut notes: Vec<CmNotification> = Vec::with_capacity(64);
+
+    // Warm-up: two cycles size every shard shell, slab, map, and buffer.
+    for _ in 0..2 {
+        shard_cycle(&mut cm, &mut now, &mut notes);
+    }
+    assert_eq!(cm.shard_count(), 0, "shards not recycled after drain");
+    assert!(cm.stats().shards_recycled >= 8, "recycling never happened");
+
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..20 {
+            shard_cycle(&mut cm, &mut now, &mut notes);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
+    }
+    assert_eq!(cm.flow_count(), 0);
+    assert_eq!(
+        min_delta, 0,
+        "cross-shard churn allocated in every trial (at least {min_delta} \
+         allocations per 20 open/traffic/close/recycle cycles)"
+    );
+}

@@ -391,6 +391,206 @@ proptest! {
         );
     }
 
+    /// The membership invariants on the *sharded* CM: under
+    /// open/close/split/merge/re-aggregation churn across several
+    /// aggregation groups with `ShardingMode::ByGroup`, every live flow
+    /// belongs to exactly one macroflow, `flows_in`/`macroflow_of`
+    /// agree, each shard's slabs stay bounded by that shard's peak live
+    /// counts, and every flow lives in the shard its policy group
+    /// routes to (auto-split private macroflows included — re-aggregation
+    /// never crosses shards).
+    #[test]
+    fn sharded_membership_partition_under_churn(
+        ops in proptest::collection::vec(churn_op_strategy(), 1..200),
+    ) {
+        let mut cm = CongestionManager::new(CmConfig {
+            scheduler: SchedulerKind::WeightedRoundRobin,
+            sharding: ShardingConfig::by_group(8),
+            reaggregation: Some(ReaggregationConfig {
+                rtt_ratio: 2.0,
+                loss_delta: 0.15,
+                divergence_samples: 3,
+                converge_ratio: 1.5,
+                min_dwell: Duration::from_millis(200),
+            }),
+            macroflow_linger: Duration::from_millis(500),
+            pacing: false,
+            ..Default::default()
+        });
+        let policy = cm.config().aggregation;
+        let mut now = Time::ZERO;
+        let mut flows: Vec<(FlowId, FlowKey)> = Vec::new();
+        let mut peak_shard_flows: std::collections::HashMap<u32, usize> = Default::default();
+        let mut peak_shard_mfs: std::collections::HashMap<u32, usize> = Default::default();
+        let mut notes = Vec::new();
+        for op in ops {
+            now += Duration::from_millis(11);
+            match op {
+                ChurnOp::Open(port, dst) => {
+                    let key = FlowKey::new(
+                        Endpoint::new(1, port),
+                        Endpoint::new(dst, 80),
+                    );
+                    if let Ok(f) = cm.open(key, now) {
+                        flows.push((f, key));
+                    }
+                }
+                ChurnOp::Close(i) => {
+                    if !flows.is_empty() {
+                        let (f, _) = flows.remove(i % flows.len());
+                        let _ = cm.close(f, now);
+                    }
+                }
+                ChurnOp::Request(i) => {
+                    if !flows.is_empty() {
+                        let _ = cm.request(flows[i % flows.len()].0, now);
+                    }
+                }
+                ChurnOp::SetWeight(i, w) => {
+                    if !flows.is_empty() {
+                        let _ = cm.set_weight(flows[i % flows.len()].0, w as u32);
+                    }
+                }
+                ChurnOp::Ack(i, rtt_ms) => {
+                    if !flows.is_empty() {
+                        let f = flows[i % flows.len()].0;
+                        let report = FeedbackReport::ack(1460, 1)
+                            .with_rtt(Duration::from_millis(rtt_ms as u64));
+                        let _ = cm.update(f, report, now);
+                    }
+                }
+                ChurnOp::Split(i) => {
+                    if !flows.is_empty() {
+                        let _ = cm.split(flows[i % flows.len()].0, now);
+                    }
+                }
+                ChurnOp::Merge(i, j) => {
+                    if flows.len() >= 2 {
+                        let f = flows[i % flows.len()].0;
+                        let target = flows[j % flows.len()].0;
+                        if let Ok(mf) = cm.macroflow_of(target) {
+                            // Cross-shard merges are rejected; the error
+                            // (not a panic, not corruption) is the
+                            // contract.
+                            match cm.merge_unchecked(f, mf, now) {
+                                Ok(()) => {}
+                                Err(CmError::CrossShardMerge) => {
+                                    prop_assert_ne!(f.shard(), mf.shard());
+                                }
+                                Err(_) => {}
+                            }
+                        }
+                    }
+                }
+                ChurnOp::Tick(ms) => {
+                    now += Duration::from_millis(ms as u64);
+                    cm.tick(now);
+                }
+            }
+            // Resolve grants so migrations stay possible.
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
+            for &n in &notes {
+                if let CmNotification::SendGrant { flow } = n {
+                    let _ = cm.notify(flow, 0, now);
+                }
+            }
+            // Track per-shard peaks, and hold the slab bounds *during*
+            // the run: a shard's slab never outgrows its own peak live
+            // count (recycled slots are reused, not appended).
+            for sid in 0..cm.shard_slots() as u32 {
+                let live = flows.iter().filter(|(f, _)| f.shard() == sid).count();
+                let e = peak_shard_flows.entry(sid).or_insert(0);
+                *e = (*e).max(live);
+                let flow_peak = *e;
+                let mut mfs_here = 0usize;
+                for slot in 0..cm.macroflow_slab_capacity_of(sid) as u32 {
+                    if cm.flows_in(MacroflowId::from_parts(sid, slot)).is_ok() {
+                        mfs_here += 1;
+                    }
+                }
+                let e = peak_shard_mfs.entry(sid).or_insert(0);
+                *e = (*e).max(mfs_here);
+                let mf_peak = *e;
+                prop_assert!(
+                    cm.flow_slab_capacity_of(sid) <= flow_peak,
+                    "shard {} flow slab outgrew its peak mid-run",
+                    sid
+                );
+                prop_assert!(
+                    cm.macroflow_slab_capacity_of(sid) <= mf_peak + 1,
+                    "shard {} macroflow slab outgrew its peak mid-run",
+                    sid
+                );
+            }
+
+            // INVARIANT: flows_in/macroflow_of agree across every shard,
+            // and each live flow appears in exactly one member list.
+            let mut seen = 0usize;
+            for sid in 0..cm.shard_slots() as u32 {
+                for slot in 0..cm.macroflow_slab_capacity_of(sid) as u32 {
+                    let mf = MacroflowId::from_parts(sid, slot);
+                    let Ok(members) = cm.flows_in(mf) else { continue };
+                    for &m in members {
+                        prop_assert_eq!(m.shard(), sid, "member id in foreign shard");
+                        prop_assert_eq!(
+                            cm.macroflow_of(m).expect("member flow is live"),
+                            mf,
+                            "flows_in lists a flow whose macroflow_of disagrees"
+                        );
+                        seen += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(seen, cm.flow_count(), "membership partition broken");
+            // INVARIANT: every flow lives in the shard its policy group
+            // routes to (macroflow — group or auto-split private — in
+            // the same shard).
+            for &(f, key) in &flows {
+                let mf = cm.macroflow_of(f).expect("live flow has a macroflow");
+                prop_assert_eq!(mf.shard(), f.shard());
+                let group = policy.group_of(&key).expect("destination policy");
+                prop_assert_eq!(
+                    cm.shard_for_group(group),
+                    Some(f.shard()),
+                    "flow's shard disagrees with its group's routing"
+                );
+            }
+        }
+        // Drain everything; shards must recycle and slabs stay bounded
+        // by their per-shard peaks. (Closes can cascade grants into the
+        // outboxes; undrained notifications legitimately pin a shard,
+        // so drain and tick once more before asserting.)
+        for (f, _) in flows.drain(..) {
+            let _ = cm.close(f, now);
+        }
+        now += Duration::from_secs(10);
+        cm.tick(now);
+        notes.clear();
+        cm.drain_notifications_into(&mut notes);
+        now += Duration::from_secs(1);
+        cm.tick(now);
+        prop_assert_eq!(cm.flow_count(), 0);
+        prop_assert_eq!(cm.macroflow_count(), 0);
+        prop_assert_eq!(cm.shard_count(), 0, "emptied shards were not recycled");
+        for sid in 0..cm.shard_slots() as u32 {
+            prop_assert!(
+                cm.flow_slab_capacity_of(sid) <= peak_shard_flows[&sid],
+                "shard {} flow slab {} exceeds its peak {}",
+                sid,
+                cm.flow_slab_capacity_of(sid),
+                peak_shard_flows[&sid]
+            );
+            prop_assert!(
+                cm.macroflow_slab_capacity_of(sid) <= peak_shard_mfs[&sid] + 1,
+                "shard {} macroflow slab {} exceeds its peak {}",
+                sid,
+                cm.macroflow_slab_capacity_of(sid),
+                peak_shard_mfs[&sid]
+            );
+        }
+    }
+
     /// Flows to distinct destinations never share a macroflow; flows to
     /// the same destination always do (default grouping).
     #[test]

@@ -36,6 +36,7 @@ pub fn all(smoke: bool) -> Vec<Figure> {
         trace_replay(smoke),
         vat_audio(smoke),
         co_scheduling(smoke),
+        shard_scaling(smoke),
     ]
 }
 
@@ -609,6 +610,213 @@ it, and the layer drops \u{2014} then recovers when the burst ends.",
     doc.section("Streamer adaptation per cell");
     doc.table(&cells_table(result));
     finish(result, out, dat, doc);
+}
+
+// ---------------------------------------------------------------------
+// Shard scaling: maintenance-tick cost vs. shard count
+// ---------------------------------------------------------------------
+
+/// One row of the shard-scaling sweep: deterministic per-tick work
+/// counters for a host with 16 aggregation groups and 1 active group.
+pub struct ShardScalingRow {
+    /// Configuration label (`unsharded`, `sharded_1`, ...).
+    pub label: &'static str,
+    /// Live shards once all groups have opened.
+    pub shards: usize,
+    /// Macroflow slab slots scanned per maintenance tick in steady
+    /// state (the unsharded CM's full-slab scan touches every group).
+    pub mfs_scanned_per_tick: f64,
+    /// Shards whose slabs a tick actually walked, per tick.
+    pub shards_visited_per_tick: f64,
+    /// Quiet shards skipped in O(1), per tick.
+    pub shards_skipped_per_tick: f64,
+}
+
+/// Runs the shard-scaling scenario for one CM configuration: 16
+/// destination groups with one flow each, only the first group active,
+/// one maintenance tick per traffic round. Pure `cm-core` calls with
+/// fixed timestamps — the counters are exactly reproducible, which is
+/// what lets a *cost* figure live in the byte-deterministic pipeline
+/// (wall-clock timings live in `cargo bench -p cm-bench`'s `sharding`
+/// group instead).
+pub fn shard_scaling_row(label: &'static str, cfg: cm_core::CmConfig) -> ShardScalingRow {
+    use cm_core::prelude::*;
+
+    const GROUPS: u32 = 16;
+    const ROUNDS: u64 = 200;
+    let mut cm = CongestionManager::new(cfg);
+    let mut now = Time::ZERO;
+    let key = |g: u32| FlowKey::new(Endpoint::new(1, 1000 + g as u16), Endpoint::new(g + 2, 80));
+    let active = cm.open(key(0), now).expect("open");
+    for g in 1..GROUPS {
+        cm.open(key(g), now).expect("open");
+    }
+    let shards = cm.shard_count();
+    // Settle: the first tick scans every group once and marks the idle
+    // ones quiet.
+    now += Duration::from_millis(100);
+    cm.tick(now);
+    let mut notes = Vec::new();
+    let before = cm.stats();
+    for _ in 0..ROUNDS {
+        now += Duration::from_millis(100);
+        cm.request(active, now).expect("request");
+        notes.clear();
+        cm.drain_notifications_into(&mut notes);
+        for &n in &notes {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, now).expect("notify");
+            }
+        }
+        cm.update(
+            active,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(20)),
+            now,
+        )
+        .expect("update");
+        cm.tick(now);
+    }
+    let after = cm.stats();
+    let per = |a: u64, b: u64| (a - b) as f64 / ROUNDS as f64;
+    ShardScalingRow {
+        label,
+        shards,
+        mfs_scanned_per_tick: per(after.tick_mfs_scanned, before.tick_mfs_scanned),
+        shards_visited_per_tick: per(after.tick_shards_visited, before.tick_shards_visited),
+        shards_skipped_per_tick: per(after.tick_shards_skipped, before.tick_shards_skipped),
+    }
+}
+
+/// The full sweep: the unsharded baseline against by-group sharding at
+/// 1, 4, and 16 shards.
+pub fn shard_scaling_rows() -> Vec<ShardScalingRow> {
+    use cm_core::{CmConfig, ShardingConfig};
+    let base = |sharding| CmConfig {
+        sharding,
+        pacing: false,
+        ..Default::default()
+    };
+    vec![
+        shard_scaling_row("unsharded", base(ShardingConfig::default())),
+        shard_scaling_row("sharded_1", base(ShardingConfig::by_group(1))),
+        shard_scaling_row("sharded_4", base(ShardingConfig::by_group(4))),
+        shard_scaling_row("sharded_16", base(ShardingConfig::by_group(16))),
+    ]
+}
+
+fn shard_scaling(_smoke: bool) -> Figure {
+    // No netsim cells: the sweep below drives cm-core directly with
+    // fixed timestamps (0 schedules expand to 0 cells; the experiment
+    // carries the figure's metadata). Identical in smoke and full mode
+    // — the sweep takes milliseconds.
+    let experiment = Experiment {
+        name: "shard_scaling",
+        title: "Maintenance-tick cost vs. CM shard count",
+        paper_ref: "beyond the paper: the roadmap's millions-of-flows scaling, \
+sharding the CM by the aggregation group established as the natural partition key",
+        description: "A host with 16 destination groups, one flow each, and only \
+one group active \u{2014} the web-server steady state where most learned \
+congestion state is idle. Each row runs the same traffic/tick cadence on a \
+differently sharded CM and reports the deterministic per-tick work counters: \
+macroflow slab slots scanned, shards visited, and quiet shards skipped in O(1). \
+The unsharded CM's maintenance scan touches every group on every tick; sharding \
+by aggregation group confines it to the shards with work.",
+        app: AppKind::Layered,
+        schedules: vec![],
+        policies: vec![AdaptPolicyKind::LadderImmediate],
+        controllers: vec![AIMD],
+        secs: 0,
+        seeds: vec![1],
+    };
+    Figure {
+        experiment,
+        emit: emit_shard_scaling,
+    }
+}
+
+fn emit_shard_scaling(result: &ExperimentResult, out: &mut OutputSet) {
+    let rows = shard_scaling_rows();
+    let mut dat = DatFile::new(
+        "shard_scaling: per-tick maintenance work vs shard count\n\
+         columns: shards  mfs_scanned_per_tick  shards_visited_per_tick  shards_skipped_per_tick",
+    );
+    dat.block(
+        "per-tick work (16 groups, 1 active)",
+        &[
+            "shards",
+            "mfs_scanned_per_tick",
+            "shards_visited_per_tick",
+            "shards_skipped_per_tick",
+        ],
+    );
+    for r in &rows {
+        dat.row(&[
+            r.shards as f64,
+            r.mfs_scanned_per_tick,
+            r.shards_visited_per_tick,
+            r.shards_skipped_per_tick,
+        ]);
+    }
+
+    let spec = &result.spec;
+    let mut doc = FigureDoc::new(spec.title, spec.paper_ref, spec.description);
+    doc.para(
+        "*Generated by `cargo run --release -p cm-experiments --bin figures`. \
+Deterministic: the sweep drives `cm-core` directly with fixed timestamps and \
+reports work counters, not wall-clock times (those live in the `sharding` \
+bench group of `cargo bench -p cm-bench`). Rerunning reproduces this file \
+byte for byte.*",
+    );
+    doc.section("Per-tick maintenance work, 16 groups with 1 active");
+    let mut t = Table::new(&[
+        "configuration",
+        "live shards",
+        "mf slots scanned / tick",
+        "shards visited / tick",
+        "quiet shards skipped / tick",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.label,
+            &r.shards.to_string(),
+            &fmt_f64(r.mfs_scanned_per_tick),
+            &fmt_f64(r.shards_visited_per_tick),
+            &fmt_f64(r.shards_skipped_per_tick),
+        ]);
+    }
+    doc.table(&t);
+    let unsharded = rows.iter().find(|r| r.label == "unsharded").unwrap();
+    let sharded16 = rows.iter().find(|r| r.label == "sharded_16").unwrap();
+    doc.para(&format!(
+        "**At 16 shards the maintenance tick scans {} macroflow slot(s) instead of \
+the unsharded scan's {}** \u{2014} a {}x reduction in slab work on this host \
+shape, with the 15 idle groups costing one branch each \
+(`tick_shards_skipped`). One shard reproduces the unsharded scan exactly \
+(same slots, one slab), and four shards land in between: scan cost tracks \
+the number of *active* shards, not the number of groups. This is the \
+scaling lever the aggregation-policy seam was built for: at millions of \
+flows, aggregation granularity is the sharding strategy.",
+        fmt_f64(sharded16.mfs_scanned_per_tick),
+        fmt_f64(unsharded.mfs_scanned_per_tick),
+        fmt_f64(unsharded.mfs_scanned_per_tick / sharded16.mfs_scanned_per_tick.max(1e-9)),
+    ));
+    // CSV mirrors the table for spreadsheet users.
+    let mut csv = String::from(
+        "configuration,shards,mfs_scanned_per_tick,shards_visited_per_tick,shards_skipped_per_tick\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.label,
+            r.shards,
+            fmt_f64(r.mfs_scanned_per_tick),
+            fmt_f64(r.shards_visited_per_tick),
+            fmt_f64(r.shards_skipped_per_tick),
+        ));
+    }
+    out.add("shard_scaling.csv", csv);
+    out.add("shard_scaling.dat", dat.render());
+    out.add("shard_scaling.md", doc.render());
 }
 
 // ---------------------------------------------------------------------

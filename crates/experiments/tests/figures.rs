@@ -192,6 +192,63 @@ fn co_scheduling_shares_track_weights_within_5pct() {
     assert_eq!(out.concat(), out2.concat());
 }
 
+/// The shard-scaling figure's acceptance: per-tick slab work shrinks
+/// monotonically with shard count, the 16-shard host scans a fraction
+/// of the unsharded baseline (the quiet idle groups are skipped, not
+/// scanned), and generation is byte-deterministic like every other
+/// figure.
+#[test]
+fn shard_scaling_reduces_tick_work_and_is_deterministic() {
+    let rows = cm_experiments::builtin::shard_scaling_rows();
+    let get = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("missing row {label}"))
+    };
+    let unsharded = get("unsharded");
+    let sharded16 = get("sharded_16");
+    // The unsharded scan touches every group's macroflow each tick; the
+    // sharded host scans only the active shard's slab.
+    assert!(
+        unsharded.mfs_scanned_per_tick >= 16.0,
+        "baseline lost its full scan ({})",
+        unsharded.mfs_scanned_per_tick
+    );
+    assert!(
+        sharded16.mfs_scanned_per_tick * 4.0 <= unsharded.mfs_scanned_per_tick,
+        "sharded tick ({}) not measurably below the unsharded scan ({})",
+        sharded16.mfs_scanned_per_tick,
+        unsharded.mfs_scanned_per_tick
+    );
+    assert!(
+        sharded16.shards_skipped_per_tick >= 14.0,
+        "idle shards were scanned, not skipped ({})",
+        sharded16.shards_skipped_per_tick
+    );
+    // Monotone in shard count.
+    assert!(get("sharded_4").mfs_scanned_per_tick <= get("sharded_1").mfs_scanned_per_tick);
+    assert!(sharded16.mfs_scanned_per_tick <= get("sharded_4").mfs_scanned_per_tick);
+
+    let fig = figure("shard_scaling");
+    let (_, out1) = builtin::run_figure(&fig);
+    let (_, out2) = builtin::run_figure(&fig);
+    assert_eq!(
+        out1.concat(),
+        out2.concat(),
+        "shard_scaling not deterministic"
+    );
+    let md = out1
+        .files()
+        .iter()
+        .find(|(n, _)| n == "shard_scaling.md")
+        .map(|(_, c)| c.as_str())
+        .expect("markdown report emitted");
+    assert!(
+        md.contains("reduction in slab work"),
+        "report omits the headline reduction"
+    );
+}
+
 #[test]
 fn vat_figure_polices_below_full_delivery() {
     let (result, _) = builtin::run_figure(&figure("vat_audio"));
