@@ -35,6 +35,7 @@ pub mod bulk;
 pub mod co_sched;
 pub mod cross;
 pub mod layered;
+pub mod misbehave;
 pub mod vat;
 pub mod web;
 

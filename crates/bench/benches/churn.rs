@@ -250,5 +250,99 @@ fn aggregation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, churn, aggregation);
+/// Churn with the graceful-degradation machinery engaged: the hardening
+/// paths (feedback validation, grant reclaim + backoff, orphan reaping)
+/// sit on `update` and `tick`, so their cost under sustained abuse must
+/// be a number. Each bench isolates one defense at its worst case.
+fn churn_under_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_under_faults");
+    g.sample_size(10);
+
+    // Sustained bogus feedback: 1k of 10k flows submit an impossible
+    // byte count every round. The validation path must reject (and
+    // eventually quarantine) them without slowing the honest 9k.
+    g.bench_function("bogus_feedback_1k_of_10k", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let flows: Vec<FlowId> = (0..FLOWS)
+            .map(|i| cm.open(key(i), now).expect("open"))
+            .collect();
+        b.iter(|| {
+            now += Duration::from_millis(1);
+            for &f in flows.iter().take(1_000) {
+                // Rejected with `CmError::InvalidFeedback`; the error is
+                // the expected outcome here.
+                let _ = cm.update(f, FeedbackReport::ack(1 << 40, 1), now);
+            }
+            for &f in flows.iter().skip(1_000).take(1_000) {
+                cm.update(
+                    f,
+                    FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+                    now,
+                )
+                .expect("honest update");
+            }
+            cm.tick(now);
+            black_box(cm.stats().feedback_rejected);
+        });
+    });
+
+    // A host full of grant hoarders: every grant expires unresolved, so
+    // each tick walks the reclaim path and the backoff machinery parks
+    // the re-requests until their penalty lapses.
+    g.bench_function("reclaim_backoff_cycle_1k", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            grant_timeout: Duration::from_millis(1),
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let flows: Vec<FlowId> = (0..1_000)
+            .map(|i| cm.open(key(i), now).expect("open"))
+            .collect();
+        let mut notes: Vec<CmNotification> = Vec::new();
+        b.iter(|| {
+            for &f in &flows {
+                cm.request(f, now).expect("request");
+            }
+            // Drain the grants and hoard them all.
+            notes.clear();
+            cm.drain_notifications_into(&mut notes);
+            black_box(notes.len());
+            now += Duration::from_millis(2);
+            cm.tick(now);
+            black_box(cm.stats().grants_reclaimed);
+        });
+    });
+
+    // Crash-leak churn: 1k flows appear, go silent, and the orphan
+    // reaper returns every slot on the next tick — the full-slab scan
+    // plus 1k closes, the reaper's worst case.
+    g.bench_function("orphan_reap_1k", |b| {
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            orphan_timeout: Some(Duration::from_millis(10)),
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let mut next_key = 0usize;
+        b.iter(|| {
+            for _ in 0..1_000 {
+                cm.open(key(next_key), now).expect("open");
+                next_key += 1;
+            }
+            now += Duration::from_millis(20);
+            cm.tick(now);
+            assert_eq!(cm.flow_count(), 0, "reaper left flows behind");
+            black_box(cm.stats().flows_reaped);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, churn, aggregation, churn_under_faults);
 criterion_main!(benches);

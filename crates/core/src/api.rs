@@ -125,6 +125,20 @@ pub struct CmStats {
     /// deterministic measure of maintenance cost the `shard_scaling`
     /// figure and the `sharding` bench group report.
     pub tick_mfs_scanned: u64,
+    /// `update` reports rejected whole by feedback sanity validation
+    /// (impossible byte counts, or the flow was quarantined).
+    pub feedback_rejected: u64,
+    /// `update` reports whose impossible RTT sample was stripped while
+    /// the rest of the report was applied.
+    pub feedback_clamped: u64,
+    /// Flows quarantined for persistently inconsistent feedback.
+    pub flows_quarantined: u64,
+    /// Unresponsive-app backoffs armed (a streak of grant reclaims with
+    /// no intervening `notify`).
+    pub grant_backoffs: u64,
+    /// Orphaned flows reaped by the maintenance timer after the opt-in
+    /// [`crate::config::CmConfig::orphan_timeout`] of API silence.
+    pub flows_reaped: u64,
 }
 
 impl CmStats {
@@ -154,6 +168,11 @@ impl CmStats {
             tick_shards_visited,
             tick_shards_skipped,
             tick_mfs_scanned,
+            feedback_rejected,
+            feedback_clamped,
+            flows_quarantined,
+            grant_backoffs,
+            flows_reaped,
         } = *other;
         self.opens += opens;
         self.closes += closes;
@@ -175,6 +194,11 @@ impl CmStats {
         self.tick_shards_visited += tick_shards_visited;
         self.tick_shards_skipped += tick_shards_skipped;
         self.tick_mfs_scanned += tick_mfs_scanned;
+        self.feedback_rejected += feedback_rejected;
+        self.feedback_clamped += feedback_clamped;
+        self.flows_quarantined += flows_quarantined;
+        self.grant_backoffs += grant_backoffs;
+        self.flows_reaped += flows_reaped;
     }
 }
 
@@ -322,7 +346,7 @@ impl CongestionManager {
             match self.shard_mut(sid) {
                 Some(shard) => {
                     shard.dirty = true;
-                    if let Err(e) = shard.enqueue_request(flow) {
+                    if let Err(e) = shard.enqueue_request(flow, now) {
                         result = Err(e);
                         break;
                     }
@@ -630,6 +654,21 @@ impl CongestionManager {
     /// Number of open flows (all shards).
     pub fn flow_count(&self) -> usize {
         self.shards.iter().flatten().map(|s| s.flow_count()).sum()
+    }
+
+    /// Checks every shard's structural invariants — slab/free-list
+    /// consistency (no leaked or double-freed slots), flow ↔ macroflow
+    /// membership bijection, grant-reservation accounting, and
+    /// parked-request bookkeeping. Built for the chaos harness and
+    /// property tests; it scans every slab, so it is not meant for hot
+    /// paths. Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some(shard) = shard {
+                shard.validate().map_err(|e| format!("shard {i}: {e}"))?;
+            }
+        }
+        Ok(())
     }
 
     /// Number of live macroflows (including empty, lingering ones).
@@ -2392,5 +2431,150 @@ mod tests {
             cm.notify(wrong_shard, 0, Time::ZERO),
             Err(CmError::UnknownFlow(_))
         ));
+    }
+
+    /// Regression: a feedback report with impossible byte counts must be
+    /// rejected whole — folding it in would poison the shared loss and
+    /// window estimates for every flow in the macroflow.
+    #[test]
+    fn absurd_feedback_rejected() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let absurd = FeedbackReport::ack(1 << 40, 1);
+        assert!(matches!(
+            cm.update(f, absurd, Time::ZERO),
+            Err(CmError::InvalidFeedback(_))
+        ));
+        let stats = cm.stats();
+        assert_eq!(stats.feedback_rejected, 1);
+        // The rejected report was not applied as an update.
+        assert_eq!(stats.updates, 0);
+        assert!(cm.check_invariants().is_ok());
+    }
+
+    /// An impossible RTT sample is stripped (the byte accounting may
+    /// still be honest) rather than failing the whole report.
+    #[test]
+    fn impossible_rtt_sample_stripped() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let report = FeedbackReport::ack(1460, 1).with_rtt(Duration::from_secs(600));
+        cm.update(f, report, Time::ZERO).unwrap();
+        assert_eq!(cm.stats().feedback_clamped, 1);
+        // The sample never reached the shared RTT estimator.
+        assert_eq!(cm.query(f, Time::ZERO).unwrap().srtt, None);
+    }
+
+    /// A flow feeding persistently impossible reports is quarantined:
+    /// its updates are dropped (and counted) until the quarantine
+    /// lapses, after which it starts on a clean slate.
+    #[test]
+    fn inconsistent_flow_quarantined_then_released() {
+        let cfg = CmConfig::default();
+        let streak = cfg.feedback_sanity.quarantine_streak;
+        let period = cfg.feedback_sanity.quarantine_period;
+        let mut cm = CongestionManager::new(cfg);
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        for _ in 0..streak {
+            let _ = cm.update(f, FeedbackReport::ack(1 << 40, 1), Time::ZERO);
+        }
+        assert_eq!(cm.stats().flows_quarantined, 1);
+        // Even an honest report is dropped while quarantined.
+        assert!(matches!(
+            cm.update(f, FeedbackReport::ack(1460, 1), Time::ZERO),
+            Err(CmError::InvalidFeedback(_))
+        ));
+        assert_eq!(cm.stats().updates, 0);
+        // After the period, the flow is trusted again.
+        let later = Time::ZERO + period + Duration::from_millis(1);
+        cm.update(f, FeedbackReport::ack(1460, 1), later).unwrap();
+        assert_eq!(cm.stats().updates, 1);
+        assert!(cm.check_invariants().is_ok());
+    }
+
+    /// Regression: an app that keeps ignoring its grants is backed off —
+    /// its requests are parked instead of burning window — and the
+    /// backoff releases by itself once it lapses.
+    #[test]
+    fn unresponsive_app_backed_off_then_recovers() {
+        let cfg = CmConfig {
+            pacing: false,
+            grant_timeout: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let streak = cfg.unresponsive.expect("default on").reclaim_streak;
+        let mut cm = CongestionManager::new(cfg);
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        // Ignore `streak` grants in a row; each expires and is reclaimed.
+        let mut now = Time::ZERO;
+        for _ in 0..streak {
+            cm.request(f, now).unwrap();
+            assert_eq!(grants_in(&cm.drain_notifications()), vec![f]);
+            now += Duration::from_millis(20);
+            cm.tick(now);
+        }
+        let stats = cm.stats();
+        assert_eq!(stats.grants_reclaimed, streak as u64);
+        assert_eq!(stats.grant_backoffs, 1, "streak arms the backoff");
+        // While backed off, a request parks: no grant, no pacing work.
+        cm.request(f, now).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![]);
+        assert!(cm.check_invariants().is_ok());
+        // Once the backoff lapses the maintenance timer re-queues it.
+        now += Duration::from_secs(1);
+        cm.tick(now);
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f]);
+        assert!(cm.check_invariants().is_ok());
+    }
+
+    /// A notify ends the backoff immediately: the app proved itself
+    /// alive, so its parked requests go straight back to the scheduler.
+    #[test]
+    fn notify_releases_parked_requests() {
+        let cfg = CmConfig {
+            pacing: false,
+            grant_timeout: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let streak = cfg.unresponsive.expect("default on").reclaim_streak;
+        let mut cm = CongestionManager::new(cfg);
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let mut now = Time::ZERO;
+        for _ in 0..streak {
+            cm.request(f, now).unwrap();
+            let _ = cm.drain_notifications();
+            now += Duration::from_millis(20);
+            cm.tick(now);
+        }
+        cm.request(f, now).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![], "parked");
+        // A (zero-byte) notify releases the parked request at once.
+        cm.notify(f, 0, now).unwrap();
+        assert_eq!(grants_in(&cm.drain_notifications()), vec![f]);
+        assert!(cm.check_invariants().is_ok());
+    }
+
+    /// With the opt-in orphan timeout armed, flows whose owner stopped
+    /// calling the API entirely are reaped and their slots recycled;
+    /// recently-touched flows survive.
+    #[test]
+    fn orphaned_flows_reaped_after_timeout() {
+        let mut cm = CongestionManager::new(CmConfig {
+            orphan_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
+        });
+        let orphan = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        let live = cm.open(key(1001, 9), Time::ZERO).unwrap();
+        // The live flow is touched at t=4s; the orphan never again.
+        cm.query(live, Time::from_secs(4)).unwrap();
+        cm.tick(Time::from_secs(6));
+        assert_eq!(cm.stats().flows_reaped, 1);
+        assert_eq!(cm.flow_count(), 1);
+        assert!(matches!(
+            cm.query(orphan, Time::from_secs(6)),
+            Err(CmError::UnknownFlow(_))
+        ));
+        cm.query(live, Time::from_secs(6)).unwrap();
+        assert!(cm.check_invariants().is_ok());
     }
 }

@@ -195,6 +195,78 @@ impl ShardingConfig {
     }
 }
 
+/// Bounds on what `cm_update` feedback the CM is willing to believe.
+///
+/// The update path trusts applications to report honest byte counts and
+/// RTT samples; a buggy or hostile app could otherwise blow the window
+/// wide open (absurd `bytes_acked`) or poison the shared RTT estimate
+/// (zero or hour-long samples). Reports past these bounds are rejected
+/// (byte counts) or stripped of the offending sample (RTT), counted in
+/// [`crate::api::CmStats`], and — if a flow keeps it up — quarantined.
+///
+/// Always on; the defaults are generous enough that no legitimate
+/// transport ever trips them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeedbackSanityConfig {
+    /// Maximum `bytes_acked + bytes_lost` a single report may carry.
+    /// A report past this is rejected outright.
+    pub max_bytes_per_report: u64,
+    /// RTT samples below this are discarded (a zero RTT would collapse
+    /// the RTO and pacing interval).
+    pub min_rtt: Duration,
+    /// RTT samples above this are discarded.
+    pub max_rtt: Duration,
+    /// Consecutive rejected/clamped reports from one flow before it is
+    /// quarantined (its updates ignored entirely for a cooling-off
+    /// period).
+    pub quarantine_streak: u32,
+    /// How long a quarantined flow's feedback is ignored.
+    pub quarantine_period: Duration,
+}
+
+impl Default for FeedbackSanityConfig {
+    /// 1 GiB per report, RTTs in [1 us, 300 s], quarantine after 8
+    /// consecutive bad reports for 2 s.
+    fn default() -> Self {
+        FeedbackSanityConfig {
+            max_bytes_per_report: 1 << 30,
+            min_rtt: Duration::from_micros(1),
+            max_rtt: Duration::from_secs(300),
+            quarantine_streak: 8,
+            quarantine_period: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Backoff policy for applications that take grants and never notify.
+///
+/// A single missed grant is routine (the app lost a race with `close`);
+/// a *streak* of reclaimed grants means the app is wedged, and granting
+/// to it again immediately just burns window another flow could use. On
+/// a streak, the flow's further requests are parked for an exponentially
+/// growing backoff instead of re-entering the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnresponsiveConfig {
+    /// Consecutive reclaimed grants before backoff engages.
+    pub reclaim_streak: u32,
+    /// First backoff period; doubles per additional streak level.
+    pub base_backoff: Duration,
+    /// Maximum doublings (caps the backoff at
+    /// `base_backoff * 2^max_level`).
+    pub max_level: u32,
+}
+
+impl Default for UnresponsiveConfig {
+    /// Back off after 3 consecutive reclaims, 100 ms doubling to 3.2 s.
+    fn default() -> Self {
+        UnresponsiveConfig {
+            reclaim_streak: 3,
+            base_backoff: Duration::from_millis(100),
+            max_level: 5,
+        }
+    }
+}
+
 /// Which congestion-control algorithm each macroflow runs.
 ///
 /// The paper's CM uses a TCP-style window AIMD with slow start, with
@@ -288,6 +360,18 @@ pub struct CmConfig {
     /// connection reuse a large learned window (Figure 7) without
     /// dumping a window-sized burst into the bottleneck queue.
     pub pacing: bool,
+    /// Bounds on app-supplied feedback the update path enforces.
+    pub feedback_sanity: FeedbackSanityConfig,
+    /// Backoff for apps that repeatedly let grants expire; `None`
+    /// disables backoff (every reclaimed request simply re-queues).
+    pub unresponsive: Option<UnresponsiveConfig>,
+    /// Reap flows whose owner has made no API call at all for this long
+    /// (a crashed app that left flows open), returning their slots to
+    /// the shard free-lists. `None` (the default) disables reaping —
+    /// enabling it makes the maintenance tick scan otherwise-quiet
+    /// shards that still hold flows, trading the quiet-shard skip for
+    /// leak-proofing, so it is opt-in for chaos and long-lived hosts.
+    pub orphan_timeout: Option<Duration>,
 }
 
 impl Default for CmConfig {
@@ -312,6 +396,9 @@ impl Default for CmConfig {
             macroflow_linger: Duration::from_secs(120),
             loss_ewma_gain: 0.125,
             pacing: true,
+            feedback_sanity: FeedbackSanityConfig::default(),
+            unresponsive: Some(UnresponsiveConfig::default()),
+            orphan_timeout: None,
         }
     }
 }
@@ -403,6 +490,21 @@ mod tests {
         let r = ReaggregationConfig::default();
         assert!(r.rtt_ratio > 1.0 && r.converge_ratio > 1.0);
         assert!(r.divergence_samples > 0);
+    }
+
+    #[test]
+    fn hardening_defaults() {
+        let c = CmConfig::default();
+        // Sanity bounds always on, generous enough for real transports.
+        assert!(c.feedback_sanity.max_bytes_per_report >= 1 << 30);
+        assert!(c.feedback_sanity.min_rtt > Duration::ZERO);
+        assert!(c.feedback_sanity.quarantine_streak > 1);
+        // Backoff engages only on a streak, so single reclaims behave
+        // exactly as before.
+        let u = c.unresponsive.expect("backoff on by default");
+        assert!(u.reclaim_streak >= 2);
+        // Orphan reaping is opt-in: it trades the quiet-shard skip away.
+        assert!(c.orphan_timeout.is_none());
     }
 
     #[test]

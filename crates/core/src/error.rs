@@ -11,6 +11,7 @@ use crate::types::{FlowId, MacroflowId};
 /// or malicious client must get an error code, never bring the module
 /// down.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[must_use = "CM errors signal rejected operations and must be handled or explicitly ignored"]
 pub enum CmError {
     /// The flow id is not open.
     UnknownFlow(FlowId),
@@ -29,6 +30,10 @@ pub enum CmError {
     /// aggregate across groups needs the detector-driven cross-shard
     /// design tracked in the roadmap.
     CrossShardMerge,
+    /// A `cm_update` feedback report failed sanity validation (absurd
+    /// byte counts, or the flow is quarantined for persistently
+    /// inconsistent feedback). The report was not applied.
+    InvalidFeedback(&'static str),
 }
 
 impl fmt::Display for CmError {
@@ -43,6 +48,9 @@ impl fmt::Display for CmError {
             }
             CmError::CrossShardMerge => {
                 write!(f, "cannot merge flows across CM shards")
+            }
+            CmError::InvalidFeedback(what) => {
+                write!(f, "feedback rejected: {}", what)
             }
         }
     }
@@ -64,5 +72,6 @@ mod tests {
         assert!(format!("{}", CmError::InvalidArgument("mtu")).contains("mtu"));
         assert!(format!("{}", CmError::DestinationMismatch).contains("merge"));
         assert!(format!("{}", CmError::UnknownMacroflow(MacroflowId(1))).contains("macroflow"));
+        assert!(format!("{}", CmError::InvalidFeedback("bytes")).contains("bytes"));
     }
 }

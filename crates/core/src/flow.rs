@@ -50,6 +50,27 @@ pub struct Flow {
     /// the macroflow's shared estimates; reaching the configured
     /// threshold triggers an automatic split.
     pub diverge_streak: u32,
+    /// Consecutive feedback reports that failed sanity validation;
+    /// reaching the configured threshold quarantines the flow.
+    pub inconsistent_streak: u32,
+    /// While set and in the future, the flow is quarantined: its
+    /// `cm_update` reports are ignored (but counted). Cleared lazily on
+    /// the first update after expiry.
+    pub quarantined_until: Option<Time>,
+    /// Consecutive grants reclaimed by the maintenance timer without an
+    /// intervening `cm_notify`; a streak marks the app unresponsive.
+    pub reclaim_streak: u32,
+    /// While set and in the future, new grants to this flow are parked
+    /// instead of scheduled (unresponsive-app backoff).
+    pub backoff_until: Option<Time>,
+    /// Current backoff doubling level.
+    pub backoff_level: u32,
+    /// Requests parked during backoff, re-queued by the maintenance
+    /// timer once the backoff expires.
+    pub parked_requests: u32,
+    /// The last time the owning application touched this flow through
+    /// any API call; orphaned-flow reaping keys off this.
+    pub last_api: Time,
 }
 
 impl Flow {
@@ -80,6 +101,13 @@ impl Flow {
             bytes_lost: 0,
             loss_est: Ewma::new(loss_gain),
             diverge_streak: 0,
+            inconsistent_streak: 0,
+            quarantined_until: None,
+            reclaim_streak: 0,
+            backoff_until: None,
+            backoff_level: 0,
+            parked_requests: 0,
+            last_api: now,
         }
     }
 }

@@ -108,6 +108,10 @@ pub(crate) struct Shard {
     /// Live rate-callback registrations (aging can move shares, so any
     /// registration keeps the tick scan alive).
     thresh_regs: usize,
+    /// Total requests parked across all flows (unresponsive-app
+    /// backoff); non-zero keeps the tick scanning the flow slab so the
+    /// parked requests re-queue when their backoff expires.
+    parked_count: usize,
 }
 
 impl Shard {
@@ -134,6 +138,7 @@ impl Shard {
             dirty: true,
             pending_maintenance: true,
             thresh_regs: 0,
+            parked_count: 0,
         }
     }
 
@@ -164,6 +169,7 @@ impl Shard {
         self.dirty = true;
         self.pending_maintenance = true;
         self.thresh_regs = 0;
+        self.parked_count = 0;
     }
 
     /// True when the shard holds no live flows and no live macroflows
@@ -251,6 +257,7 @@ impl Shard {
         let mtu = f.mtu as u64;
         let pos = f.mf_pos;
         let registered = f.update_interest.is_some();
+        let parked = f.parked_requests as usize;
         self.flows[slot(flow.0)] = None;
         self.free_flows.push(flow.0 & SLOT_MASK);
         // Invalidate the flow's grant-queue entries; the reclamation
@@ -260,6 +267,7 @@ impl Shard {
         if registered {
             self.thresh_regs -= 1;
         }
+        self.parked_count -= parked;
         self.key_to_flow.remove(&key);
         let Self { mfs, flows, .. } = self;
         let mf = mfs
@@ -301,8 +309,16 @@ impl Shard {
     // ------------------------------------------------------------------
 
     pub(crate) fn request(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
-        let mf_id = self.flow_ref(flow)?.macroflow;
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        f.last_api = now;
         self.stats.requests += 1;
+        // An unresponsive flow's requests are parked, not scheduled:
+        // leaving them pending would keep `next_grant_deadline` firing
+        // the host pacing timer for grants that cannot be issued.
+        if self.park_if_backing_off(flow, now) {
+            return Ok(());
+        }
         let mf = self.mf_mut(mf_id)?;
         mf.scheduler.enqueue(lid(flow));
         self.try_grants(mf_id, now);
@@ -313,15 +329,42 @@ impl Shard {
     /// touched macroflow without granting, so the front can run one
     /// grant pass per touched macroflow after the whole batch (batches
     /// may span shards; each shard flushes its own touched set).
-    pub(crate) fn enqueue_request(&mut self, flow: FlowId) -> CmResult<()> {
-        let mf_id = self.flow_ref(flow)?.macroflow;
+    pub(crate) fn enqueue_request(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        f.last_api = now;
         self.stats.requests += 1;
+        if self.park_if_backing_off(flow, now) {
+            return Ok(());
+        }
         let mf = self.mf_mut(mf_id)?;
         mf.scheduler.enqueue(lid(flow));
         if !self.scratch_mfs.contains(&mf_id) {
             self.scratch_mfs.push(mf_id);
         }
         Ok(())
+    }
+
+    /// If `flow` is in unresponsive-app backoff, parks one request on it
+    /// and returns true; clears an expired backoff otherwise. Parked
+    /// requests re-queue via `notify` (the app proved itself alive) or
+    /// the maintenance tick (the backoff lapsed).
+    fn park_if_backing_off(&mut self, flow: FlowId, now: Time) -> bool {
+        let Ok(f) = self.flow_mut(flow) else {
+            return false;
+        };
+        match f.backoff_until {
+            Some(until) if now < until => {
+                f.parked_requests += 1;
+                self.parked_count += 1;
+                true
+            }
+            Some(_) => {
+                f.backoff_until = None;
+                false
+            }
+            None => false,
+        }
     }
 
     /// The grant half of `bulk_request`: one `try_grants` pass per
@@ -346,8 +389,21 @@ impl Shard {
             f.dead_grant_entries += 1;
         }
         f.bytes_sent += bytes_sent;
+        f.last_api = now;
+        // A notify proves the app is draining its grants: end any
+        // unresponsive-app backoff and release its parked requests back
+        // to the scheduler.
+        f.reclaim_streak = 0;
+        f.backoff_level = 0;
+        f.backoff_until = None;
+        let unparked = f.parked_requests;
+        f.parked_requests = 0;
+        self.parked_count -= unparked as usize;
         self.stats.notifies += 1;
         let mf = self.mf_mut(mf_id)?;
+        for _ in 0..unparked {
+            mf.scheduler.enqueue(lid(flow));
+        }
         if had_grant {
             mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mtu);
             // The grant charged a full-MTU pacing quantum; refund the
@@ -378,8 +434,51 @@ impl Shard {
     ) -> CmResult<()> {
         let min_rto = self.cfg.min_rto;
         let reagg = self.cfg.reaggregation;
+        let sanity = self.cfg.feedback_sanity;
+        let mut report = report;
         let f = self.flow_mut(flow)?;
         let mf_id = f.macroflow;
+        f.last_api = now;
+        // Feedback sanity (the paper's §5 trust boundary): the CM's
+        // shared estimates serve *every* flow in the macroflow, so one
+        // client feeding impossible values must not poison them.
+        if let Some(until) = f.quarantined_until {
+            if now < until {
+                self.stats.feedback_rejected += 1;
+                return Err(CmError::InvalidFeedback("flow quarantined"));
+            }
+            // Quarantine served; start the flow on a clean slate.
+            f.quarantined_until = None;
+            f.inconsistent_streak = 0;
+        }
+        if report.bytes_acked.saturating_add(report.bytes_lost) > sanity.max_bytes_per_report {
+            f.inconsistent_streak = f.inconsistent_streak.saturating_add(1);
+            let quarantine = f.inconsistent_streak >= sanity.quarantine_streak;
+            if quarantine {
+                f.quarantined_until = Some(now + sanity.quarantine_period);
+                f.inconsistent_streak = 0;
+                self.stats.flows_quarantined += 1;
+            }
+            self.stats.feedback_rejected += 1;
+            return Err(CmError::InvalidFeedback("impossible byte count"));
+        }
+        match report.rtt_sample {
+            Some(rtt) if rtt < sanity.min_rtt || rtt > sanity.max_rtt => {
+                // The byte accounting may still be honest; strip only
+                // the impossible RTT sample rather than dropping the
+                // whole report, but count it toward the streak.
+                report.rtt_sample = None;
+                f.inconsistent_streak = f.inconsistent_streak.saturating_add(1);
+                if f.inconsistent_streak >= sanity.quarantine_streak {
+                    f.quarantined_until = Some(now + sanity.quarantine_period);
+                    f.inconsistent_streak = 0;
+                    self.stats.flows_quarantined += 1;
+                }
+                self.stats.feedback_clamped += 1;
+            }
+            _ => f.inconsistent_streak = 0,
+        }
+        let f = self.flow_mut(flow)?;
         f.bytes_acked += report.bytes_acked;
         f.bytes_lost += report.bytes_lost;
         let resolved = report.bytes_acked + report.bytes_lost;
@@ -504,7 +603,9 @@ impl Shard {
     // ------------------------------------------------------------------
 
     pub(crate) fn query(&mut self, flow: FlowId, now: Time) -> CmResult<FlowInfo> {
-        let mf_id = self.flow_ref(flow)?.macroflow;
+        let f = self.flow_mut(flow)?;
+        let mf_id = f.macroflow;
+        f.last_api = now;
         let cfg = self.cfg.clone();
         let mf = self.mf_mut(mf_id)?;
         mf.age_if_idle(now, &cfg);
@@ -660,7 +761,7 @@ impl Shard {
             self.merge_back_pass(&r, now);
         }
         let mut needs = self.thresh_regs > 0;
-        let scanned = self.mfs.len() as u64;
+        let mut scanned = self.mfs.len() as u64;
         for i in 0..self.mfs.len() {
             if self.mfs[i].is_none() {
                 continue;
@@ -739,9 +840,197 @@ impl Shard {
                 // `idle_window_ages_despite_quiet_skip`).
                 || mf.controller.window() > cfg.initial_window_bytes();
         }
+        // Flow-slab maintenance: re-queue parked requests whose
+        // unresponsive-app backoff lapsed, and (when the opt-in timeout
+        // is armed) reap flows whose owner has not touched any API in
+        // `orphan_timeout` — their slots and window reservations return
+        // to the free-lists instead of leaking forever. The scan only
+        // runs when one of those duties exists.
+        let reap_after = cfg.orphan_timeout;
+        if self.parked_count > 0 || (reap_after.is_some() && self.live_flows > 0) {
+            scanned += self.flows.len() as u64;
+            let mut reap = std::mem::take(&mut self.scratch_flows);
+            reap.clear();
+            for s in 0..self.flows.len() {
+                let (id, mf_id, unparked) = {
+                    let Some(f) = self.flows[s].as_mut() else {
+                        continue;
+                    };
+                    if let Some(t) = reap_after {
+                        if now.since(f.last_api) >= t {
+                            reap.push(f.id);
+                            continue;
+                        }
+                    }
+                    if f.parked_requests == 0 || f.backoff_until.is_some_and(|u| now < u) {
+                        continue;
+                    }
+                    f.backoff_until = None;
+                    let n = f.parked_requests;
+                    f.parked_requests = 0;
+                    (f.id, f.macroflow, n)
+                };
+                self.parked_count -= unparked as usize;
+                if let Ok(mf) = self.mf_mut(mf_id) {
+                    for _ in 0..unparked {
+                        mf.scheduler.enqueue(lid(id));
+                    }
+                }
+                self.try_grants(mf_id, now);
+            }
+            for &id in &reap {
+                if self.close(id, now).is_ok() {
+                    self.stats.flows_reaped += 1;
+                }
+            }
+            reap.clear();
+            self.scratch_flows = reap;
+        }
+        needs |= self.parked_count > 0;
+        needs |= reap_after.is_some() && self.live_flows > 0;
         self.pending_maintenance = needs;
         self.dirty = false;
         scanned
+    }
+
+    /// Structural invariant check for the chaos harness and property
+    /// tests: slab/free-list consistency, flow ↔ macroflow membership,
+    /// grant reservations, and parked-request accounting. Never called
+    /// on a hot path.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let live = self.flows.iter().flatten().count();
+        if live != self.live_flows {
+            return Err(format!(
+                "live_flows says {} but {} slots are occupied",
+                self.live_flows, live
+            ));
+        }
+        let mut seen = vec![false; self.flows.len()];
+        for &s in &self.free_flows {
+            let s = s as usize;
+            if s >= self.flows.len() {
+                return Err(format!("free flow slot {s} out of slab range"));
+            }
+            if seen[s] {
+                return Err(format!("flow slot {s} appears on the free-list twice"));
+            }
+            seen[s] = true;
+            if self.flows[s].is_some() {
+                return Err(format!("free flow slot {s} is occupied"));
+            }
+        }
+        if self.free_flows.len() + live != self.flows.len() {
+            return Err(format!(
+                "flow slab leak: {} slots != {} live + {} free",
+                self.flows.len(),
+                live,
+                self.free_flows.len()
+            ));
+        }
+        let live_mfs = self.mfs.iter().flatten().count();
+        if live_mfs != self.live_mfs {
+            return Err(format!(
+                "live_mfs says {} but {} slots are occupied",
+                self.live_mfs, live_mfs
+            ));
+        }
+        let mut seen = vec![false; self.mfs.len()];
+        for &s in &self.free_mfs {
+            let s = s as usize;
+            if s >= self.mfs.len() {
+                return Err(format!("free macroflow slot {s} out of slab range"));
+            }
+            if seen[s] {
+                return Err(format!("macroflow slot {s} appears on the free-list twice"));
+            }
+            seen[s] = true;
+            if self.mfs[s].is_some() {
+                return Err(format!("free macroflow slot {s} is occupied"));
+            }
+        }
+        if self.free_mfs.len() + live_mfs != self.mfs.len() {
+            return Err(format!(
+                "macroflow slab leak: {} slots != {} live + {} free",
+                self.mfs.len(),
+                live_mfs,
+                self.free_mfs.len()
+            ));
+        }
+        let mut member_total = 0usize;
+        for mf in self.mfs.iter().flatten() {
+            member_total += mf.flows.len();
+            let mut reserved = 0u64;
+            let mut lazy_dead = 0usize;
+            let mut granted = 0usize;
+            for (pos, &fid) in mf.flows.iter().enumerate() {
+                let Some(f) = self.flows.get(slot(fid.0)).and_then(Option::as_ref) else {
+                    return Err(format!("macroflow {:?} lists dead flow {:?}", mf.id, fid));
+                };
+                if f.macroflow != mf.id {
+                    return Err(format!(
+                        "flow {:?} is listed by {:?} but points at {:?}",
+                        fid, mf.id, f.macroflow
+                    ));
+                }
+                if f.mf_pos as usize != pos {
+                    return Err(format!(
+                        "flow {:?} back-pointer {} != member position {}",
+                        fid, f.mf_pos, pos
+                    ));
+                }
+                reserved += f.granted as u64 * mf.mtu as u64;
+                lazy_dead += f.dead_grant_entries as usize;
+                granted += f.granted as usize;
+            }
+            if reserved != mf.granted_unnotified {
+                return Err(format!(
+                    "macroflow {:?} reserves {} bytes for grants but members hold {}",
+                    mf.id, mf.granted_unnotified, reserved
+                ));
+            }
+            // Every unresolved or lazily-dead grant has an entry still
+            // sitting in the expiry queue (stale-generation entries from
+            // closed flows may add more).
+            if mf.grant_queue.len() < granted + lazy_dead {
+                return Err(format!(
+                    "macroflow {:?} queue holds {} entries but members account {}",
+                    mf.id,
+                    mf.grant_queue.len(),
+                    granted + lazy_dead
+                ));
+            }
+        }
+        if member_total != live {
+            return Err(format!(
+                "{live} flows live but {member_total} macroflow memberships"
+            ));
+        }
+        if self.key_to_flow.len() != live {
+            return Err(format!(
+                "{} key-map entries for {} live flows",
+                self.key_to_flow.len(),
+                live
+            ));
+        }
+        for (key, &fid) in &self.key_to_flow {
+            match self.flows.get(slot(fid.0)).and_then(Option::as_ref) {
+                Some(f) if f.key == *key => {}
+                _ => return Err(format!("key-map entry for {fid:?} is stale")),
+            }
+        }
+        let parked: usize = self
+            .flows
+            .iter()
+            .flatten()
+            .map(|f| f.parked_requests as usize)
+            .sum();
+        if parked != self.parked_count {
+            return Err(format!(
+                "parked_count says {} but flows hold {} parked requests",
+                self.parked_count, parked
+            ));
+        }
+        Ok(())
     }
 
     pub(crate) fn next_grant_deadline(&self) -> Option<Time> {
@@ -978,6 +1267,7 @@ impl Shard {
             flow_gens,
             outbox,
             stats,
+            parked_count,
             ..
         } = self;
         let Some(mf) = mfs.get_mut(slot(mf_id.0)).and_then(Option::as_mut) else {
@@ -996,6 +1286,18 @@ impl Shard {
             let Some(flow) = flows.get_mut(local.0 as usize).and_then(Option::as_mut) else {
                 continue; // Flow closed with requests still queued.
             };
+            // An unresponsive flow's dequeued request is parked rather
+            // than granted: granting would just feed more window into a
+            // client that is not notifying.
+            match flow.backoff_until {
+                Some(until) if now < until => {
+                    flow.parked_requests += 1;
+                    *parked_count += 1;
+                    continue;
+                }
+                Some(_) => flow.backoff_until = None,
+                None => {}
+            }
             flow.granted += 1;
             mf.granted_unnotified += mf.mtu as u64;
             mf.grant_queue.push_back(GrantEntry {
@@ -1017,6 +1319,7 @@ impl Shard {
     /// notify); the paper's timer-driven "error handling".
     fn reclaim_expired_grants(&mut self, mf_id: MacroflowId, now: Time) {
         let timeout = self.cfg.grant_timeout;
+        let unresponsive = self.cfg.unresponsive;
         let Self {
             mfs,
             flows,
@@ -1054,6 +1357,20 @@ impl Shard {
                     mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mf.mtu as u64);
                     mf.grants_reclaimed += 1;
                     stats.grants_reclaimed += 1;
+                    // A streak of reclaims with no intervening notify
+                    // marks the app unresponsive: park its future
+                    // requests for an exponentially growing backoff
+                    // instead of burning window on grants it ignores.
+                    if let Some(u) = unresponsive {
+                        f.reclaim_streak = f.reclaim_streak.saturating_add(1);
+                        if f.reclaim_streak >= u.reclaim_streak {
+                            let level = f.backoff_level.min(u.max_level);
+                            f.backoff_until =
+                                Some(now + u.base_backoff.mul_ratio(1u64 << level, 1));
+                            f.backoff_level = (f.backoff_level + 1).min(u.max_level);
+                            stats.grant_backoffs += 1;
+                        }
+                    }
                     mf.grant_queue.pop_front();
                 }
             }

@@ -37,6 +37,7 @@ pub fn all(smoke: bool) -> Vec<Figure> {
         vat_audio(smoke),
         co_scheduling(smoke),
         shard_scaling(smoke),
+        robustness(smoke),
     ]
 }
 
@@ -321,6 +322,10 @@ pub fn bundled_traces() -> Vec<(&'static str, &'static str)> {
         ("lte_walk", include_str!("../../../traces/lte_walk.trace")),
         ("hspa_bus", include_str!("../../../traces/hspa_bus.trace")),
         ("wifi_cafe", include_str!("../../../traces/wifi_cafe.trace")),
+        (
+            "flaky_cellular",
+            include_str!("../../../traces/flaky_cellular.trace"),
+        ),
     ]
 }
 
@@ -817,6 +822,162 @@ flows, aggregation granularity is the sharding strategy.",
     out.add("shard_scaling.csv", csv);
     out.add("shard_scaling.dat", dat.render());
     out.add("shard_scaling.md", doc.render());
+}
+
+// ---------------------------------------------------------------------
+// Robustness: goodput and recovery under hostile networks and apps
+// ---------------------------------------------------------------------
+
+fn robustness(_smoke: bool) -> Figure {
+    // Like shard_scaling, the sweep below runs its own deterministic
+    // cells (the chaos harness); the experiment carries metadata only.
+    // Identical in smoke and full mode — six ~70-simulated-second runs.
+    let experiment = Experiment {
+        name: "robustness",
+        title: "CM goodput and recovery under hostile networks and misbehaving apps",
+        paper_ref: "beyond the paper: \u{a7}5's trust discussion made operational \u{2014} \
+the CM must degrade gracefully when the network or a co-located application misbehaves",
+        description: "One honest bulk TCP/CM transfer replayed under the chaos \
+harness's fault conditions: clean (baseline), Gilbert-Elliott bursty loss, hard \
+link flaps, a recorded flaky-cellular bandwidth trace, and two hostile \
+co-located applications (a grant hoarder and a crash-without-close). Every run \
+steps the simulation in one-second slices and asserts the CM's structural \
+invariants \u{2014} no leaked slab slots, outstanding-byte conservation, bounded \
+windows \u{2014} so the figure doubles as the chaos harness's determinism \
+anchor. The degradation counters show which defense absorbed each fault: grant \
+reclaim and backoff for the hoarder, orphan reaping for the crash, feedback \
+validation for bogus reports.",
+        app: AppKind::Layered,
+        schedules: vec![],
+        policies: vec![AdaptPolicyKind::LadderImmediate],
+        controllers: vec![AIMD],
+        secs: 0,
+        seeds: vec![1],
+    };
+    Figure {
+        experiment,
+        emit: emit_robustness,
+    }
+}
+
+fn emit_robustness(result: &ExperimentResult, out: &mut OutputSet) {
+    let rows = crate::chaos::robustness_rows();
+    let mut dat = DatFile::new(
+        "robustness: honest-transfer goodput and recovery under faults\n\
+         columns: row  goodput_kbps  elapsed_s  penalty_s  grants_reclaimed  flows_reaped",
+    );
+    dat.block(
+        "goodput and recovery per condition",
+        &[
+            "row",
+            "goodput_kbps",
+            "elapsed_s",
+            "penalty_s",
+            "grants_reclaimed",
+            "flows_reaped",
+        ],
+    );
+    for (i, r) in rows.iter().enumerate() {
+        dat.row(&[
+            i as f64,
+            r.goodput_kbps,
+            r.elapsed_s,
+            r.penalty_s,
+            r.stats.grants_reclaimed as f64,
+            r.stats.flows_reaped as f64,
+        ]);
+    }
+
+    let spec = &result.spec;
+    let mut doc = FigureDoc::new(spec.title, spec.paper_ref, spec.description);
+    doc.para(
+        "*Generated by `cargo run --release -p cm-experiments --bin figures`. \
+Deterministic: every condition is a fixed fault plan replayed on the seeded \
+simulator; rerunning reproduces this file byte for byte. The seeded-sweep \
+version of the same harness runs via `cargo run --release -p cm-bench --bin \
+chaos`.*",
+    );
+    doc.section("Honest transfer under each condition");
+    let mut t = Table::new(&[
+        "condition",
+        "goodput (kbit/s)",
+        "completed",
+        "elapsed (s)",
+        "recovery penalty (s)",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.label,
+            &fmt_f64(r.goodput_kbps),
+            if r.completed { "yes" } else { "no" },
+            &fmt_f64(r.elapsed_s),
+            &fmt_f64(r.penalty_s),
+        ]);
+    }
+    doc.table(&t);
+    doc.section("Which defense absorbed the fault");
+    let mut d = Table::new(&[
+        "condition",
+        "grants reclaimed",
+        "grant backoffs",
+        "feedback rejected",
+        "feedback clamped",
+        "flows quarantined",
+        "flows reaped",
+    ]);
+    for r in &rows {
+        d.row(&[
+            r.label,
+            &r.stats.grants_reclaimed.to_string(),
+            &r.stats.grant_backoffs.to_string(),
+            &r.stats.feedback_rejected.to_string(),
+            &r.stats.feedback_clamped.to_string(),
+            &r.stats.flows_quarantined.to_string(),
+            &r.stats.flows_reaped.to_string(),
+        ]);
+    }
+    doc.table(&d);
+    doc.section("Conditions");
+    for r in &rows {
+        doc.para(&format!("* **{}** \u{2014} {}", r.label, r.detail));
+    }
+    let hoard = rows.iter().find(|r| r.label == "hostile_hoard");
+    let crash = rows.iter().find(|r| r.label == "hostile_crash");
+    if let (Some(h), Some(c)) = (hoard, crash) {
+        doc.para(&format!(
+            "**Every condition completes the honest transfer with the CM's \
+structural invariants green at every one-second checkpoint.** The grant \
+hoarder forces {} reclaim(s) and {} backoff escalation(s) yet the honest \
+transfer still finishes; the crashed client leaks its flow until orphan \
+reaping returns the slot ({} flow(s) reaped) \u{2014} the \u{a7}5 trust \
+argument, measured: an ensemble member can be hostile without taking the \
+host's other traffic down with it.",
+            h.stats.grants_reclaimed, h.stats.grant_backoffs, c.stats.flows_reaped,
+        ));
+    }
+    let mut csv = String::from(
+        "condition,goodput_kbps,completed,elapsed_s,penalty_s,grants_reclaimed,\
+grant_backoffs,feedback_rejected,feedback_clamped,flows_quarantined,flows_reaped\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.label,
+            fmt_f64(r.goodput_kbps),
+            r.completed,
+            fmt_f64(r.elapsed_s),
+            fmt_f64(r.penalty_s),
+            r.stats.grants_reclaimed,
+            r.stats.grant_backoffs,
+            r.stats.feedback_rejected,
+            r.stats.feedback_clamped,
+            r.stats.flows_quarantined,
+            r.stats.flows_reaped,
+        ));
+    }
+    out.add("robustness.csv", csv);
+    out.add("robustness.dat", dat.render());
+    out.add("robustness.md", doc.render());
 }
 
 // ---------------------------------------------------------------------

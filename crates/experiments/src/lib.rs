@@ -24,6 +24,10 @@
 //! * [`builtin`] — the shipped figures: the Figure 8/9 quality track,
 //!   the quality/oscillation policy frontier, recorded-trace replay, and
 //!   vat audio adaptation.
+//! * [`chaos`] — the fault-injection harness: scenarios replayed under
+//!   seeded [`cm_netsim::fault::FaultPlan`]s with CM invariants checked
+//!   every simulated second (drives the `robustness` figure and the
+//!   `cm-bench` chaos CLI).
 //!
 //! Regenerate everything with:
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod chaos;
 pub mod report;
 pub mod runner;
 pub mod spec;

@@ -134,8 +134,8 @@ fn bundled_traces_parse_and_replay_degrades_and_recovers() {
     assert_eq!(wifi.rate_at(Time::from_secs(40)), Some(Rate::from_mbps(27)));
 
     let (result, _) = builtin::run_figure(&figure("trace_replay"));
-    // One cell per trace x policy.
-    assert_eq!(result.cells.len(), 12);
+    // One cell per trace x policy (3 policies).
+    assert_eq!(result.cells.len(), bundled_traces().len() * 3);
     for cell in &result.cells {
         assert!(
             cell.delivered > 0,

@@ -7,6 +7,7 @@
 
 use cm_util::{Duration, Rate};
 
+use crate::fault::LinkFaults;
 use crate::link::{LinkSpec, QueueSpec};
 
 /// A bidirectional emulated path (Dummynet pipe pair).
@@ -22,6 +23,10 @@ pub struct PathSpec {
     pub loss_reverse: f64,
     /// Queue for each direction; Dummynet defaults to 50 slots.
     pub queue: QueueSpec,
+    /// Fault injection on the forward (data) direction.
+    pub faults_forward: LinkFaults,
+    /// Fault injection on the reverse (ACK) direction.
+    pub faults_reverse: LinkFaults,
 }
 
 impl PathSpec {
@@ -33,6 +38,8 @@ impl PathSpec {
             loss_forward: 0.0,
             loss_reverse: 0.0,
             queue: QueueSpec::DropTailPackets(50),
+            faults_forward: LinkFaults::clean(),
+            faults_reverse: LinkFaults::clean(),
         }
     }
 
@@ -73,6 +80,21 @@ impl PathSpec {
         self
     }
 
+    /// Sets forward-direction fault injection (builder style). The data
+    /// direction is where bursty loss, flaps, and reordering bite; ACK
+    /// paths can be faulted separately with
+    /// [`PathSpec::with_reverse_faults`].
+    pub fn with_forward_faults(mut self, faults: LinkFaults) -> Self {
+        self.faults_forward = faults;
+        self
+    }
+
+    /// Sets reverse-direction fault injection (builder style).
+    pub fn with_reverse_faults(mut self, faults: LinkFaults) -> Self {
+        self.faults_reverse = faults;
+        self
+    }
+
     /// The forward-direction link spec.
     pub fn forward(&self) -> LinkSpec {
         LinkSpec {
@@ -80,6 +102,7 @@ impl PathSpec {
             delay: self.rtt / 2,
             queue: self.queue.clone(),
             loss_rate: self.loss_forward,
+            faults: self.faults_forward.clone(),
         }
     }
 
@@ -90,6 +113,7 @@ impl PathSpec {
             delay: self.rtt / 2,
             queue: self.queue.clone(),
             loss_rate: self.loss_reverse,
+            faults: self.faults_reverse.clone(),
         }
     }
 }

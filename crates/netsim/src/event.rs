@@ -62,6 +62,14 @@ pub enum SimEvent {
         /// The new serialization rate.
         rate: cm_util::Rate,
     },
+    /// End of a fault-injected outage window: the link's transmitter
+    /// restarts if packets queued while it was down. Idempotent — a link
+    /// that is already transmitting (or still inside a later outage
+    /// window) ignores it.
+    LinkFaultRestart {
+        /// The link coming back up.
+        link: LinkId,
+    },
     /// A timer set by `node` fired.
     Timer {
         /// The owning node.

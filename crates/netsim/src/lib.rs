@@ -10,6 +10,9 @@
 //! * queueing disciplines: drop-tail and RED with ECN marking ([`queue`]),
 //! * links with a serialization rate, propagation delay, and Dummynet-style
 //!   Bernoulli loss ([`link`]),
+//! * deterministic fault injection — Gilbert–Elliott bursty loss,
+//!   reordering, duplication, delay spikes, link flaps, and
+//!   misbehaving-app scripts, all derived from a seed ([`fault`]),
 //! * time-varying link capacity via piecewise-constant bandwidth
 //!   schedules — steps, square waves, on/off cross traffic, and loadable
 //!   traces ([`schedule`]),
@@ -26,6 +29,7 @@
 pub mod channel;
 pub mod cpu;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod queue;
@@ -39,6 +43,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::channel::PathSpec;
     pub use crate::cpu::{CostModel, Cpu};
+    pub use crate::fault::{AppFault, FaultPlan, GilbertElliott, LinkFaults};
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::packet::{Addr, Ecn, Packet, Payload, Protocol};
     pub use crate::queue::{DropTailQueue, EnqueueOutcome, Queue, RedQueue};
@@ -50,6 +55,7 @@ pub mod prelude {
 
 pub use channel::PathSpec;
 pub use cpu::{CostModel, Cpu};
+pub use fault::{AppFault, FaultPlan, GilbertElliott, LinkFaults};
 pub use link::{LinkId, LinkSpec};
 pub use packet::{Addr, Ecn, Packet, Payload, Protocol};
 pub use queue::{DropTailQueue, EnqueueOutcome, Queue, RedQueue};

@@ -12,6 +12,7 @@
 use cm_util::{DetRng, Duration, Rate, Time};
 
 use crate::event::{EventQueue, SimEvent};
+use crate::fault::LinkFaults;
 use crate::packet::Packet;
 use crate::queue::{DropTailQueue, EnqueueOutcome, Queue, RedConfig, RedQueue};
 use crate::sim::NodeId;
@@ -54,6 +55,9 @@ pub struct LinkSpec {
     /// Random loss probability applied to packets entering the link
     /// (Dummynet `plr`).
     pub loss_rate: f64,
+    /// Fault-injection configuration (bursty loss, reordering,
+    /// duplication, delay spikes, outages); clean by default.
+    pub faults: LinkFaults,
 }
 
 impl LinkSpec {
@@ -64,6 +68,7 @@ impl LinkSpec {
             delay,
             queue: QueueSpec::DropTailPackets(50),
             loss_rate: 0.0,
+            faults: LinkFaults::clean(),
         }
     }
 
@@ -76,6 +81,12 @@ impl LinkSpec {
     /// Sets the buffer discipline (builder style).
     pub fn with_queue(mut self, queue: QueueSpec) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Sets the fault-injection configuration (builder style).
+    pub fn with_faults(mut self, faults: LinkFaults) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -92,6 +103,12 @@ pub struct Link {
     delay: Duration,
     queue: Box<dyn Queue>,
     loss_rate: f64,
+    faults: LinkFaults,
+    /// Gilbert–Elliott chain state: currently in the bad (burst) state.
+    ge_bad: bool,
+    /// End of the outage window a restart event has been scheduled for,
+    /// so repeated offers during an outage schedule exactly one restart.
+    outage_restart: Option<Time>,
     /// The packet currently being serialized, if any.
     in_flight: Option<Packet>,
     /// Traffic counters.
@@ -109,6 +126,9 @@ impl Link {
             delay: spec.delay,
             queue: spec.queue.build(),
             loss_rate: spec.loss_rate,
+            faults: spec.faults.clone(),
+            ge_bad: false,
+            outage_restart: None,
             in_flight: None,
             stats: LinkStats::default(),
         }
@@ -135,6 +155,19 @@ impl Link {
         self.loss_rate = loss_rate;
     }
 
+    /// Replaces the fault configuration mid-run (used by the chaos
+    /// harness to inject faults into an already-built topology).
+    pub fn set_faults(&mut self, faults: LinkFaults) {
+        self.faults = faults;
+        self.ge_bad = false;
+        self.outage_restart = None;
+    }
+
+    /// The link's current fault configuration.
+    pub fn faults(&self) -> &LinkFaults {
+        &self.faults
+    }
+
     /// Offers a packet to the link: loss stage, then queue, then (if the
     /// transmitter is idle) serialization begins immediately.
     pub fn offer(&mut self, pkt: Packet, now: Time, rng: &mut DetRng, evq: &mut EventQueue) {
@@ -142,6 +175,27 @@ impl Link {
         if self.loss_rate > 0.0 && rng.chance(self.loss_rate) {
             self.stats.dropped_random += 1;
             return;
+        }
+        if let Some(ge) = self.faults.ge {
+            // Advance the burst chain once per offered packet, then draw
+            // against the state's loss rate. Clean links take no RNG
+            // draws here, preserving existing seeded runs byte-for-byte.
+            if self.ge_bad {
+                if rng.chance(ge.p_exit) {
+                    self.ge_bad = false;
+                }
+            } else if rng.chance(ge.p_enter) {
+                self.ge_bad = true;
+            }
+            let p = if self.ge_bad {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            if p > 0.0 && rng.chance(p) {
+                self.stats.dropped_burst += 1;
+                return;
+            }
         }
         match self.queue.enqueue(pkt, now, rng) {
             EnqueueOutcome::Enqueued => {
@@ -186,6 +240,16 @@ impl Link {
             // A stopped link holds its queue; a schedule step restarts it.
             return;
         }
+        if let Some(end) = self.faults.outage_until(now) {
+            // The link is flapped down: hold the queue (it will overflow
+            // like a real down interface's ring) and arrange exactly one
+            // restart at the window's end.
+            if self.outage_restart != Some(end) {
+                self.outage_restart = Some(end);
+                evq.schedule(end, SimEvent::LinkFaultRestart { link: self.id });
+            }
+            return;
+        }
         if let Some(pkt) = self.queue.dequeue(now) {
             let tx_time = self.rate.transmit_time(pkt.size);
             self.in_flight = Some(pkt);
@@ -193,19 +257,50 @@ impl Link {
         }
     }
 
+    /// Handles the end of an outage window: restarts the transmitter if
+    /// it sat idle over a held queue.
+    pub fn on_fault_restart(&mut self, now: Time, evq: &mut EventQueue) {
+        self.outage_restart = None;
+        if self.in_flight.is_none() {
+            self.start_tx(now, evq);
+        }
+    }
+
     /// Handles serialization completion: the packet departs on the wire
     /// (arriving after the propagation delay) and the next packet starts.
-    pub fn on_tx_done(&mut self, now: Time, evq: &mut EventQueue) {
+    ///
+    /// The fault stages run here, on departure: delay spikes and
+    /// reordering stretch the propagation delay of this one packet
+    /// (later packets may overtake it), and duplication schedules a
+    /// second delivery. Clean links take no RNG draws.
+    pub fn on_tx_done(&mut self, now: Time, rng: &mut DetRng, evq: &mut EventQueue) {
         let pkt = self
             .in_flight
             .take()
             .expect("LinkTxDone without a packet in flight");
         self.stats.transmitted += 1;
         self.stats.bytes_transmitted += pkt.size as u64;
-        evq.schedule(
-            now + self.delay,
-            SimEvent::LinkDeliver { link: self.id, pkt },
-        );
+        let mut delay = self.delay;
+        if self.faults.spike_prob > 0.0 && rng.chance(self.faults.spike_prob) {
+            delay += self.faults.spike_extra;
+            self.stats.delay_spikes += 1;
+        }
+        if self.faults.reorder_prob > 0.0 && rng.chance(self.faults.reorder_prob) {
+            let extra_us = self.faults.reorder_extra.as_micros().max(1);
+            delay += Duration::from_micros(rng.next_range(1, extra_us));
+            self.stats.reordered += 1;
+        }
+        if self.faults.duplicate_prob > 0.0 && rng.chance(self.faults.duplicate_prob) {
+            self.stats.duplicated += 1;
+            evq.schedule(
+                now + delay + Duration::from_micros(1),
+                SimEvent::LinkDeliver {
+                    link: self.id,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+        evq.schedule(now + delay, SimEvent::LinkDeliver { link: self.id, pkt });
         self.start_tx(now, evq);
     }
 }
@@ -242,7 +337,7 @@ mod tests {
         let (t, e) = evq.pop().unwrap();
         assert_eq!(t, Time::from_millis(10));
         assert!(matches!(e, SimEvent::LinkTxDone { .. }));
-        link.on_tx_done(t, &mut evq);
+        link.on_tx_done(t, &mut rng, &mut evq);
         // Delivery at 20 ms.
         let (t, e) = evq.pop().unwrap();
         assert_eq!(t, Time::from_millis(20));
@@ -261,7 +356,7 @@ mod tests {
         assert_eq!(link.queue_len(), 1);
         let (t1, _) = evq.pop().unwrap();
         assert_eq!(t1, Time::from_millis(10));
-        link.on_tx_done(t1, &mut evq);
+        link.on_tx_done(t1, &mut rng, &mut evq);
         // Next TxDone at 20 ms; delivery of first at 15 ms.
         let mut times: Vec<Time> = Vec::new();
         while let Some((t, _)) = evq.pop() {
@@ -283,7 +378,7 @@ mod tests {
             // Drain the transmitter so the queue never fills.
             while let Some((et, e)) = evq.pop() {
                 if matches!(e, SimEvent::LinkTxDone { .. }) {
-                    link.on_tx_done(et, &mut evq);
+                    link.on_tx_done(et, &mut rng, &mut evq);
                 }
                 t = et;
             }
@@ -312,6 +407,121 @@ mod tests {
     }
 
     #[test]
+    fn ge_burst_loss_drops_in_bursts() {
+        use crate::fault::{GilbertElliott, LinkFaults};
+        let faults = LinkFaults::clean().with_ge(GilbertElliott {
+            p_enter: 0.05,
+            p_exit: 0.2,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        let mut link =
+            test_link(LinkSpec::new(Rate::from_mbps(100), Duration::ZERO).with_faults(faults));
+        let mut rng = DetRng::seed(11);
+        let mut evq = EventQueue::new();
+        let mut t = Time::ZERO;
+        for _ in 0..10_000 {
+            link.offer(pkt(100), t, &mut rng, &mut evq);
+            while let Some((et, e)) = evq.pop() {
+                if matches!(e, SimEvent::LinkTxDone { .. }) {
+                    link.on_tx_done(et, &mut rng, &mut evq);
+                }
+                t = et;
+            }
+        }
+        // Steady-state bad fraction is 0.05/0.25 = 20%, all lost there.
+        let frac = link.stats.dropped_burst as f64 / link.stats.offered as f64;
+        assert!((frac - 0.2).abs() < 0.05, "burst loss frac {frac}");
+        assert_eq!(link.stats.dropped_random, 0);
+        assert_eq!(
+            link.stats.offered,
+            link.stats.dropped_burst + link.stats.enqueued
+        );
+    }
+
+    #[test]
+    fn outage_holds_queue_then_restarts() {
+        use crate::fault::LinkFaults;
+        let faults = LinkFaults::clean().with_outage(Time::ZERO, Time::from_millis(50));
+        let mut link = test_link(
+            LinkSpec::new(Rate::from_mbps(1), Duration::from_millis(5)).with_faults(faults),
+        );
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
+        assert_eq!(link.queue_len(), 1, "packet held during outage");
+        // The only pending event is the restart at the window's end.
+        let (t, e) = evq.pop().unwrap();
+        assert_eq!(t, Time::from_millis(50));
+        assert!(matches!(e, SimEvent::LinkFaultRestart { .. }));
+        link.on_fault_restart(t, &mut evq);
+        // Now serialization proceeds: TxDone at 50 + 10 ms.
+        let (t, e) = evq.pop().unwrap();
+        assert_eq!(t, Time::from_millis(60));
+        assert!(matches!(e, SimEvent::LinkTxDone { .. }));
+        link.on_tx_done(t, &mut rng, &mut evq);
+        let (t, e) = evq.pop().unwrap();
+        assert_eq!(t, Time::from_millis(65));
+        assert!(matches!(e, SimEvent::LinkDeliver { .. }));
+        assert_eq!(link.stats.transmitted, 1);
+    }
+
+    #[test]
+    fn repeated_offers_during_outage_schedule_one_restart() {
+        use crate::fault::LinkFaults;
+        let faults = LinkFaults::clean().with_outage(Time::ZERO, Time::from_millis(10));
+        let mut link =
+            test_link(LinkSpec::new(Rate::from_mbps(10), Duration::ZERO).with_faults(faults));
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        for _ in 0..5 {
+            link.offer(pkt(100), Time::ZERO, &mut rng, &mut evq);
+        }
+        assert_eq!(evq.len(), 1, "exactly one restart event");
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        use crate::fault::LinkFaults;
+        let faults = LinkFaults::clean().with_duplication(1.0);
+        let mut link = test_link(
+            LinkSpec::new(Rate::from_mbps(1), Duration::from_millis(5)).with_faults(faults),
+        );
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
+        let (t, _) = evq.pop().unwrap();
+        link.on_tx_done(t, &mut rng, &mut evq);
+        let mut deliveries = 0;
+        while let Some((_, e)) = evq.pop() {
+            if matches!(e, SimEvent::LinkDeliver { .. }) {
+                deliveries += 1;
+            }
+        }
+        assert_eq!(deliveries, 2);
+        assert_eq!(link.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn delay_spike_stretches_delivery() {
+        use crate::fault::LinkFaults;
+        let faults = LinkFaults::clean().with_delay_spikes(1.0, Duration::from_millis(40));
+        let mut link = test_link(
+            LinkSpec::new(Rate::from_mbps(1), Duration::from_millis(5)).with_faults(faults),
+        );
+        let mut rng = DetRng::seed(0);
+        let mut evq = EventQueue::new();
+        link.offer(pkt(1250), Time::ZERO, &mut rng, &mut evq);
+        let (t, _) = evq.pop().unwrap();
+        link.on_tx_done(t, &mut rng, &mut evq);
+        let (t, e) = evq.pop().unwrap();
+        assert!(matches!(e, SimEvent::LinkDeliver { .. }));
+        // 10 ms serialization + 5 ms delay + 40 ms spike.
+        assert_eq!(t, Time::from_millis(55));
+        assert_eq!(link.stats.delay_spikes, 1);
+    }
+
+    #[test]
     fn zero_loss_never_drops() {
         let mut link = test_link(LinkSpec::new(Rate::from_mbps(10), Duration::ZERO));
         let mut rng = DetRng::seed(7);
@@ -319,7 +529,7 @@ mod tests {
         for _ in 0..50 {
             link.offer(pkt(10), Time::ZERO, &mut rng, &mut evq);
             if let Some((t, SimEvent::LinkTxDone { .. })) = evq.pop() {
-                link.on_tx_done(t, &mut evq);
+                link.on_tx_done(t, &mut rng, &mut evq);
             }
         }
         assert_eq!(link.stats.dropped_random, 0);

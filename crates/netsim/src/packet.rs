@@ -114,11 +114,40 @@ impl Ecn {
 /// is tracked separately in [`Packet::size`], so payloads need not contain
 /// actual data bytes — most carry only headers plus a byte count, which
 /// keeps multi-gigabyte transfer simulations cheap.
-pub struct Payload(Option<Box<dyn Any + Send>>);
+///
+/// Payload values must be `Clone` so the fault-injection layer can
+/// duplicate packets in flight; transport segments are plain header
+/// structs, so this costs nothing in practice.
+pub struct Payload(Option<Box<dyn PayloadValue>>);
+
+/// Object-safe clone-box shim over `Any + Send + Clone` payload values.
+trait PayloadValue: Any + Send {
+    fn clone_box(&self) -> Box<dyn PayloadValue>;
+    fn as_any(&self) -> &dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Send + Clone> PayloadValue for T {
+    fn clone_box(&self) -> Box<dyn PayloadValue> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload(self.0.as_deref().map(PayloadValue::clone_box))
+    }
+}
 
 impl Payload {
     /// Wraps a transport-defined value.
-    pub fn new<T: Any + Send>(value: T) -> Self {
+    pub fn new<T: Any + Send + Clone>(value: T) -> Self {
         Payload(Some(Box::new(value)))
     }
 
@@ -135,14 +164,16 @@ impl Payload {
     /// Consumes the payload, returning the inner value if it has type `T`.
     pub fn downcast<T: Any>(self) -> Option<T> {
         match self.0 {
-            Some(b) => b.downcast::<T>().ok().map(|b| *b),
+            Some(b) => b.into_any().downcast::<T>().ok().map(|b| *b),
             None => None,
         }
     }
 
     /// Borrows the inner value if it has type `T`.
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
-        self.0.as_deref().and_then(|b| b.downcast_ref::<T>())
+        self.0
+            .as_deref()
+            .and_then(|b| b.as_any().downcast_ref::<T>())
     }
 }
 
@@ -157,7 +188,10 @@ impl fmt::Debug for Payload {
 }
 
 /// A simulated network packet.
-#[derive(Debug)]
+///
+/// `Clone` exists for the fault-injection layer's packet duplication;
+/// normal forwarding moves packets by value.
+#[derive(Debug, Clone)]
 pub struct Packet {
     /// Source address.
     pub src: Addr,
@@ -238,7 +272,7 @@ mod tests {
 
     #[test]
     fn payload_roundtrip() {
-        #[derive(Debug, PartialEq)]
+        #[derive(Debug, PartialEq, Clone)]
         struct Seg {
             seq: u32,
         }

@@ -433,7 +433,7 @@ mod tests {
     fn bundled_traces_round_trip() {
         // The repository bundles recorded-style traces under traces/;
         // they must parse, sort, and re-serialize to the same schedule.
-        for name in ["umts_drive", "lte_walk", "hspa_bus"] {
+        for name in ["umts_drive", "lte_walk", "hspa_bus", "flaky_cellular"] {
             let path = format!("{}/../../traces/{name}.trace", env!("CARGO_MANIFEST_DIR"));
             let text =
                 std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));

@@ -497,7 +497,8 @@ impl Simulator {
     fn dispatch(&mut self, ev: SimEvent) {
         match ev {
             SimEvent::LinkTxDone { link } => {
-                self.world.links[link.0].on_tx_done(self.now, &mut self.evq);
+                let World { links, rng, .. } = &mut self.world;
+                links[link.0].on_tx_done(self.now, rng, &mut self.evq);
             }
             SimEvent::LinkDeliver { link, pkt } => {
                 let to = self.world.links[link.0].to;
@@ -505,6 +506,9 @@ impl Simulator {
             }
             SimEvent::LinkRateChange { link, rate } => {
                 self.world.links[link.0].on_rate_change(rate, self.now, &mut self.evq);
+            }
+            SimEvent::LinkFaultRestart { link } => {
+                self.world.links[link.0].on_fault_restart(self.now, &mut self.evq);
             }
             SimEvent::Timer {
                 node,

@@ -15,6 +15,8 @@ pub struct LinkStats {
     pub enqueued: u64,
     /// Packets dropped by the Bernoulli loss stage (Dummynet `plr`).
     pub dropped_random: u64,
+    /// Packets dropped by the Gilbert–Elliott burst-loss stage.
+    pub dropped_burst: u64,
     /// Packets dropped by the buffer discipline (overflow or RED).
     pub dropped_queue: u64,
     /// Packets CE-marked by RED.
@@ -25,12 +27,18 @@ pub struct LinkStats {
     pub bytes_transmitted: u64,
     /// High-water mark of the buffer, in packets.
     pub max_queue_pkts: usize,
+    /// Packets duplicated by fault injection.
+    pub duplicated: u64,
+    /// Packets held back (reordered) by fault injection.
+    pub reordered: u64,
+    /// Delay spikes injected.
+    pub delay_spikes: u64,
 }
 
 impl LinkStats {
     /// Total drops from any cause.
     pub fn dropped(&self) -> u64 {
-        self.dropped_random + self.dropped_queue
+        self.dropped_random + self.dropped_burst + self.dropped_queue
     }
 
     /// Fraction of offered packets dropped; zero when nothing was offered.

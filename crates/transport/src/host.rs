@@ -388,6 +388,9 @@ impl Host {
                 TcpAction::CancelTimer(kind) => self.cancel_tcp_timer(conn_id, kind),
                 TcpAction::CmRequest => {
                     if let Some(flow) = self.conn_flow(conn_id) {
+                        // The flow can disappear between the action being
+                        // queued and run (teardown, orphan reap); the
+                        // stale request is dropped like a late errno.
                         let _ = self.cm.request(flow, now);
                     }
                 }
@@ -876,6 +879,8 @@ impl HostOs<'_, '_> {
     /// `cm_close`.
     pub fn cm_close(&mut self, flow: FlowId) {
         let now = self.ctx.now();
+        // Double-close (or closing a flow the orphan reaper beat us to)
+        // is a no-op at the syscall boundary.
         let _ = self.host.cm.close(flow, now);
         self.host.flow_owner.remove(&flow);
     }
@@ -892,6 +897,8 @@ impl HostOs<'_, '_> {
         let now = self.ctx.now();
         self.host.cpu.ops.ioctls += 1;
         self.host.cpu.run(now, self.host.cfg.cost.ioctl);
+        // A bad flow id (app bug, or a flow the orphan reaper already
+        // closed) is the app's errno to ignore, not the kernel's panic.
         let _ = self.host.cm.request(flow, now);
     }
 
@@ -910,6 +917,8 @@ impl HostOs<'_, '_> {
             self.host.cfg.cost.cm_accounting
         };
         self.host.cpu.run(now, cost);
+        // Errno dropped as in cm_request: a misbehaving app notifying a
+        // reaped flow must not take the host down.
         let _ = self.host.cm.notify(flow, bytes, now);
     }
 
@@ -918,6 +927,10 @@ impl HostOs<'_, '_> {
         let now = self.ctx.now();
         self.host.cpu.ops.ioctls += 1;
         self.host.cpu.run(now, self.host.cfg.cost.ioctl);
+        // `Err` here includes `InvalidFeedback`: reports the sanity
+        // validator rejected or a quarantined flow's feedback. The CM
+        // already counted it (`feedback_rejected`); the app's errno is
+        // its own problem.
         let _ = self.host.cm.update(flow, report, now);
     }
 
