@@ -8,7 +8,9 @@
 //! tick sweeping many macroflows.
 
 use cm_core::api::{CmNotification, CongestionManager};
-use cm_core::config::{AggregationPolicy, CmConfig, ReaggregationConfig, SchedulerKind};
+use cm_core::config::{
+    AggregationPolicy, CmConfig, ReaggregationConfig, SchedulerKind, TracingConfig,
+};
 use cm_core::types::{Endpoint, FeedbackReport, FlowId, FlowKey};
 use cm_util::{Duration, Time};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -344,5 +346,65 @@ fn churn_under_faults(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, churn, aggregation, churn_under_faults);
+/// Flight-recorder cost on the hot path: the same request → grant →
+/// notify → ack rhythm with tracing off (the default — each emission
+/// site is a single `Option` discriminant check) and on (ring write +
+/// histogram bump, still allocation-free). The disabled variant must
+/// stay within noise of a build without the tracer at all; the enabled
+/// variant bounds what an always-on production black box costs.
+fn trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+
+    for (label, tracing) in [
+        ("disabled", None),
+        ("enabled", Some(TracingConfig { capacity: 1024 })),
+    ] {
+        g.bench_function(&format!("grant_cycle_1k_{label}"), |b| {
+            let mut cm = CongestionManager::new(CmConfig {
+                pacing: false,
+                tracing,
+                ..Default::default()
+            });
+            let mut now = Time::ZERO;
+            let flows: Vec<FlowId> = (0..1_000)
+                .map(|i| cm.open(key(i), now).expect("open"))
+                .collect();
+            let mut notes: Vec<CmNotification> = Vec::new();
+            b.iter(|| {
+                now += Duration::from_millis(1);
+                for &f in &flows {
+                    cm.request(f, now).expect("request");
+                }
+                notes.clear();
+                cm.drain_notifications_into(&mut notes);
+                for &n in &notes {
+                    if let CmNotification::SendGrant { flow } = n {
+                        let _ = cm.notify(flow, 1460, now);
+                    }
+                }
+                for &f in flows.iter().take(64) {
+                    cm.update(
+                        f,
+                        FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(10)),
+                        now,
+                    )
+                    .expect("update");
+                }
+                cm.tick(now);
+                black_box(cm.flow_count());
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    churn,
+    aggregation,
+    churn_under_faults,
+    trace_overhead
+);
 criterion_main!(benches);

@@ -49,6 +49,12 @@ fn main() {
             for v in &o.violations {
                 eprintln!("  VIOLATION: {v}");
             }
+            if !o.trace_dump.is_empty() {
+                eprintln!("  flight recorder (newest events per host):");
+                for line in &o.trace_dump {
+                    eprintln!("    {line}");
+                }
+            }
         }
     }
     println!(

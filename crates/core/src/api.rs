@@ -47,6 +47,7 @@
 //! and past the `max_shards` cap in by-group mode — keep the
 //! historical §5 cross-group semantics.
 
+use cm_obs::{FlightRecorder, MetricsSnapshot, TraceEvent, TraceRecord, Tracer};
 use cm_util::{FxHashMap, Time};
 
 use crate::config::{CmConfig, ShardingMode, TickStrategy};
@@ -230,6 +231,12 @@ pub struct CongestionManager {
     /// Front-level counters (tick accounting, shard lifecycle, and the
     /// stats of shards that have been recycled).
     front_stats: CmStats,
+    /// Front-level tracer: shard lifecycle events plus the folded-in
+    /// metrics of shards that have been recycled (so, like
+    /// [`CongestionManager::stats`], [`CongestionManager::metrics`]
+    /// never loses history). Disabled — one null word — unless
+    /// [`CmConfig::tracing`] is set.
+    front_tracer: Tracer,
     /// Pooled buffer for `bulk_request`'s touched-shard set.
     scratch_shards: Vec<u32>,
 }
@@ -240,6 +247,9 @@ impl CongestionManager {
     /// [`ShardingMode::ByGroup`] shards are created lazily as groups
     /// first open flows.
     pub fn new(cfg: CmConfig) -> Self {
+        let front_tracer = cfg
+            .tracing
+            .map_or_else(Tracer::disabled, |t| Tracer::enabled(t.capacity));
         let mut cm = CongestionManager {
             cfg,
             shards: Vec::new(),
@@ -251,10 +261,11 @@ impl CongestionManager {
             live_shards: 0,
             rr_cursor: 0,
             front_stats: CmStats::default(),
+            front_tracer,
             scratch_shards: Vec::new(),
         };
         if matches!(cm.cfg.sharding.mode, ShardingMode::Single) {
-            cm.create_shard(None);
+            cm.create_shard(None, Time::ZERO);
         }
         cm
     }
@@ -289,7 +300,7 @@ impl CongestionManager {
     /// its shard index.
     pub fn open(&mut self, key: FlowKey, now: Time) -> CmResult<FlowId> {
         let group = self.cfg.aggregation.group_of(&key);
-        let sid = self.shard_for_open(group);
+        let sid = self.shard_for_open(group, now);
         let shard = self.shards[sid as usize].as_mut().expect("routed shard");
         shard.dirty = true;
         shard.open(key, now)
@@ -529,7 +540,7 @@ impl CongestionManager {
                     processed += 1;
                     if recycle && shard.is_empty() {
                         if shard.outbox.is_empty() {
-                            self.recycle_shard(cursor as u32);
+                            self.recycle_shard(cursor as u32, now);
                         } else {
                             // Undrained notifications pin the shard (the
                             // shell pool must never swallow them). Keep
@@ -630,6 +641,82 @@ impl CongestionManager {
     /// it was created for an overridden group).
     pub fn shard_config(&self, shard: u32) -> Option<&CmConfig> {
         self.shards.get(shard as usize)?.as_ref().map(|s| &s.cfg)
+    }
+
+    /// One live shard's own lifetime counters (`None` for a vacant
+    /// slot). Unlike [`CongestionManager::stats`] this is *not*
+    /// cumulative across recycling: a recycled shell restarts from zero,
+    /// its history having been folded into the front. Lets tests and
+    /// metrics attribute counter movement to the shard that did the
+    /// work.
+    pub fn shard_stats(&self, shard: u32) -> Option<CmStats> {
+        self.shards.get(shard as usize)?.as_ref().map(|s| s.stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Observability: tracing and metrics (see docs/observability.md)
+    // ------------------------------------------------------------------
+
+    /// Whether flight-recorder tracing and metrics are enabled
+    /// ([`CmConfig::tracing`]).
+    pub fn tracing_enabled(&self) -> bool {
+        self.front_tracer.is_enabled()
+    }
+
+    /// CM-wide metrics, condensed: every live shard's histograms merged
+    /// with the front's (which holds the folded history of recycled
+    /// shards, so nothing is lost to shard churn). `None` when tracing
+    /// is disabled. Merging allocates one registry — this is a
+    /// reporting call, not a hot path.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut total = self.front_tracer.metrics()?.clone();
+        for shard in self.shards.iter().flatten() {
+            if let Some(m) = shard.tracer.metrics() {
+                total.merge(m);
+            }
+        }
+        Some(total.snapshot())
+    }
+
+    /// One live shard's metrics snapshot (`None` for a vacant slot or
+    /// when tracing is disabled). Allocation-free. Like
+    /// [`CongestionManager::shard_stats`], covers the shard's current
+    /// incarnation only.
+    pub fn shard_metrics(&self, shard: u32) -> Option<MetricsSnapshot> {
+        self.shards
+            .get(shard as usize)?
+            .as_ref()?
+            .tracer
+            .metrics_snapshot()
+    }
+
+    /// One live shard's flight recorder (`None` for a vacant slot or
+    /// when tracing is disabled).
+    pub fn shard_trace(&self, shard: u32) -> Option<&FlightRecorder> {
+        self.shards.get(shard as usize)?.as_ref()?.tracer.recorder()
+    }
+
+    /// Visits every retained trace record without allocating: the
+    /// front's shard-lifecycle events first (`shard` = `None`), then
+    /// each live shard's ring (`shard` = its index), oldest record
+    /// first within each ring. Sequence numbers are per-ring; callers
+    /// that need one global order should sort by [`TraceRecord::at`].
+    /// Dump emitters and the chaos harness's post-mortem reports are
+    /// built on this.
+    pub fn for_each_trace_record(&self, mut f: impl FnMut(Option<u32>, &TraceRecord)) {
+        if let Some(rec) = self.front_tracer.recorder() {
+            for r in rec.iter() {
+                f(None, r);
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let Some(rec) = shard.as_ref().and_then(|s| s.tracer.recorder()) else {
+                continue;
+            };
+            for r in rec.iter() {
+                f(Some(i as u32), r);
+            }
+        }
     }
 
     /// Number of live shards (1 under the default single-shard mode).
@@ -801,18 +888,18 @@ impl CongestionManager {
 
     /// Where `open` places a flow of the given aggregation group,
     /// creating the shard if needed.
-    fn shard_for_open(&mut self, group: Option<u64>) -> u32 {
+    fn shard_for_open(&mut self, group: Option<u64>, now: Time) -> u32 {
         match self.cfg.sharding.mode {
             ShardingMode::Single => 0,
             ShardingMode::ByGroup { .. } => match group {
                 Some(g) => match self.shard_map.get(&g) {
                     Some(&sid) => sid,
-                    None => self.create_shard(Some(g)),
+                    None => self.create_shard(Some(g), now),
                 },
                 None => match self.private_shard {
                     Some(sid) if self.shard_ref(sid).is_some() => sid,
                     _ => {
-                        let sid = self.create_shard(None);
+                        let sid = self.create_shard(None, now);
                         self.private_shard = Some(sid);
                         sid
                     }
@@ -854,13 +941,17 @@ impl CongestionManager {
         cfg.aggregation = self.cfg.aggregation;
         cfg.group_by_dscp = self.cfg.group_by_dscp;
         cfg.sharding = self.cfg.sharding;
+        // Tracing is CM-wide: per-group overrides cannot toggle it, or a
+        // recycled shell's recorder capacity could disagree with its next
+        // incarnation and `metrics()` would silently skip shards.
+        cfg.tracing = self.cfg.tracing;
         cfg
     }
 
     /// Creates (or, past the `max_shards` cap, shares) the shard for a
     /// routing group, registering the routing so later opens and lookups
     /// find it. Reuses a pooled shell when one is parked.
-    fn create_shard(&mut self, route: Option<u64>) -> u32 {
+    fn create_shard(&mut self, route: Option<u64>, now: Time) -> u32 {
         let max = self.max_shards();
         let idx = match self.free_shards.pop() {
             Some(i) => i,
@@ -903,13 +994,15 @@ impl CongestionManager {
         self.shards[idx as usize] = Some(shard);
         self.live_shards += 1;
         self.front_stats.shards_created += 1;
+        self.front_tracer
+            .record(now, TraceEvent::ShardCreated { shard: idx });
         idx
     }
 
     /// Parks an emptied shard's shell in the pool and clears its routing
     /// entries. Its counters fold into the front's so `stats()` never
     /// loses history.
-    fn recycle_shard(&mut self, idx: u32) {
+    fn recycle_shard(&mut self, idx: u32, now: Time) {
         let Some(mut shard) = self.shards[idx as usize].take() else {
             return;
         };
@@ -923,10 +1016,21 @@ impl CongestionManager {
         }
         self.front_stats.accumulate(&shard.stats);
         shard.stats = CmStats::default();
+        // Metrics fold like stats: the recycled shard's histograms merge
+        // into the front registry, so `metrics()` never loses history.
+        // (The shard's flight-recorder ring is discarded with its flows
+        // — traces are per-incarnation; the shell's `reset` clears it.)
+        if let (Some(front), Some(retiring)) =
+            (self.front_tracer.metrics_mut(), shard.tracer.metrics())
+        {
+            front.merge(retiring);
+        }
         self.shard_pool.push(shard);
         self.free_shards.push(idx);
         self.live_shards -= 1;
         self.front_stats.shards_recycled += 1;
+        self.front_tracer
+            .record(now, TraceEvent::ShardRecycled { shard: idx });
     }
 }
 
@@ -970,6 +1074,115 @@ mod tests {
             cm.open(key(1000, 9), Time::ZERO),
             Err(CmError::DuplicateFlow)
         );
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let mut cm = CongestionManager::new(CmConfig::default());
+        let f = cm.open(key(1000, 9), Time::ZERO).unwrap();
+        cm.request(f, Time::ZERO).unwrap();
+        assert!(!cm.tracing_enabled());
+        assert!(cm.metrics().is_none());
+        assert!(cm.shard_metrics(0).is_none());
+        assert!(cm.shard_trace(0).is_none());
+        let mut seen = 0;
+        cm.for_each_trace_record(|_, _| seen += 1);
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
+    fn tracer_captures_the_grant_cycle() {
+        use crate::config::TracingConfig;
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            tracing: Some(TracingConfig::default()),
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let f = cm.open(key(1000, 9), now).unwrap();
+        cm.request(f, now).unwrap();
+        for n in cm.drain_notifications() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, now).unwrap();
+            }
+        }
+        now += Duration::from_millis(50);
+        cm.update(
+            f,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+            now,
+        )
+        .unwrap();
+        now += Duration::from_millis(50);
+        cm.update(f, FeedbackReport::ack(1460, 1), now).unwrap();
+        cm.close(f, now).unwrap();
+
+        assert!(cm.tracing_enabled());
+        let mut kinds = Vec::new();
+        cm.for_each_trace_record(|shard, r| kinds.push((shard, r.event.kind())));
+        for expected in [
+            "flow_opened",
+            "grant_issued",
+            "feedback_accepted",
+            "flow_closed",
+        ] {
+            assert!(
+                kinds.iter().any(|(s, k)| *s == Some(0) && *k == expected),
+                "missing {expected} in {kinds:?}"
+            );
+        }
+        let m = cm.metrics().expect("tracing enabled");
+        assert_eq!(m.grant_latency.count, 1);
+        assert_eq!(m.feedback_gap.count, 1, "gap needs two accepted reports");
+        assert_eq!(m.window.count, 2);
+        assert_eq!(cm.shard_metrics(0).expect("live shard").window.count, 2);
+        // Per-shard attribution: shard 0 did all the work.
+        let s = cm.shard_stats(0).expect("shard 0 live");
+        assert_eq!(s.opens, 1);
+        assert_eq!(s.grants, 1);
+        assert!(cm.shard_stats(7).is_none());
+    }
+
+    /// Shard churn folds a recycled shard's metrics into the front (like
+    /// stats) and records the lifecycle in the front tracer.
+    #[test]
+    fn recycled_shard_metrics_survive_in_the_front() {
+        use crate::config::{ShardingConfig, TracingConfig};
+        let mut cm = CongestionManager::new(CmConfig {
+            pacing: false,
+            sharding: ShardingConfig {
+                mode: ShardingMode::ByGroup { max_shards: 8 },
+                ..Default::default()
+            },
+            macroflow_linger: Duration::ZERO,
+            tracing: Some(TracingConfig { capacity: 64 }),
+            ..Default::default()
+        });
+        let mut now = Time::ZERO;
+        let f = cm.open(key(1000, 9), now).unwrap();
+        cm.request(f, now).unwrap();
+        for n in cm.drain_notifications() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, now).unwrap();
+            }
+        }
+        now += Duration::from_millis(50);
+        cm.update(f, FeedbackReport::ack(1460, 1), now).unwrap();
+        let windows_before = cm.metrics().unwrap().window.count;
+        assert!(windows_before > 0);
+        cm.close(f, now).unwrap();
+        cm.drain_notifications();
+        cm.tick(now + Duration::from_secs(120));
+        assert_eq!(cm.shard_count(), 0, "shard should have been recycled");
+        // The shard is gone; its histogram samples are not.
+        assert_eq!(cm.metrics().unwrap().window.count, windows_before);
+        let mut lifecycle = Vec::new();
+        cm.for_each_trace_record(|shard, r| {
+            if shard.is_none() {
+                lifecycle.push(r.event.kind());
+            }
+        });
+        assert_eq!(lifecycle, vec!["shard_created", "shard_recycled"]);
     }
 
     #[test]

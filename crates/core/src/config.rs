@@ -267,6 +267,31 @@ impl Default for UnresponsiveConfig {
     }
 }
 
+/// Flight-recorder tracing: every shard embeds a fixed-capacity ring of
+/// typed [`cm_obs::TraceEvent`]s plus a [`cm_obs::MetricsRegistry`] of
+/// decision histograms (grant latency, feedback inter-arrival, window
+/// sizes).
+///
+/// Off by default ([`CmConfig::tracing`] is `None`): a disabled tracer
+/// is a single null-pointer check on the hot paths and allocates
+/// nothing, so the paper-faithful CM is unchanged. Enable it for chaos
+/// post-mortems, the `decision_timeline` figure, and debugging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TracingConfig {
+    /// Ring capacity, in events, of each shard's flight recorder (the
+    /// post-mortem keeps the most recent `capacity` decisions).
+    pub capacity: usize,
+}
+
+impl Default for TracingConfig {
+    /// [`cm_obs::DEFAULT_TRACE_CAPACITY`] events per shard.
+    fn default() -> Self {
+        TracingConfig {
+            capacity: cm_obs::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
 /// Which congestion-control algorithm each macroflow runs.
 ///
 /// The paper's CM uses a TCP-style window AIMD with slow start, with
@@ -372,6 +397,12 @@ pub struct CmConfig {
     /// shards that still hold flows, trading the quiet-shard skip for
     /// leak-proofing, so it is opt-in for chaos and long-lived hosts.
     pub orphan_timeout: Option<Duration>,
+    /// Flight-recorder tracing and per-shard metrics; `None` (the
+    /// default) compiles every record call down to a null check and
+    /// keeps the CM allocation- and observation-free. Applies CM-wide:
+    /// per-group config overrides cannot toggle it, so a dump always
+    /// covers every shard or none.
+    pub tracing: Option<TracingConfig>,
 }
 
 impl Default for CmConfig {
@@ -399,6 +430,7 @@ impl Default for CmConfig {
             feedback_sanity: FeedbackSanityConfig::default(),
             unresponsive: Some(UnresponsiveConfig::default()),
             orphan_timeout: None,
+            tracing: None,
         }
     }
 }
@@ -505,6 +537,9 @@ mod tests {
         assert!(u.reclaim_streak >= 2);
         // Orphan reaping is opt-in: it trades the quiet-shard skip away.
         assert!(c.orphan_timeout.is_none());
+        // Tracing is opt-in: the default CM observes nothing.
+        assert!(c.tracing.is_none());
+        assert!(TracingConfig::default().capacity > 0);
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub struct Flow {
     /// The last time the owning application touched this flow through
     /// any API call; orphaned-flow reaping keys off this.
     pub last_api: Time,
+    /// The last time the application requested to send; the tracer's
+    /// grant-latency histogram measures issuance against this.
+    pub last_request_at: Time,
+    /// When this flow's previous feedback report was accepted; the
+    /// tracer's feedback inter-arrival histogram measures the gap.
+    pub last_feedback_at: Option<Time>,
 }
 
 impl Flow {
@@ -108,6 +114,8 @@ impl Flow {
             backoff_level: 0,
             parked_requests: 0,
             last_api: now,
+            last_request_at: now,
+            last_feedback_at: None,
         }
     }
 }

@@ -80,9 +80,13 @@ mod shard;
 pub mod types;
 
 pub use api::{CmNotification, CmStats, CongestionManager};
+pub use cm_obs::{
+    CongestionSignal, FlightRecorder, HistSummary, MetricsRegistry, MetricsSnapshot, TraceEvent,
+    TraceRecord, Tracer,
+};
 pub use config::{
     AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind,
-    ShardingConfig, ShardingMode, TickStrategy,
+    ShardingConfig, ShardingMode, TickStrategy, TracingConfig,
 };
 pub use controller::{AimdController, CongestionController, RateBasedController};
 pub use error::CmError;
@@ -95,11 +99,12 @@ pub mod prelude {
     pub use crate::api::{CmNotification, CongestionManager};
     pub use crate::config::{
         AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind,
-        ShardingConfig, ShardingMode, TickStrategy,
+        ShardingConfig, ShardingMode, TickStrategy, TracingConfig,
     };
     pub use crate::error::CmError;
     pub use crate::types::{
         Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,
     };
+    pub use cm_obs::{MetricsSnapshot, TraceEvent, TraceRecord};
     pub use cm_util::{Duration, Rate, Time};
 }

@@ -29,6 +29,7 @@
 
 use std::collections::VecDeque;
 
+use cm_obs::{CongestionSignal, TraceEvent, Tracer};
 use cm_util::{Duration, FxHashMap, Rate, Time};
 
 use crate::api::{CmNotification, CmStats};
@@ -52,6 +53,31 @@ fn slot(id: u32) -> usize {
 #[inline]
 fn lid(id: FlowId) -> FlowId {
     FlowId(id.0 & SLOT_MASK)
+}
+
+/// The ring capacity `cfg` asks for, or `None` when tracing is off.
+fn cfg_tracing_capacity(cfg: &CmConfig) -> Option<usize> {
+    cfg.tracing.map(|t| t.capacity)
+}
+
+/// The tracer a config asks for: enabled with the configured ring
+/// capacity, or the zero-cost disabled handle (the default).
+fn tracer_for(cfg: &CmConfig) -> Tracer {
+    match cfg.tracing {
+        Some(t) => Tracer::enabled(t.capacity),
+        None => Tracer::disabled(),
+    }
+}
+
+/// The [`CongestionSignal`] a loss-mode report traces as, for the
+/// congestion kinds that change the window (`LossMode::None` never
+/// reaches the loss path).
+fn congestion_signal(mode: LossMode) -> CongestionSignal {
+    match mode {
+        LossMode::Transient | LossMode::None => CongestionSignal::Transient,
+        LossMode::Persistent => CongestionSignal::Persistent,
+        LossMode::Ecn => CongestionSignal::Ecn,
+    }
 }
 
 /// One partition of the CM: a full flow/macroflow state machine over its
@@ -112,10 +138,14 @@ pub(crate) struct Shard {
     /// backoff); non-zero keeps the tick scanning the flow slab so the
     /// parked requests re-queue when their backoff expires.
     parked_count: usize,
+    /// Flight recorder + metrics for this shard's decisions; the
+    /// zero-cost disabled handle unless `CmConfig::tracing` is set.
+    pub(crate) tracer: Tracer,
 }
 
 impl Shard {
     pub(crate) fn new(cfg: CmConfig, index: u32) -> Self {
+        let tracer = tracer_for(&cfg);
         Shard {
             cfg,
             base: index << SLOT_BITS,
@@ -139,6 +169,7 @@ impl Shard {
             pending_maintenance: true,
             thresh_regs: 0,
             parked_count: 0,
+            tracer,
         }
     }
 
@@ -170,6 +201,15 @@ impl Shard {
         self.pending_maintenance = true;
         self.thresh_regs = 0;
         self.parked_count = 0;
+        // Keep the recorder's ring storage when the new tenant wants the
+        // same capacity; otherwise rebuild (recycling is a cold path).
+        let want = cfg_tracing_capacity(&self.cfg);
+        let have = self.tracer.recorder().map(|r| r.capacity());
+        if want == have {
+            self.tracer.reset();
+        } else {
+            self.tracer = tracer_for(&self.cfg);
+        }
     }
 
     /// True when the shard holds no live flows and no live macroflows
@@ -246,6 +286,13 @@ impl Shard {
         self.flows[slot(flow_id.0)] = Some(flow);
         self.live_flows += 1;
         self.stats.opens += 1;
+        self.tracer.record(
+            now,
+            TraceEvent::FlowOpened {
+                flow: flow_id.0,
+                macroflow: mf_id.0,
+            },
+        );
         Ok(flow_id)
     }
 
@@ -282,6 +329,8 @@ impl Shard {
             mf.empty_since = Some(now);
         }
         self.stats.closes += 1;
+        self.tracer
+            .record(now, TraceEvent::FlowClosed { flow: flow.0 });
         self.try_grants(mf_id, now);
         Ok(())
     }
@@ -312,6 +361,7 @@ impl Shard {
         let f = self.flow_mut(flow)?;
         let mf_id = f.macroflow;
         f.last_api = now;
+        f.last_request_at = now;
         self.stats.requests += 1;
         // An unresponsive flow's requests are parked, not scheduled:
         // leaving them pending would keep `next_grant_deadline` firing
@@ -333,6 +383,7 @@ impl Shard {
         let f = self.flow_mut(flow)?;
         let mf_id = f.macroflow;
         f.last_api = now;
+        f.last_request_at = now;
         self.stats.requests += 1;
         if self.park_if_backing_off(flow, now) {
             return Ok(());
@@ -395,11 +446,15 @@ impl Shard {
         // to the scheduler.
         f.reclaim_streak = 0;
         f.backoff_level = 0;
-        f.backoff_until = None;
+        let was_backing_off = f.backoff_until.take().is_some();
         let unparked = f.parked_requests;
         f.parked_requests = 0;
         self.parked_count -= unparked as usize;
         self.stats.notifies += 1;
+        if was_backing_off {
+            self.tracer
+                .record(now, TraceEvent::BackoffLapsed { flow: flow.0 });
+        }
         let mf = self.mf_mut(mf_id)?;
         for _ in 0..unparked {
             mf.scheduler.enqueue(lid(flow));
@@ -445,6 +500,8 @@ impl Shard {
         if let Some(until) = f.quarantined_until {
             if now < until {
                 self.stats.feedback_rejected += 1;
+                self.tracer
+                    .record(now, TraceEvent::FeedbackRejected { flow: flow.0 });
                 return Err(CmError::InvalidFeedback("flow quarantined"));
             }
             // Quarantine served; start the flow on a clean slate.
@@ -460,6 +517,12 @@ impl Shard {
                 self.stats.flows_quarantined += 1;
             }
             self.stats.feedback_rejected += 1;
+            self.tracer
+                .record(now, TraceEvent::FeedbackRejected { flow: flow.0 });
+            if quarantine {
+                self.tracer
+                    .record(now, TraceEvent::FlowQuarantined { flow: flow.0 });
+            }
             return Err(CmError::InvalidFeedback("impossible byte count"));
         }
         match report.rtt_sample {
@@ -469,14 +532,25 @@ impl Shard {
                 // whole report, but count it toward the streak.
                 report.rtt_sample = None;
                 f.inconsistent_streak = f.inconsistent_streak.saturating_add(1);
-                if f.inconsistent_streak >= sanity.quarantine_streak {
+                let quarantine = f.inconsistent_streak >= sanity.quarantine_streak;
+                if quarantine {
                     f.quarantined_until = Some(now + sanity.quarantine_period);
                     f.inconsistent_streak = 0;
                     self.stats.flows_quarantined += 1;
                 }
                 self.stats.feedback_clamped += 1;
+                self.tracer
+                    .record(now, TraceEvent::FeedbackClamped { flow: flow.0 });
+                if quarantine {
+                    self.tracer
+                        .record(now, TraceEvent::FlowQuarantined { flow: flow.0 });
+                }
             }
             _ => f.inconsistent_streak = 0,
+        }
+        let f = self.flow_mut(flow)?;
+        if let Some(prev) = f.last_feedback_at.replace(now) {
+            self.tracer.feedback_gap(now.since(prev));
         }
         let f = self.flow_mut(flow)?;
         f.bytes_acked += report.bytes_acked;
@@ -529,6 +603,25 @@ impl Shard {
             let freeze = mf.rtt.srtt().unwrap_or(min_rto);
             mf.recovery_until = now + freeze;
         }
+        let cwnd_after = mf.controller.window();
+        self.tracer.record(
+            now,
+            TraceEvent::FeedbackAccepted {
+                flow: flow.0,
+                bytes_acked: report.bytes_acked,
+            },
+        );
+        if report.loss != LossMode::None {
+            self.tracer.record(
+                now,
+                TraceEvent::Congestion {
+                    macroflow: mf_id.0,
+                    signal: congestion_signal(report.loss),
+                    cwnd: cwnd_after,
+                },
+            );
+        }
+        self.tracer.window(cwnd_after);
         if let Some(r) = reagg {
             self.note_divergence(flow, mf_id, diverged, &r, now)?;
         }
@@ -595,6 +688,13 @@ impl Shard {
         }
         self.move_flow(flow, from, new_mf, now)?;
         self.stats.auto_splits += 1;
+        self.tracer.record(
+            now,
+            TraceEvent::MacroflowSplit {
+                from: from.0,
+                to: new_mf.0,
+            },
+        );
         Ok(new_mf)
     }
 
@@ -790,6 +890,7 @@ impl Shard {
                 // `write_off_signal_does_not_refire_while_idle` test.
                 let write_off_after = (mf.rto(&cfg) * 4).max(Duration::from_secs(3));
                 if mf.outstanding > 0 && now.since(mf.last_activity) >= write_off_after {
+                    let reclaimed = mf.outstanding;
                     self.stats.outstanding_reclaimed += mf.outstanding;
                     mf.outstanding = 0;
                     // Silence this long is indistinguishable from the
@@ -804,6 +905,21 @@ impl Shard {
                     let freeze = mf.rtt.srtt().unwrap_or(cfg.min_rto);
                     mf.recovery_until = now + freeze;
                     self.stats.write_off_congestion_signals += 1;
+                    self.tracer.record(
+                        now,
+                        TraceEvent::WriteOff {
+                            macroflow: mf_id.0,
+                            reclaimed,
+                        },
+                    );
+                    self.tracer.record(
+                        now,
+                        TraceEvent::Congestion {
+                            macroflow: mf_id.0,
+                            signal: CongestionSignal::Persistent,
+                            cwnd: mf.controller.window(),
+                        },
+                    );
                 }
                 mf.age_if_idle(now, &cfg);
                 matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
@@ -871,6 +987,8 @@ impl Shard {
                     (f.id, f.macroflow, n)
                 };
                 self.parked_count -= unparked as usize;
+                self.tracer
+                    .record(now, TraceEvent::BackoffLapsed { flow: id.0 });
                 if let Ok(mf) = self.mf_mut(mf_id) {
                     for _ in 0..unparked {
                         mf.scheduler.enqueue(lid(id));
@@ -881,6 +999,8 @@ impl Shard {
             for &id in &reap {
                 if self.close(id, now).is_ok() {
                     self.stats.flows_reaped += 1;
+                    self.tracer
+                        .record(now, TraceEvent::FlowReaped { flow: id.0 });
                 }
             }
             reap.clear();
@@ -890,6 +1010,13 @@ impl Shard {
         needs |= reap_after.is_some() && self.live_flows > 0;
         self.pending_maintenance = needs;
         self.dirty = false;
+        self.tracer.record(
+            now,
+            TraceEvent::TickSummary {
+                shard: self.base >> SLOT_BITS,
+                scanned,
+            },
+        );
         scanned
     }
 
@@ -1216,6 +1343,13 @@ impl Shard {
                 }
                 if movable && self.move_flow(f, mf_id, home_mf, now).is_ok() {
                     self.stats.auto_merges += 1;
+                    self.tracer.record(
+                        now,
+                        TraceEvent::MacroflowMerged {
+                            from: mf_id.0,
+                            into: home_mf.0,
+                        },
+                    );
                 } else {
                     home_member_left_behind = true;
                 }
@@ -1268,6 +1402,7 @@ impl Shard {
             outbox,
             stats,
             parked_count,
+            tracer,
             ..
         } = self;
         let Some(mf) = mfs.get_mut(slot(mf_id.0)).and_then(Option::as_mut) else {
@@ -1307,6 +1442,14 @@ impl Shard {
             });
             outbox.push_back(CmNotification::SendGrant { flow: flow_id });
             stats.grants += 1;
+            tracer.record(
+                now,
+                TraceEvent::GrantIssued {
+                    flow: flow_id.0,
+                    bytes: mf.mtu as u64,
+                },
+            );
+            tracer.grant_latency(now.since(flow.last_request_at));
             if pacing {
                 let interval = mf.pacing_interval();
                 mf.next_grant_at = mf.next_grant_at.max(now) + interval;
@@ -1325,6 +1468,7 @@ impl Shard {
             flows,
             flow_gens,
             stats,
+            tracer,
             ..
         } = self;
         let Some(mf) = mfs.get_mut(slot(mf_id.0)).and_then(Option::as_mut) else {
@@ -1357,6 +1501,13 @@ impl Shard {
                     mf.granted_unnotified = mf.granted_unnotified.saturating_sub(mf.mtu as u64);
                     mf.grants_reclaimed += 1;
                     stats.grants_reclaimed += 1;
+                    tracer.record(
+                        now,
+                        TraceEvent::GrantReclaimed {
+                            flow: front.flow.0,
+                            bytes: mf.mtu as u64,
+                        },
+                    );
                     // A streak of reclaims with no intervening notify
                     // marks the app unresponsive: park its future
                     // requests for an exponentially growing backoff
@@ -1369,6 +1520,7 @@ impl Shard {
                                 Some(now + u.base_backoff.mul_ratio(1u64 << level, 1));
                             f.backoff_level = (f.backoff_level + 1).min(u.max_level);
                             stats.grant_backoffs += 1;
+                            tracer.record(now, TraceEvent::BackoffArmed { flow: front.flow.0 });
                         }
                     }
                     mf.grant_queue.pop_front();

@@ -38,6 +38,7 @@ pub fn all(smoke: bool) -> Vec<Figure> {
         co_scheduling(smoke),
         shard_scaling(smoke),
         robustness(smoke),
+        decision_timeline(smoke),
     ]
 }
 
@@ -981,6 +982,212 @@ grant_backoffs,feedback_rejected,feedback_clamped,flows_quarantined,flows_reaped
 }
 
 // ---------------------------------------------------------------------
+// Decision timeline: one hostile day, flight-recorded end to end
+// ---------------------------------------------------------------------
+
+/// Replays a scripted hostile session against a tracing-enabled CM and
+/// returns it with every decision still in the flight recorder: clean
+/// window growth, a transient-congestion signal, a hostile client
+/// rejected and quarantined by feedback validation, a grant hoarder
+/// driven into reclaim and backoff, a feedback-free write-off, and the
+/// orphan reaper. Fixed timestamps throughout — the figure regenerates
+/// byte-identically.
+pub fn decision_timeline_cm() -> cm_core::CongestionManager {
+    use cm_core::config::TracingConfig;
+    use cm_core::prelude::*;
+
+    let mut cm = CongestionManager::new(CmConfig {
+        pacing: false,
+        orphan_timeout: Some(Duration::from_secs(10)),
+        tracing: Some(TracingConfig { capacity: 512 }),
+        ..Default::default()
+    });
+    let key =
+        |sport: u16, daddr: u32| FlowKey::new(Endpoint::new(1, sport), Endpoint::new(daddr, 80));
+    let mut now = Time::ZERO;
+    let honest = cm.open(key(1000, 9), now).unwrap();
+    let hostile = cm.open(key(1001, 9), now).unwrap();
+    let hoarder = cm.open(key(1002, 7), now).unwrap();
+    let mut notes = Vec::new();
+
+    // Clean growth: a steady request → grant → notify → ack rhythm on
+    // both macroflows.
+    for _ in 0..6 {
+        cm.request(honest, now).unwrap();
+        cm.request(hoarder, now).unwrap();
+        notes.clear();
+        cm.drain_notifications_into(&mut notes);
+        for n in &notes {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(*flow, 1460, now).unwrap();
+            }
+        }
+        now += Duration::from_millis(50);
+        cm.update(
+            honest,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(50)),
+            now,
+        )
+        .unwrap();
+        cm.update(
+            hoarder,
+            FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(80)),
+            now,
+        )
+        .unwrap();
+    }
+
+    // Transient congestion on the shared macroflow.
+    cm.update(honest, FeedbackReport::loss(LossMode::Transient, 1460), now)
+        .unwrap();
+    now += Duration::from_millis(50);
+
+    // A hostile client: one insane RTT sample (stripped, report kept),
+    // then impossible byte counts until feedback validation quarantines
+    // the flow.
+    let _ = cm.update(
+        hostile,
+        FeedbackReport::ack(0, 1).with_rtt(Duration::from_secs(9_000)),
+        now,
+    );
+    for _ in 0..9 {
+        now += Duration::from_millis(10);
+        let _ = cm.update(hostile, FeedbackReport::ack(u64::MAX / 4, 1), now);
+    }
+
+    // A grant hoarder: requests granted and never notified, until the
+    // maintenance timer reclaims them and arms the backoff. The honest
+    // flow is queried each round so the orphan reaper (10 s timeout)
+    // only collects the now-silent hostile client here.
+    for _ in 0..4 {
+        cm.request(hoarder, now).unwrap();
+        let _ = cm.query(honest, now);
+        notes.clear();
+        cm.drain_notifications_into(&mut notes);
+        now += Duration::from_secs(5);
+        cm.tick(now);
+    }
+    cm.close(hoarder, now).unwrap();
+
+    // Silence: the honest flow's last burst gets no feedback, so the
+    // write-off fires (with its persistent-congestion signal) and the
+    // orphan reaper collects what remains.
+    cm.request(honest, now).unwrap();
+    notes.clear();
+    cm.drain_notifications_into(&mut notes);
+    for n in &notes {
+        // The drain may also carry a stale grant for the just-closed
+        // hoarder (its backoff lapsed on the final tick); skip it.
+        if let CmNotification::SendGrant { flow } = n {
+            if *flow == honest {
+                cm.notify(*flow, 1460, now).unwrap();
+            }
+        }
+    }
+    now += Duration::from_secs(30);
+    cm.tick(now);
+    now += Duration::from_secs(30);
+    cm.tick(now);
+    notes.clear();
+    cm.drain_notifications_into(&mut notes);
+    cm
+}
+
+fn decision_timeline(_smoke: bool) -> Figure {
+    // Like shard_scaling, the script above drives cm-core directly with
+    // fixed timestamps (0 cells; the experiment carries metadata only).
+    // Identical in smoke and full mode — the replay takes microseconds.
+    let experiment = Experiment {
+        name: "decision_timeline",
+        title: "One hostile session, flight-recorded end to end",
+        paper_ref: "beyond the paper: the observability layer \u{2014} every CM decision \
+class from \u{a7}2's grant loop to \u{a7}5's trust defenses, captured by the flight recorder",
+        description: "A scripted session replayed against a tracing-enabled CM: clean \
+window growth, a transient-congestion signal, a hostile client stripped and \
+quarantined by feedback validation, a grant hoarder driven into reclaim and \
+backoff, a feedback-free write-off with its persistent-congestion signal, and \
+the orphan reaper. The CSV/JSONL files are the flight recorder's dump \u{2014} \
+the same decision trail a failing chaos run attaches to its report \u{2014} and \
+the event vocabulary is the tracer's full taxonomy in action.",
+        app: AppKind::Layered,
+        schedules: vec![],
+        policies: vec![AdaptPolicyKind::LadderImmediate],
+        controllers: vec![AIMD],
+        secs: 0,
+        seeds: vec![1],
+    };
+    Figure {
+        experiment,
+        emit: emit_decision_timeline,
+    }
+}
+
+fn emit_decision_timeline(result: &ExperimentResult, out: &mut OutputSet) {
+    let cm = decision_timeline_cm();
+    let csv = crate::trace::trace_csv(&cm);
+    let jsonl = crate::trace::trace_jsonl(&cm);
+    let counts = crate::trace::kind_counts(&cm);
+
+    // The .dat timeline: one row per event, kind encoded as its index in
+    // first-appearance order (the legend block maps indices back).
+    let mut dat = DatFile::new(
+        "decision_timeline: every flight-recorder event of the scripted session\n\
+         block 0: t_s  kind_index (kinds indexed by first appearance)\n\
+         block 1: kind_index  count",
+    );
+    dat.block("events over time", &["t_s", "kind_index"]);
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    cm.for_each_trace_record(|_, r| {
+        let kind = r.event.kind();
+        let idx = counts.iter().position(|(k, _)| *k == kind).unwrap_or(0);
+        rows.push((r.at.as_secs_f64(), idx as f64));
+    });
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (t, idx) in &rows {
+        dat.row(&[*t, *idx]);
+    }
+    dat.block("event counts by kind", &["kind_index", "count"]);
+    for (i, (_, n)) in counts.iter().enumerate() {
+        dat.row(&[i as f64, *n as f64]);
+    }
+
+    let spec = &result.spec;
+    let mut doc = FigureDoc::new(spec.title, spec.paper_ref, spec.description);
+    doc.para(
+        "*Generated by `cargo run --release -p cm-experiments --bin figures`. \
+Deterministic: the script drives `cm-core` directly with fixed timestamps, so \
+rerunning reproduces every file \u{2014} including the JSONL dump \u{2014} byte \
+for byte. See `docs/observability.md` for the event taxonomy and how to enable \
+the recorder in your own runs.*",
+    );
+    doc.section("Event counts");
+    let mut t = Table::new(&["index", "event", "count"]);
+    for (i, (kind, n)) in counts.iter().enumerate() {
+        t.row(&[&i.to_string(), kind, &n.to_string()]);
+    }
+    doc.table(&t);
+    let total: u64 = counts.iter().map(|&(_, n)| n).sum();
+    doc.para(&format!(
+        "**{} events across {} distinct kinds**, every decision class the session \
+provoked: the grant loop (`grant_issued`), controller signals \
+(`congestion_transient`, then the write-off's `congestion_persistent`), feedback \
+validation (`feedback_clamped`, `feedback_rejected`, `flow_quarantined`), \
+unresponsive-app containment (`grant_reclaimed`, `backoff_armed`, \
+`backoff_lapsed`), and state lifecycle (`flow_opened`, `flow_closed`, \
+`flow_reaped`, `write_off`). The full ordered dump is in \
+`decision_timeline.csv` (spreadsheet form) and `decision_timeline.jsonl` (one \
+JSON object per event).",
+        total,
+        counts.len(),
+    ));
+
+    out.add("decision_timeline.csv", csv);
+    out.add("decision_timeline.jsonl", jsonl);
+    out.add("decision_timeline.dat", dat.render());
+    out.add("decision_timeline.md", doc.render());
+}
+
+// ---------------------------------------------------------------------
 // Shared emission helpers
 // ---------------------------------------------------------------------
 
@@ -1102,4 +1309,41 @@ fn finish(result: &ExperimentResult, out: &mut OutputSet, dat: DatFile, doc: Fig
     out.add(&format!("{name}.csv"), cells_csv(result));
     out.add(&format!("{name}.dat"), dat.render());
     out.add(&format!("{name}.md"), doc.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scripted decision-timeline session must keep provoking every
+    /// major event class, or the figure silently loses taxonomy
+    /// coverage.
+    #[test]
+    fn decision_timeline_covers_the_event_taxonomy() {
+        let cm = decision_timeline_cm();
+        let counts = crate::trace::kind_counts(&cm);
+        for expected in [
+            "shard_created",
+            "flow_opened",
+            "grant_issued",
+            "feedback_accepted",
+            "congestion_transient",
+            "feedback_clamped",
+            "feedback_rejected",
+            "flow_quarantined",
+            "grant_reclaimed",
+            "backoff_armed",
+            "backoff_lapsed",
+            "write_off",
+            "congestion_persistent",
+            "flow_closed",
+            "flow_reaped",
+            "tick",
+        ] {
+            assert!(
+                counts.iter().any(|(k, _)| *k == expected),
+                "scripted session no longer provokes {expected}: {counts:?}"
+            );
+        }
+    }
 }

@@ -30,9 +30,11 @@ use cm_apps::ack_clients::{AckReceiver, FeedbackPolicy};
 use cm_apps::blast::{BlastApi, BlastSender};
 use cm_apps::bulk::{BulkReceiver, BulkSender};
 use cm_apps::misbehave::MisbehavingSender;
-use cm_core::config::CmConfig;
+use cm_core::config::{CmConfig, TracingConfig};
 use cm_core::types::MacroflowId;
 use cm_core::CmStats;
+
+use crate::trace::trace_tail_lines;
 use cm_netsim::channel::PathSpec;
 use cm_netsim::fault::{AppFault, FaultPlan, GilbertElliott, LinkFaults};
 use cm_netsim::schedule::BandwidthSchedule;
@@ -57,6 +59,35 @@ pub const WINDOW_CAP: u64 = 1 << 30;
 /// Invariant violations reported per run before the harness stops
 /// checking (one broken slab tends to cascade).
 const MAX_VIOLATIONS: usize = 8;
+
+/// Flight-recorder ring capacity on the chaos hosts. Tracing is always
+/// on here: recording is passive (outcomes are bit-identical to
+/// untraced runs), and a red run then carries its own decision trail.
+const TRACE_CAPACITY: usize = 256;
+
+/// Newest trace events dumped per host when a run fails.
+const TRACE_DUMP_EVENTS: usize = 48;
+
+/// The chaos hosts' configuration: `cm` with the flight recorder
+/// enabled, everything else default.
+fn chaos_host_cfg(cm: CmConfig) -> HostConfig {
+    HostConfig {
+        cm: CmConfig {
+            tracing: Some(TracingConfig {
+                capacity: TRACE_CAPACITY,
+            }),
+            ..cm
+        },
+        ..Default::default()
+    }
+}
+
+/// Uniform failure tag: every violation and liveness report names the
+/// scenario, the fault plan's seed, and the simulated time, so one red
+/// line in a sweep log is enough to replay the run.
+fn tag(scenario: &str, seed: u64, now: Time) -> String {
+    format!("[{scenario} seed={seed} t={now}]")
+}
 
 /// The chaos scenario catalogue.
 pub const SCENARIOS: &[&str] = &[
@@ -86,8 +117,12 @@ pub struct ChaosOutcome {
     /// reaping happen).
     pub client_stats: CmStats,
     /// Invariant violations observed during the run; empty means the run
-    /// is green.
+    /// is green. Every entry is tagged `[scenario seed=N t=...]`.
     pub violations: Vec<String>,
+    /// Post-mortem flight-recorder dump: on a red run, the newest CM
+    /// trace events per host (see [`crate::trace::trace_tail_lines`]).
+    /// Empty on green runs.
+    pub trace_dump: Vec<String>,
 }
 
 impl ChaosOutcome {
@@ -124,15 +159,30 @@ pub fn chaos_sweep(plans: u64) -> Vec<ChaosOutcome> {
 }
 
 /// Steps `sim` to `end` in one-second slices, checking every listed
-/// host's CM invariants after each slice.
-fn drive(sim: &mut Simulator, hosts: &[(NodeId, &str)], end: Time, violations: &mut Vec<String>) {
+/// host's CM invariants after each slice. `scenario`/`seed` identify
+/// the run in any violation reported.
+fn drive(
+    sim: &mut Simulator,
+    hosts: &[(NodeId, &str)],
+    end: Time,
+    scenario: &str,
+    seed: u64,
+    violations: &mut Vec<String>,
+) {
     let step = Duration::from_secs(1);
     let mut t = sim.now() + step;
     loop {
         let target = if t < end { t } else { end };
         sim.run_until(target);
         for &(id, label) in hosts {
-            check_host(sim.node_ref::<Host>(id), label, sim.now(), violations);
+            check_host(
+                sim.node_ref::<Host>(id),
+                label,
+                scenario,
+                seed,
+                sim.now(),
+                violations,
+            );
             if violations.len() >= MAX_VIOLATIONS {
                 return;
             }
@@ -146,9 +196,17 @@ fn drive(sim: &mut Simulator, hosts: &[(NodeId, &str)], end: Time, violations: &
 
 /// One host's invariant snapshot: structural CM validation plus the
 /// bounded-window check over every live macroflow.
-fn check_host(host: &Host, label: &str, now: Time, violations: &mut Vec<String>) {
+fn check_host(
+    host: &Host,
+    label: &str,
+    scenario: &str,
+    seed: u64,
+    now: Time,
+    violations: &mut Vec<String>,
+) {
+    let tag = tag(scenario, seed, now);
     if let Err(e) = host.cm.check_invariants() {
-        violations.push(format!("[{label} t={now:?}] {e}"));
+        violations.push(format!("{tag} {label}: {e}"));
     }
     for shard in 0..host.cm.shard_slots() as u32 {
         for slot in 0..host.cm.macroflow_slab_capacity_of(shard) as u32 {
@@ -156,12 +214,27 @@ fn check_host(host: &Host, label: &str, now: Time, violations: &mut Vec<String>)
             if let Ok(w) = host.cm.window_of(mf) {
                 if w > WINDOW_CAP {
                     violations.push(format!(
-                        "[{label} t={now:?}] macroflow {mf:?} window {w} exceeds cap {WINDOW_CAP}"
+                        "{tag} {label}: macroflow {mf:?} window {w} exceeds cap {WINDOW_CAP}"
                     ));
                 }
             }
         }
     }
+}
+
+/// The post-mortem flight-recorder dump a failing outcome carries: the
+/// newest [`TRACE_DUMP_EVENTS`] trace events of every host's CM, in the
+/// `hosts` order the scenario checks them.
+fn post_mortem(sim: &Simulator, hosts: &[(NodeId, &str)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for &(id, label) in hosts {
+        out.extend(trace_tail_lines(
+            label,
+            &sim.node_ref::<Host>(id).cm,
+            TRACE_DUMP_EVENTS,
+        ));
+    }
+    out
 }
 
 /// Shared outcome assembly for the bulk-TCP scenarios.
@@ -188,6 +261,7 @@ fn bulk_outcome(
         elapsed_s: elapsed.as_secs_f64(),
         client_stats: host.cm.stats(),
         violations,
+        trace_dump: Vec::new(),
     }
 }
 
@@ -201,12 +275,12 @@ fn faulted_path(base: PathSpec, plan: &FaultPlan) -> PathSpec {
 fn tcp_bulk(plan: &FaultPlan) -> ChaosOutcome {
     const TOTAL: u64 = 256 * 1024;
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a0));
-    let mut server = Host::new(HostConfig::default());
+    let mut server = Host::new(chaos_host_cfg(CmConfig::default()));
     server.add_app(Box::new(BulkReceiver::new(80, CcMode::Cm)));
     let server_id = topo.add_host(Box::new(server));
     let server_addr = topo.sim().addr_of(server_id);
 
-    let mut client = Host::new(HostConfig::default());
+    let mut client = Host::new(chaos_host_cfg(CmConfig::default()));
     let tx_app = client.add_app(Box::new(BulkSender::new(
         server_addr,
         80,
@@ -227,12 +301,19 @@ fn tcp_bulk(plan: &FaultPlan) -> ChaosOutcome {
         &mut sim,
         &hosts,
         Time::ZERO + HORIZON + TAIL,
+        "tcp_bulk",
+        plan.seed,
         &mut violations,
     );
     let mut out = bulk_outcome("tcp_bulk", plan, &sim, client_id, tx_app, violations);
     if !out.completed {
-        out.violations
-            .push("tcp_bulk: honest transfer stuck (never completed)".to_string());
+        out.violations.push(format!(
+            "{} honest transfer stuck (never completed)",
+            tag("tcp_bulk", plan.seed, sim.now())
+        ));
+    }
+    if !out.ok() {
+        out.trace_dump = post_mortem(&sim, &hosts);
     }
     out
 }
@@ -242,13 +323,13 @@ fn tcp_bulk(plan: &FaultPlan) -> ChaosOutcome {
 fn tcp_pair(plan: &FaultPlan) -> ChaosOutcome {
     const TOTAL: u64 = 128 * 1024;
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a1));
-    let mut server = Host::new(HostConfig::default());
+    let mut server = Host::new(chaos_host_cfg(CmConfig::default()));
     server.add_app(Box::new(BulkReceiver::new(80, CcMode::Cm)));
     server.add_app(Box::new(BulkReceiver::new(81, CcMode::Cm)));
     let server_id = topo.add_host(Box::new(server));
     let server_addr = topo.sim().addr_of(server_id);
 
-    let mut client = Host::new(HostConfig::default());
+    let mut client = Host::new(chaos_host_cfg(CmConfig::default()));
     let tx_a = client.add_app(Box::new(BulkSender::new(
         server_addr,
         80,
@@ -275,6 +356,8 @@ fn tcp_pair(plan: &FaultPlan) -> ChaosOutcome {
         &mut sim,
         &hosts,
         Time::ZERO + HORIZON + TAIL,
+        "tcp_pair",
+        plan.seed,
         &mut violations,
     );
 
@@ -283,7 +366,10 @@ fn tcp_pair(plan: &FaultPlan) -> ChaosOutcome {
     let b = host.app_ref::<BulkSender>(tx_b);
     let completed = a.done_at.is_some() && b.done_at.is_some();
     if !completed {
-        violations.push("tcp_pair: a shared-macroflow transfer stuck".to_string());
+        violations.push(format!(
+            "{} a shared-macroflow transfer stuck",
+            tag("tcp_pair", plan.seed, sim.now())
+        ));
     }
     let goodput: f64 = [a, b]
         .iter()
@@ -298,7 +384,7 @@ fn tcp_pair(plan: &FaultPlan) -> ChaosOutcome {
             (if end_a > end_b { end_a } else { end_b }).since(s)
         })
         .unwrap_or(Duration::ZERO);
-    ChaosOutcome {
+    let mut out = ChaosOutcome {
         scenario: "tcp_pair".to_string(),
         seed: plan.seed,
         goodput_kbps: goodput,
@@ -306,7 +392,12 @@ fn tcp_pair(plan: &FaultPlan) -> ChaosOutcome {
         elapsed_s: elapsed.as_secs_f64(),
         client_stats: host.cm.stats(),
         violations,
+        trace_dump: Vec::new(),
+    };
+    if !out.ok() {
+        out.trace_dump = post_mortem(&sim, &hosts);
     }
+    out
 }
 
 /// An ALF (request/callback) UDP blaster with per-packet application
@@ -316,12 +407,12 @@ fn alf_blast(plan: &FaultPlan) -> ChaosOutcome {
     const TARGET: u64 = 3_000;
     const PACKET: u32 = 1_000;
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a2));
-    let mut rx_host = Host::new(HostConfig::default());
+    let mut rx_host = Host::new(chaos_host_cfg(CmConfig::default()));
     let rx_app = rx_host.add_app(Box::new(AckReceiver::new(9100, FeedbackPolicy::PerPacket)));
     let rx_id = topo.add_host(Box::new(rx_host));
     let rx_addr = topo.sim().addr_of(rx_id);
 
-    let mut tx_host = Host::new(HostConfig::default());
+    let mut tx_host = Host::new(chaos_host_cfg(CmConfig::default()));
     let tx_app = tx_host.add_app(Box::new(BlastSender::new(
         rx_addr,
         9100,
@@ -339,6 +430,8 @@ fn alf_blast(plan: &FaultPlan) -> ChaosOutcome {
         &mut sim,
         &hosts,
         Time::ZERO + HORIZON + TAIL,
+        "alf_blast",
+        plan.seed,
         &mut violations,
     );
 
@@ -346,7 +439,10 @@ fn alf_blast(plan: &FaultPlan) -> ChaosOutcome {
     let tx = tx_host.app_ref::<BlastSender>(tx_app);
     let rx = sim.node_ref::<Host>(rx_id).app_ref::<AckReceiver>(rx_app);
     if rx.packets == 0 {
-        violations.push("alf_blast: receiver got nothing".to_string());
+        violations.push(format!(
+            "{} receiver got nothing",
+            tag("alf_blast", plan.seed, sim.now())
+        ));
     }
     let elapsed = tx
         .first_send
@@ -357,7 +453,7 @@ fn alf_blast(plan: &FaultPlan) -> ChaosOutcome {
     } else {
         rx.bytes as f64 * 8.0 / 1000.0 / elapsed.as_secs_f64()
     };
-    ChaosOutcome {
+    let mut out = ChaosOutcome {
         scenario: "alf_blast".to_string(),
         seed: plan.seed,
         goodput_kbps,
@@ -365,7 +461,12 @@ fn alf_blast(plan: &FaultPlan) -> ChaosOutcome {
         elapsed_s: elapsed.as_secs_f64(),
         client_stats: tx_host.cm.stats(),
         violations,
+        trace_dump: Vec::new(),
+    };
+    if !out.ok() {
+        out.trace_dump = post_mortem(&sim, &hosts);
     }
+    out
 }
 
 /// A deliberately misbehaving UDP client (per `plan.app`) sharing a host
@@ -374,14 +475,10 @@ fn alf_blast(plan: &FaultPlan) -> ChaosOutcome {
 /// crashed client's flow is reaped.
 fn misbehaving_app(plan: &FaultPlan) -> ChaosOutcome {
     const TOTAL: u64 = 256 * 1024;
-    let cm = CmConfig {
+    let host_cfg = chaos_host_cfg(CmConfig {
         orphan_timeout: Some(Duration::from_secs(10)),
         ..Default::default()
-    };
-    let host_cfg = HostConfig {
-        cm,
-        ..Default::default()
-    };
+    });
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a3));
     let mut server = Host::new(host_cfg.clone());
     server.add_app(Box::new(BulkReceiver::new(80, CcMode::Cm)));
@@ -419,6 +516,8 @@ fn misbehaving_app(plan: &FaultPlan) -> ChaosOutcome {
         &mut sim,
         &hosts,
         Time::ZERO + HORIZON + TAIL,
+        "misbehaving_app",
+        plan.seed,
         &mut violations,
     );
 
@@ -430,16 +529,23 @@ fn misbehaving_app(plan: &FaultPlan) -> ChaosOutcome {
         if matches!(plan.app, AppFault::Crash { .. }) && bad.crashed {
             if let Some(flow) = bad.flow() {
                 if host.cm.macroflow_of(flow).is_ok() {
-                    violations
-                        .push("misbehaving_app: crashed client's flow never reaped".to_string());
+                    violations.push(format!(
+                        "{} crashed client's flow never reaped",
+                        tag("misbehaving_app", plan.seed, sim.now())
+                    ));
                 }
             }
         }
     }
     let mut out = bulk_outcome("misbehaving_app", plan, &sim, client_id, tx_app, violations);
     if !out.completed {
-        out.violations
-            .push("misbehaving_app: honest transfer starved by misbehaving peer".to_string());
+        out.violations.push(format!(
+            "{} honest transfer starved by misbehaving peer",
+            tag("misbehaving_app", plan.seed, sim.now())
+        ));
+    }
+    if !out.ok() {
+        out.trace_dump = post_mortem(&sim, &hosts);
     }
     out
 }
@@ -454,12 +560,12 @@ fn flaky_trace(plan: &FaultPlan) -> ChaosOutcome {
             .expect("bundled trace parses");
 
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a4));
-    let mut server = Host::new(HostConfig::default());
+    let mut server = Host::new(chaos_host_cfg(CmConfig::default()));
     server.add_app(Box::new(BulkReceiver::new(80, CcMode::Cm)));
     let server_id = topo.add_host(Box::new(server));
     let server_addr = topo.sim().addr_of(server_id);
 
-    let mut client = Host::new(HostConfig::default());
+    let mut client = Host::new(chaos_host_cfg(CmConfig::default()));
     let tx_app = client.add_app(Box::new(BulkSender::new(
         server_addr,
         80,
@@ -481,12 +587,19 @@ fn flaky_trace(plan: &FaultPlan) -> ChaosOutcome {
         &mut sim,
         &hosts,
         Time::ZERO + HORIZON + TAIL,
+        "flaky_trace",
+        plan.seed,
         &mut violations,
     );
     let mut out = bulk_outcome("flaky_trace", plan, &sim, client_id, tx_app, violations);
     if !out.completed {
-        out.violations
-            .push("flaky_trace: transfer stuck on the flaky channel".to_string());
+        out.violations.push(format!(
+            "{} transfer stuck on the flaky channel",
+            tag("flaky_trace", plan.seed, sim.now())
+        ));
+    }
+    if !out.ok() {
+        out.trace_dump = post_mortem(&sim, &hosts);
     }
     out
 }
@@ -635,6 +748,37 @@ mod tests {
                 o.violations
             );
         }
+    }
+
+    /// Forcing a liveness failure (a permanent outage from t=0 starves
+    /// the honest transfer) must produce a report where every line is
+    /// tagged with scenario, seed, and simulated time, plus a
+    /// flight-recorder post-mortem of the hosts' last decisions.
+    #[test]
+    fn failing_run_is_tagged_and_carries_a_trace_dump() {
+        let mut plan = FaultPlan::seeded(42, HORIZON);
+        plan.link = LinkFaults::clean().with_outage(Time::ZERO, Time::from_secs(600));
+        let o = run_chaos("tcp_bulk", &plan);
+        assert!(!o.ok(), "a dead link must fail the liveness check");
+        for v in &o.violations {
+            assert!(
+                v.contains("tcp_bulk") && v.contains("seed=42") && v.contains("t="),
+                "violation missing scenario/seed/time context: {v}"
+            );
+        }
+        assert!(!o.trace_dump.is_empty(), "no post-mortem trace dump");
+        assert!(
+            o.trace_dump
+                .iter()
+                .all(|l| l.starts_with("host=") && l.contains(" shard=")),
+            "malformed dump lines: {:?}",
+            o.trace_dump
+        );
+        assert!(
+            o.trace_dump.iter().any(|l| l.contains("host=client")),
+            "dump lacks the client's decisions: {:?}",
+            o.trace_dump
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   seeded [`cm_netsim::fault::FaultPlan`]s with CM invariants checked
 //!   every simulated second (drives the `robustness` figure and the
 //!   `cm-bench` chaos CLI).
+//! * [`trace`] — deterministic CSV/JSONL emitters for the CM's
+//!   flight-recorder rings (drives the `decision_timeline` figure and
+//!   the chaos harness's post-mortem dumps); see
+//!   `docs/observability.md`.
 //!
 //! Regenerate everything with:
 //!
@@ -47,6 +51,7 @@ pub mod chaos;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod trace;
 
 pub use report::Table;
 pub use runner::{

@@ -981,6 +981,27 @@ impl HostOs<'_, '_> {
         self.host.cm.shard_count()
     }
 
+    /// One CM shard's own counters — the host-level view of
+    /// `CongestionManager::shard_stats` (`None` for a vacant slot).
+    pub fn cm_shard_stats(&self, shard: u32) -> Option<cm_core::api::CmStats> {
+        self.host.cm.shard_stats(shard)
+    }
+
+    /// This host's CM decision metrics (grant latency, feedback
+    /// inter-arrival, window sizes), merged across shards. `None`
+    /// unless `HostConfig::cm` enables `CmConfig::tracing`.
+    pub fn cm_metrics(&self) -> Option<cm_core::MetricsSnapshot> {
+        self.host.cm.metrics()
+    }
+
+    /// Visits this host's retained CM trace records (see
+    /// `CongestionManager::for_each_trace_record`); a no-op unless
+    /// `HostConfig::cm` enables `CmConfig::tracing`. The chaos
+    /// harness's post-mortem dumps are built on this.
+    pub fn cm_for_each_trace_record(&self, f: impl FnMut(Option<u32>, &cm_core::TraceRecord)) {
+        self.host.cm.for_each_trace_record(f)
+    }
+
     /// `gettimeofday`, charged per Table 1 (user-space RTT measurement
     /// needs two per packet).
     pub fn gettimeofday(&mut self) -> Time {
