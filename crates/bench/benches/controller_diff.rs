@@ -1,0 +1,89 @@
+//! Controller hot-path benchmarks, one per `ControllerKind`.
+//!
+//! The conformance harness (`cm-core/tests/controller_diff.rs`) proves
+//! every controller obeys the same contract; this group pins what each
+//! one *costs* per feedback event. The delay-gradient controller does
+//! real per-sample work — an EWMA, a ring push, and an O(20)
+//! least-squares regression — where the loss-based controllers do a few
+//! integer ops, so its `on_rtt_sample` cost is the number to watch: it
+//! runs inside `cm_update` for every RTT-bearing report.
+
+use cm_core::config::{CmConfig, ControllerKind};
+use cm_core::controller::build_controller;
+use cm_core::types::LossMode;
+use cm_util::{Duration, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn kinds() -> [(&'static str, ControllerKind); 4] {
+    [
+        (
+            "aimd",
+            ControllerKind::Aimd {
+                byte_counting: true,
+            },
+        ),
+        (
+            "aimd_acks",
+            ControllerKind::Aimd {
+                byte_counting: false,
+            },
+        ),
+        ("rate_based", ControllerKind::RateBased),
+        ("delay_gradient", ControllerKind::DelayGradient),
+    ]
+}
+
+fn controller_diff(c: &mut Criterion) {
+    // One full feedback event — RTT sample, ack, occasional loss — per
+    // iteration, the shard update path's controller slice.
+    let mut g = c.benchmark_group("controller_feedback");
+    g.sample_size(10);
+    for (name, kind) in kinds() {
+        g.bench_function(name, |b| {
+            let cfg = CmConfig {
+                controller: kind,
+                ..Default::default()
+            };
+            let mut ctl = build_controller(&cfg);
+            let mut now = Time::ZERO;
+            let mut round = 0u64;
+            b.iter(|| {
+                now += Duration::from_millis(10);
+                round += 1;
+                // Sawtooth RTT so the delay filter sees real slopes.
+                let rtt = Duration::from_millis(40 + (round % 32) * 4);
+                black_box(ctl.on_rtt_sample(rtt, now));
+                ctl.on_ack(black_box(2920), 2, now);
+                if round.is_multiple_of(256) {
+                    ctl.on_loss(LossMode::Transient, now);
+                }
+                black_box(ctl.window());
+            });
+        });
+    }
+    g.finish();
+
+    // The delay filter alone: pure `on_rtt_sample` throughput.
+    let mut g = c.benchmark_group("delay_filter");
+    g.sample_size(10);
+    g.bench_function("on_rtt_sample", |b| {
+        let cfg = CmConfig {
+            controller: ControllerKind::DelayGradient,
+            ..Default::default()
+        };
+        let mut ctl = build_controller(&cfg);
+        let mut now = Time::ZERO;
+        let mut round = 0u64;
+        b.iter(|| {
+            now += Duration::from_millis(10);
+            round += 1;
+            let rtt = Duration::from_millis(40 + (round % 32) * 4);
+            black_box(ctl.on_rtt_sample(black_box(rtt), now));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, controller_diff);
+criterion_main!(benches);

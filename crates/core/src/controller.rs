@@ -10,12 +10,41 @@
 //! The trait boundary is the modularity the paper advertises: "the CM
 //! encourages experimentation with other non-AIMD schemes that may be
 //! better suited to specific data types such as audio or video." A
-//! smooth [`RateBasedController`] is provided in that spirit.
+//! smooth [`RateBasedController`] is provided in that spirit, and a
+//! [`DelayGradientController`] extends the family to delay-based
+//! control: a trendline filter over the feedback stream's RTT samples
+//! drives an overuse detector, so the controller backs off while the
+//! bottleneck queue is still *building* — before loss-based schemes see
+//! any signal at all.
 
 use cm_util::{Duration, Rate, Time};
 
 use crate::config::{CmConfig, ControllerKind};
 use crate::types::LossMode;
+
+/// The delay detector's verdict for one RTT sample, as returned by
+/// [`CongestionController::on_rtt_sample`]. Loss- and rate-based
+/// controllers always answer [`DelaySignal::None`]; the delay-gradient
+/// controller reports sustained queue growth (`Overuse`, which the shard
+/// records as a `congestion_delay` trace event) or drain (`Underuse`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DelaySignal {
+    /// No delay-based verdict (or the controller ignores delay).
+    None,
+    /// Queueing delay is growing persistently; the controller reduced
+    /// (or is holding) its window.
+    Overuse,
+    /// Queueing delay is falling; the controller holds while the queue
+    /// drains.
+    Underuse,
+}
+
+impl DelaySignal {
+    /// True for [`DelaySignal::Overuse`].
+    pub fn is_overuse(self) -> bool {
+        self == DelaySignal::Overuse
+    }
+}
 
 /// A congestion-control algorithm governing one macroflow.
 pub trait CongestionController: Send {
@@ -25,6 +54,17 @@ pub trait CongestionController: Send {
 
     /// Absorbs a congestion signal.
     fn on_loss(&mut self, mode: LossMode, now: Time);
+
+    /// Absorbs one RTT sample from validated feedback, *before* the
+    /// report's positive feedback is applied, and returns the delay
+    /// detector's verdict. The default ignores the sample — loss- and
+    /// rate-based controllers read delay only through `rate()`'s
+    /// smoothed-RTT argument — so existing controllers are bit-for-bit
+    /// unchanged.
+    fn on_rtt_sample(&mut self, rtt: Duration, now: Time) -> DelaySignal {
+        let _ = (rtt, now);
+        DelaySignal::None
+    }
 
     /// The current congestion window, in bytes: the number of bytes the
     /// macroflow may have outstanding.
@@ -57,10 +97,17 @@ pub fn build_controller(cfg: &CmConfig) -> Box<dyn CongestionController> {
             cfg.initial_window_bytes(),
             cfg.initial_ssthresh,
             byte_counting,
+            cfg.max_window_bytes,
         )),
         ControllerKind::RateBased => Box::new(RateBasedController::new(
             cfg.mtu,
             cfg.initial_window_bytes(),
+            cfg.max_window_bytes,
+        )),
+        ControllerKind::DelayGradient => Box::new(DelayGradientController::new(
+            cfg.mtu,
+            cfg.initial_window_bytes(),
+            cfg.max_window_bytes,
         )),
     }
 }
@@ -82,6 +129,9 @@ pub struct AimdController {
     cwnd: u64,
     ssthresh: u64,
     byte_counting: bool,
+    /// Configured window cap ([`CmConfig::max_window_bytes`]); protects
+    /// the fixed-point arithmetic and bounds runaway feedback.
+    max_window: u64,
     /// Fractional congestion-avoidance growth carried between updates,
     /// in bytes scaled by `cwnd` (i.e. we accumulate `mtu * bytes_acked`
     /// and emit growth each time it exceeds `cwnd`).
@@ -90,20 +140,23 @@ pub struct AimdController {
 
 impl AimdController {
     /// Creates an AIMD controller.
-    pub fn new(mtu: usize, init_window: u64, init_ssthresh: u64, byte_counting: bool) -> Self {
+    pub fn new(
+        mtu: usize,
+        init_window: u64,
+        init_ssthresh: u64,
+        byte_counting: bool,
+        max_window: u64,
+    ) -> Self {
         AimdController {
             mtu: mtu as u64,
             init_window,
             cwnd: init_window,
             ssthresh: init_ssthresh,
             byte_counting,
+            max_window,
             ca_accum: 0,
         }
     }
-
-    /// The maximum window this controller will grow to (protects the
-    /// fixed-point arithmetic; far above any experiment's BDP).
-    const MAX_WINDOW: u64 = 1 << 40;
 }
 
 impl CongestionController for AimdController {
@@ -118,7 +171,7 @@ impl CongestionController for AimdController {
             } else {
                 self.mtu * acks as u64
             };
-            self.cwnd = (self.cwnd + growth).min(Self::MAX_WINDOW);
+            self.cwnd = (self.cwnd + growth).min(self.max_window);
             return;
         }
         // Congestion avoidance: ~one MTU per window of data acked.
@@ -132,7 +185,7 @@ impl CongestionController for AimdController {
         if self.ca_accum >= self.cwnd && self.cwnd > 0 {
             let growth = self.ca_accum / self.cwnd;
             self.ca_accum %= self.cwnd;
-            self.cwnd = (self.cwnd + growth).min(Self::MAX_WINDOW);
+            self.cwnd = (self.cwnd + growth).min(self.max_window);
         }
     }
 
@@ -182,6 +235,7 @@ impl CongestionController for AimdController {
         self.init_window = cfg.initial_window_bytes();
         self.cwnd = self.init_window;
         self.ssthresh = cfg.initial_ssthresh;
+        self.max_window = cfg.max_window_bytes;
         self.ca_accum = 0;
     }
 
@@ -209,17 +263,20 @@ pub struct RateBasedController {
     /// Window-equivalent state, in bytes (rate * srtt).
     wnd: u64,
     ssthresh: u64,
+    /// Configured window cap ([`CmConfig::max_window_bytes`]).
+    max_window: u64,
     accum: u64,
 }
 
 impl RateBasedController {
     /// Creates a rate-based controller.
-    pub fn new(mtu: usize, init_window: u64) -> Self {
+    pub fn new(mtu: usize, init_window: u64, max_window: u64) -> Self {
         RateBasedController {
             mtu: mtu as u64,
             init_window,
             wnd: init_window,
             ssthresh: u64::MAX / 2,
+            max_window,
             accum: 0,
         }
     }
@@ -230,12 +287,12 @@ impl CongestionController for RateBasedController {
         // Mildly super-linear start: below ssthresh grow by bytes/2,
         // otherwise one MTU per window acked.
         if self.wnd < self.ssthresh {
-            self.wnd += bytes / 2 + 1;
+            self.wnd = (self.wnd + bytes / 2 + 1).min(self.max_window);
             return;
         }
         self.accum += self.mtu * bytes;
         if self.accum >= self.wnd && self.wnd > 0 {
-            self.wnd += self.accum / self.wnd;
+            self.wnd = (self.wnd + self.accum / self.wnd).min(self.max_window);
             self.accum %= self.wnd;
         }
     }
@@ -284,6 +341,7 @@ impl CongestionController for RateBasedController {
         self.init_window = cfg.initial_window_bytes();
         self.wnd = self.init_window;
         self.ssthresh = u64::MAX / 2;
+        self.max_window = cfg.max_window_bytes;
         self.accum = 0;
     }
 
@@ -292,12 +350,290 @@ impl CongestionController for RateBasedController {
     }
 }
 
+/// Number of smoothed delay samples the trendline regression spans.
+const TREND_WINDOW: usize = 20;
+
+/// Gain of the queueing-delay EWMA feeding the trendline.
+const DELAY_SMOOTHING: f64 = 0.4;
+
+/// Trendline slope (milliseconds of queueing delay per second) above
+/// which the detector arms; the mirror-image negative slope reads as
+/// underuse.
+const SLOPE_THRESHOLD_MS_PER_S: f64 = 5.0;
+
+/// Smoothed queueing delay below which overuse is never declared — a
+/// near-empty queue with a twitchy slope is noise, not congestion.
+const MIN_QUEUE_DELAY_MS: f64 = 4.0;
+
+/// How long the slope must stay above threshold before overuse is
+/// declared (the detector's hysteresis against single-sample spikes).
+const OVERUSE_SUSTAIN: Duration = Duration::from_millis(20);
+
+/// Detector state with hysteresis, GCC-style.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DelayState {
+    /// Queueing delay flat: normal AIMD probing.
+    Normal,
+    /// Queueing delay growing persistently: back off, no growth.
+    Overuse,
+    /// Queueing delay falling: hold while the queue drains.
+    Underuse,
+}
+
+/// Delay-gradient congestion control: AIMD actuated by the *trend* of
+/// queueing delay instead of loss.
+///
+/// Each validated RTT sample is reduced to a queueing-delay estimate
+/// (`rtt - min rtt seen`), smoothed by an EWMA, and pushed into a fixed
+/// ring of `TREND_WINDOW` `(time, delay)` points. A least-squares
+/// trendline over the ring estimates the delay gradient; a sustained
+/// positive slope (with hysteresis: `SLOPE_THRESHOLD_MS_PER_S`,
+/// `MIN_QUEUE_DELAY_MS`, `OVERUSE_SUSTAIN`) declares **overuse**,
+/// which cuts the window multiplicatively (7/8, at most once per RTT)
+/// and suspends growth; a sustained negative slope declares **underuse**
+/// and merely holds while the queue drains. With a flat trend the
+/// controller probes exactly like the byte-counting AIMD. Loss still
+/// bites — transient loss is a gentle 7/8 cut, persistent loss halves —
+/// so the controller stays TCP-survivable when delay gives no warning.
+///
+/// All state is flat (fixed arrays, no heap) per docs/perf.md: one
+/// update is a ring push plus an O(`TREND_WINDOW`) regression, and
+/// `reset` restores pristine state in place for the macroflow shell
+/// pool.
+#[derive(Debug)]
+pub struct DelayGradientController {
+    mtu: u64,
+    init_window: u64,
+    max_window: u64,
+    wnd: u64,
+    ssthresh: u64,
+    accum: u64,
+    /// Minimum RTT observed since the last reset: the propagation-delay
+    /// baseline queueing delay is measured against.
+    base_rtt: Option<Duration>,
+    /// Smoothed queueing delay, in milliseconds.
+    smoothed_ms: f64,
+    /// Sample ring: seconds (absolute driver time) and smoothed
+    /// queueing-delay milliseconds.
+    sample_t: [f64; TREND_WINDOW],
+    sample_d: [f64; TREND_WINDOW],
+    /// Live samples in the ring and the next write position.
+    filled: usize,
+    head: usize,
+    state: DelayState,
+    /// When the slope first crossed the overuse threshold, for the
+    /// sustain hysteresis.
+    overuse_since: Option<Time>,
+    /// Last multiplicative cut, rate-limiting decreases to one per RTT.
+    last_cut: Option<Time>,
+}
+
+impl DelayGradientController {
+    /// Creates a delay-gradient controller.
+    pub fn new(mtu: usize, init_window: u64, max_window: u64) -> Self {
+        DelayGradientController {
+            mtu: mtu as u64,
+            init_window,
+            max_window,
+            wnd: init_window,
+            ssthresh: u64::MAX / 2,
+            accum: 0,
+            base_rtt: None,
+            smoothed_ms: 0.0,
+            sample_t: [0.0; TREND_WINDOW],
+            sample_d: [0.0; TREND_WINDOW],
+            filled: 0,
+            head: 0,
+            state: DelayState::Normal,
+            overuse_since: None,
+            last_cut: None,
+        }
+    }
+
+    /// Clears the filter (ring, EWMA, detector) without touching the
+    /// window — used when the delay signal goes stale (persistent loss,
+    /// idle decay).
+    fn clear_filter(&mut self) {
+        self.base_rtt = None;
+        self.smoothed_ms = 0.0;
+        self.filled = 0;
+        self.head = 0;
+        self.state = DelayState::Normal;
+        self.overuse_since = None;
+    }
+
+    /// Least-squares slope over the ring, in milliseconds of queueing
+    /// delay per second, or `None` with fewer than four points.
+    fn trend_slope(&self) -> Option<f64> {
+        if self.filled < 4 {
+            return None;
+        }
+        let n = self.filled as f64;
+        let (mut st, mut sd) = (0.0, 0.0);
+        for i in 0..self.filled {
+            st += self.sample_t[i];
+            sd += self.sample_d[i];
+        }
+        let (mt, md) = (st / n, sd / n);
+        let (mut num, mut den) = (0.0, 0.0);
+        for i in 0..self.filled {
+            let dt = self.sample_t[i] - mt;
+            num += dt * (self.sample_d[i] - md);
+            den += dt * dt;
+        }
+        if den <= 0.0 {
+            return None;
+        }
+        Some(num / den)
+    }
+}
+
+impl CongestionController for DelayGradientController {
+    fn on_ack(&mut self, bytes: u64, acks: u32, _now: Time) {
+        if bytes == 0 && acks == 0 {
+            return;
+        }
+        match self.state {
+            // Overuse: the cut in `on_rtt_sample` must drain first.
+            // Underuse: hold while the queue empties — growth on top of
+            // a draining queue re-fills it.
+            DelayState::Overuse | DelayState::Underuse => {}
+            DelayState::Normal => {
+                if self.wnd < self.ssthresh {
+                    self.wnd = (self.wnd + bytes).min(self.max_window);
+                    return;
+                }
+                self.accum += self.mtu * bytes;
+                if self.accum >= self.wnd && self.wnd > 0 {
+                    let growth = self.accum / self.wnd;
+                    self.accum %= self.wnd;
+                    self.wnd = (self.wnd + growth).min(self.max_window);
+                }
+            }
+        }
+    }
+
+    fn on_loss(&mut self, mode: LossMode, _now: Time) {
+        match mode {
+            LossMode::None => {}
+            LossMode::Transient | LossMode::Ecn => {
+                // Delay usually warns first; when loss arrives anyway,
+                // a gentle cut keeps the rate media-smooth.
+                self.wnd = (self.wnd * 7 / 8).max(self.mtu);
+                self.ssthresh = self.wnd;
+                self.accum = 0;
+            }
+            LossMode::Persistent => {
+                self.wnd = (self.wnd / 2).max(self.mtu);
+                self.ssthresh = self.wnd;
+                self.accum = 0;
+                // The path evidently changed under us; re-learn the
+                // delay baseline rather than trusting a stale minimum.
+                self.clear_filter();
+            }
+        }
+    }
+
+    fn on_rtt_sample(&mut self, rtt: Duration, now: Time) -> DelaySignal {
+        let base = match self.base_rtt {
+            Some(b) if b <= rtt => b,
+            _ => {
+                self.base_rtt = Some(rtt);
+                rtt
+            }
+        };
+        let queue_ms = rtt.saturating_sub(base).as_nanos() as f64 / 1e6;
+        self.smoothed_ms += DELAY_SMOOTHING * (queue_ms - self.smoothed_ms);
+
+        self.sample_t[self.head] = now.as_nanos() as f64 / 1e9;
+        self.sample_d[self.head] = self.smoothed_ms;
+        self.head = (self.head + 1) % TREND_WINDOW;
+        self.filled = (self.filled + 1).min(TREND_WINDOW);
+
+        let slope = self.trend_slope().unwrap_or(0.0);
+        if slope > SLOPE_THRESHOLD_MS_PER_S && self.smoothed_ms > MIN_QUEUE_DELAY_MS {
+            let since = *self.overuse_since.get_or_insert(now);
+            if now.since(since) >= OVERUSE_SUSTAIN {
+                self.state = DelayState::Overuse;
+            }
+        } else if slope < -SLOPE_THRESHOLD_MS_PER_S {
+            self.overuse_since = None;
+            self.state = DelayState::Underuse;
+        } else {
+            self.overuse_since = None;
+            self.state = DelayState::Normal;
+        }
+
+        if self.state == DelayState::Overuse {
+            // Multiplicative decrease, at most once per RTT so one
+            // episode is one cut per feedback round-trip.
+            let due = match self.last_cut {
+                None => true,
+                Some(at) => now.since(at) >= rtt,
+            };
+            if due {
+                self.wnd = (self.wnd * 7 / 8).max(self.mtu);
+                self.ssthresh = self.wnd;
+                self.accum = 0;
+                self.last_cut = Some(now);
+            }
+            DelaySignal::Overuse
+        } else if self.state == DelayState::Underuse {
+            DelaySignal::Underuse
+        } else {
+            DelaySignal::None
+        }
+    }
+
+    fn window(&self) -> u64 {
+        self.wnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn rate(&self, srtt: Option<Duration>) -> Rate {
+        match srtt {
+            Some(rtt) if !rtt.is_zero() => Rate::from_window(self.wnd, rtt),
+            _ => Rate::ZERO,
+        }
+    }
+
+    fn decay_idle(&mut self, intervals: u32) {
+        for _ in 0..intervals.min(63) {
+            if self.wnd <= self.init_window {
+                break;
+            }
+            self.wnd = (self.wnd / 2).max(self.init_window);
+        }
+        self.accum = 0;
+        // An idle macroflow's delay picture is stale by definition.
+        self.clear_filter();
+    }
+
+    fn reset(&mut self, cfg: &CmConfig) {
+        self.mtu = cfg.mtu as u64;
+        self.init_window = cfg.initial_window_bytes();
+        self.max_window = cfg.max_window_bytes;
+        self.wnd = self.init_window;
+        self.ssthresh = u64::MAX / 2;
+        self.accum = 0;
+        self.last_cut = None;
+        self.clear_filter();
+    }
+
+    fn name(&self) -> &'static str {
+        "delay-gradient"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn aimd_bytes() -> AimdController {
-        AimdController::new(1460, 1460, u64::MAX / 2, true)
+        AimdController::new(1460, 1460, u64::MAX / 2, true, 1 << 40)
     }
 
     #[test]
@@ -313,7 +649,7 @@ mod tests {
 
     #[test]
     fn congestion_avoidance_linear_growth() {
-        let mut c = AimdController::new(1460, 14600, 14600, true);
+        let mut c = AimdController::new(1460, 14600, 14600, true, 1 << 40);
         // At ssthresh already: acking one full window grows ~1 MTU.
         let w0 = c.window();
         c.on_ack(w0, 10, Time::ZERO);
@@ -327,7 +663,7 @@ mod tests {
 
     #[test]
     fn ca_accumulates_fractional_growth() {
-        let mut c = AimdController::new(1460, 14600, 14600, true);
+        let mut c = AimdController::new(1460, 14600, 14600, true, 1 << 40);
         let w0 = c.window();
         // Ten small acks of one-tenth window each: same total growth.
         for _ in 0..10 {
@@ -391,8 +727,8 @@ mod tests {
         // 10 ACKs each covering 146 bytes (an attacker splitting one MTU
         // into ten ACKs): byte counting grows by 1460 total, ACK counting
         // would grow by 14600.
-        let mut bytes = AimdController::new(1460, 1460, u64::MAX / 2, true);
-        let mut acks = AimdController::new(1460, 1460, u64::MAX / 2, false);
+        let mut bytes = AimdController::new(1460, 1460, u64::MAX / 2, true, 1 << 40);
+        let mut acks = AimdController::new(1460, 1460, u64::MAX / 2, false, 1 << 40);
         for _ in 0..10 {
             bytes.on_ack(146, 1, Time::ZERO);
             acks.on_ack(146, 1, Time::ZERO);
@@ -416,7 +752,7 @@ mod tests {
 
     #[test]
     fn rate_estimate_uses_srtt() {
-        let c = AimdController::new(1460, 14600, 14600, true);
+        let c = AimdController::new(1460, 14600, 14600, true, 1 << 40);
         let r = c.rate(Some(Duration::from_millis(100)));
         // 14600 bytes / 100 ms = 146 KB/s = 1.168 Mbps.
         assert_eq!(r.as_bytes_per_sec(), 146_000);
@@ -425,7 +761,7 @@ mod tests {
 
     #[test]
     fn rate_based_smoother_than_window() {
-        let mut c = RateBasedController::new(1460, 1460);
+        let mut c = RateBasedController::new(1460, 1460, 1 << 40);
         for _ in 0..20 {
             c.on_ack(c.window(), 4, Time::ZERO);
         }
@@ -478,5 +814,239 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(build_controller(&rb).name(), "rate-aimd");
+        let dg = CmConfig {
+            controller: ControllerKind::DelayGradient,
+            ..Default::default()
+        };
+        assert_eq!(build_controller(&dg).name(), "delay-gradient");
+    }
+
+    #[test]
+    fn configured_window_cap_binds_every_controller() {
+        let cfg = CmConfig {
+            max_window_bytes: 10_000,
+            ..Default::default()
+        };
+        for kind in [
+            ControllerKind::Aimd {
+                byte_counting: true,
+            },
+            ControllerKind::RateBased,
+            ControllerKind::DelayGradient,
+        ] {
+            let mut c = build_controller(&CmConfig {
+                controller: kind,
+                ..cfg.clone()
+            });
+            for _ in 0..64 {
+                c.on_ack(c.window(), 8, Time::ZERO);
+            }
+            assert!(
+                c.window() <= 10_000,
+                "{} exceeded the configured cap: {}",
+                c.name(),
+                c.window()
+            );
+        }
+    }
+
+    fn dg() -> DelayGradientController {
+        DelayGradientController::new(1460, 1460, 1 << 40)
+    }
+
+    /// Feeds `n` RTT samples ramping linearly from `from` to `to`, one
+    /// per 10 ms, acking a window's worth of data between samples (the
+    /// injected-overuse pattern). Returns the signals observed.
+    fn drive_ramp(
+        c: &mut DelayGradientController,
+        start: Time,
+        n: u32,
+        from: Duration,
+        to: Duration,
+    ) -> Vec<DelaySignal> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let now = start + Duration::from_millis(10 * (i as u64 + 1));
+            let frac = i as f64 / n.max(1) as f64;
+            let rtt = Duration::from_secs_f64(
+                from.as_secs_f64() + frac * (to.as_secs_f64() - from.as_secs_f64()),
+            );
+            out.push(c.on_rtt_sample(rtt, now));
+            c.on_ack(c.window(), 4, now);
+        }
+        out
+    }
+
+    #[test]
+    fn flat_delay_probes_like_aimd() {
+        let mut c = dg();
+        let mut now = Time::ZERO;
+        for _ in 0..20 {
+            now += Duration::from_millis(10);
+            assert_eq!(
+                c.on_rtt_sample(Duration::from_millis(50), now),
+                DelaySignal::None
+            );
+            c.on_ack(c.window(), 4, now);
+        }
+        // Slow-start growth happened (doubling per window acked).
+        assert!(c.window() > 100 * 1460, "no growth under flat delay");
+    }
+
+    #[test]
+    fn delay_ramp_declares_overuse_and_stops_growth() {
+        let mut c = dg();
+        // Warm up flat so the baseline and ring fill.
+        drive_ramp(
+            &mut c,
+            Time::ZERO,
+            20,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+        );
+        // Ramp the RTT 50 -> 250 ms over one second: queue is building.
+        // From the first overuse verdict onward the window must never
+        // exceed its value at detection, and at least one cut must land.
+        let mut w_at_detect: Option<u64> = None;
+        for i in 0..100u32 {
+            let now = Time::from_millis(200) + Duration::from_millis(10 * (i as u64 + 1));
+            let rtt = Duration::from_millis(50 + 2 * i as u64);
+            let sig = c.on_rtt_sample(rtt, now);
+            if sig.is_overuse() && w_at_detect.is_none() {
+                w_at_detect = Some(c.window());
+            }
+            c.on_ack(c.window(), 4, now);
+            if let Some(w) = w_at_detect {
+                assert!(
+                    c.window() <= w,
+                    "window grew after overuse was declared ({} > {w} at step {i})",
+                    c.window()
+                );
+            }
+        }
+        let w = w_at_detect.expect("sustained delay growth never declared overuse");
+        assert!(
+            c.window() < w,
+            "no multiplicative decrease during sustained overuse \
+             (detect {w}, end {})",
+            c.window()
+        );
+    }
+
+    #[test]
+    fn falling_delay_holds_instead_of_probing() {
+        let mut c = dg();
+        drive_ramp(
+            &mut c,
+            Time::ZERO,
+            20,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+        );
+        // Push delay up, then let it fall: the fall must read as
+        // underuse and freeze the window rather than re-probing it.
+        drive_ramp(
+            &mut c,
+            Time::from_millis(200),
+            60,
+            Duration::from_millis(50),
+            Duration::from_millis(200),
+        );
+        let w = c.window();
+        let signals = drive_ramp(
+            &mut c,
+            Time::from_millis(800),
+            40,
+            Duration::from_millis(200),
+            Duration::from_millis(60),
+        );
+        assert!(
+            signals.contains(&DelaySignal::Underuse),
+            "draining queue never read as underuse: {signals:?}"
+        );
+        assert!(
+            c.window() <= w,
+            "window grew while the queue drained ({} -> {})",
+            w,
+            c.window()
+        );
+    }
+
+    #[test]
+    fn dg_loss_still_bites() {
+        let mut c = dg();
+        drive_ramp(
+            &mut c,
+            Time::ZERO,
+            30,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+        );
+        let w = c.window();
+        c.on_loss(LossMode::Transient, Time::ZERO);
+        assert_eq!(c.window(), w * 7 / 8, "transient loss is a gentle cut");
+        let w2 = c.window();
+        c.on_loss(LossMode::Persistent, Time::ZERO);
+        assert_eq!(c.window(), w2 / 2, "persistent loss halves");
+        // Persistent loss re-learns the baseline: the next flat samples
+        // carry no stale overuse verdict.
+        assert_eq!(
+            c.on_rtt_sample(Duration::from_millis(300), Time::from_secs(2)),
+            DelaySignal::None
+        );
+    }
+
+    #[test]
+    fn dg_floor_cap_reset_and_decay() {
+        let cfg = CmConfig {
+            controller: ControllerKind::DelayGradient,
+            ..Default::default()
+        };
+        let mut c = build_controller(&cfg);
+        for _ in 0..100 {
+            c.on_loss(LossMode::Persistent, Time::ZERO);
+        }
+        assert_eq!(c.window(), 1460, "floor is 1 MTU");
+        let mut c = dg();
+        drive_ramp(
+            // Re-borrow as the concrete type for the ramp helper.
+            &mut c,
+            Time::ZERO,
+            40,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+        );
+        let w = c.window();
+        c.decay_idle(2);
+        assert_eq!(c.window(), (w / 4).max(1460));
+        c.reset(&cfg);
+        assert_eq!(c.window(), cfg.initial_window_bytes());
+        assert_eq!(c.name(), "delay-gradient");
+    }
+
+    #[test]
+    fn legacy_controllers_ignore_rtt_samples() {
+        // The default trait hook keeps loss/rate controllers
+        // bit-for-bit unchanged: absurd samples change nothing.
+        for kind in [
+            ControllerKind::Aimd {
+                byte_counting: true,
+            },
+            ControllerKind::RateBased,
+        ] {
+            let mut c = build_controller(&CmConfig {
+                controller: kind,
+                ..Default::default()
+            });
+            c.on_ack(c.window(), 4, Time::ZERO);
+            let w = c.window();
+            for rtt_ms in [0u64, 1, 10_000, 3_600_000] {
+                assert_eq!(
+                    c.on_rtt_sample(Duration::from_millis(rtt_ms), Time::ZERO),
+                    DelaySignal::None
+                );
+            }
+            assert_eq!(c.window(), w, "{} moved on an RTT sample", c.name());
+        }
     }
 }

@@ -88,7 +88,9 @@ pub use config::{
     AggregationPolicy, CmConfig, ControllerKind, ReaggregationConfig, SchedulerKind,
     ShardingConfig, ShardingMode, TickStrategy, TracingConfig,
 };
-pub use controller::{AimdController, CongestionController, RateBasedController};
+pub use controller::{
+    AimdController, CongestionController, DelayGradientController, DelaySignal, RateBasedController,
+};
 pub use error::CmError;
 pub use types::{
     Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,

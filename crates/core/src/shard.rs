@@ -580,8 +580,12 @@ impl Shard {
             diverged |= (flow_loss - mf.loss_rate.get_or(0.0)).abs() > r.loss_delta;
         }
         mf.last_activity = now;
+        let mut delay_overuse = false;
         if let Some(rtt) = report.rtt_sample {
             mf.rtt.update(rtt);
+            // Delay-based controllers read the raw sample; loss/rate
+            // controllers take the default no-op hook.
+            delay_overuse = mf.controller.on_rtt_sample(rtt, now).is_overuse();
         }
         mf.outstanding = mf.outstanding.saturating_sub(resolved);
         if resolved > 0 {
@@ -617,6 +621,16 @@ impl Shard {
                 TraceEvent::Congestion {
                     macroflow: mf_id.0,
                     signal: congestion_signal(report.loss),
+                    cwnd: cwnd_after,
+                },
+            );
+        }
+        if delay_overuse {
+            self.tracer.record(
+                now,
+                TraceEvent::Congestion {
+                    macroflow: mf_id.0,
+                    signal: CongestionSignal::Delay,
                     cwnd: cwnd_after,
                 },
             );

@@ -159,11 +159,18 @@ pub struct FeedbackReport {
     /// Bytes newly believed lost.
     pub bytes_lost: u64,
     /// Number of acknowledgement events this report aggregates (used by
-    /// the ACK-counting controller variant and delayed-feedback clients).
+    /// [`ControllerKind::Aimd`] with `byte_counting: false`, which grows
+    /// per ACK rather than per byte, and by delayed-feedback clients).
+    ///
+    /// [`ControllerKind::Aimd`]: crate::config::ControllerKind::Aimd
     pub ack_events: u32,
     /// The kind of congestion being reported.
     pub loss: LossMode,
-    /// A round-trip time sample, if the client measured one.
+    /// A round-trip time sample, if the client measured one. Feeds the
+    /// shared sRTT estimate and, under
+    /// [`ControllerKind::DelayGradient`], the queueing-delay trendline.
+    ///
+    /// [`ControllerKind::DelayGradient`]: crate::config::ControllerKind::DelayGradient
     pub rtt_sample: Option<Duration>,
 }
 

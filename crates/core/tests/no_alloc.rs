@@ -247,3 +247,89 @@ fn sharded_churn_never_allocates_in_steady_state() {
          allocations per 20 open/traffic/close/recycle cycles)"
     );
 }
+
+/// One delay-gradient feedback cycle: a request/grant/notify round, then
+/// an `update` carrying an RTT sample that ramps up and back down so the
+/// trendline filter sweeps Normal -> Overuse -> Underuse territory —
+/// every branch of `on_rtt_sample` (ring push, regression, detector,
+/// multiplicative cut) runs inside the CM's update path.
+fn delay_gradient_cycle(
+    cm: &mut CongestionManager,
+    f: FlowId,
+    now: &mut Time,
+    notes: &mut Vec<CmNotification>,
+) {
+    for i in 0..40u64 {
+        cm.request(f, *now).unwrap();
+        notes.clear();
+        cm.drain_notifications_into(notes);
+        for &n in notes.iter() {
+            if let CmNotification::SendGrant { flow } = n {
+                cm.notify(flow, 1460, *now).unwrap();
+            }
+        }
+        // Triangle wave, 40 -> 240 -> 40 ms over the cycle.
+        let tri = if i < 20 { i } else { 40 - i };
+        let rtt = Duration::from_millis(40 + 10 * tri);
+        cm.update(f, FeedbackReport::ack(1460, 1).with_rtt(rtt), *now)
+            .unwrap();
+        *now += Duration::from_millis(10);
+    }
+}
+
+fn delay_gradient_min_delta(tracing: Option<TracingConfig>) -> u64 {
+    let mut cm = CongestionManager::new(CmConfig {
+        controller: ControllerKind::DelayGradient,
+        pacing: false,
+        tracing,
+        ..Default::default()
+    });
+    let key = FlowKey::new(Endpoint::new(1, 1000), Endpoint::new(9, 80));
+    let f = cm.open(key, Time::ZERO).unwrap();
+    let mut now = Time::ZERO;
+    let mut notes: Vec<CmNotification> = Vec::with_capacity(64);
+
+    // Warm-up sizes the grant queues, notification buffer, and (when
+    // enabled) the flight-recorder ring.
+    for _ in 0..2 {
+        delay_gradient_cycle(&mut cm, f, &mut now, &mut notes);
+    }
+
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..20 {
+            delay_gradient_cycle(&mut cm, f, &mut now, &mut notes);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
+    }
+    min_delta
+}
+
+/// The delay-gradient controller's whole update path — EWMA, trendline
+/// ring, overuse detector, AIMD-on-delay actuation — is flat state per
+/// docs/perf.md: zero heap allocation in steady state, with the flight
+/// recorder off (the default).
+#[test]
+fn delay_gradient_update_path_never_allocates_tracer_disabled() {
+    let min_delta = delay_gradient_min_delta(None);
+    assert_eq!(
+        min_delta, 0,
+        "delay-gradient update path allocated in every trial (at least \
+         {min_delta} allocations per 20 feedback cycles, tracing off)"
+    );
+}
+
+/// Same guarantee with the flight recorder on: recording the
+/// `congestion_delay` overuse events into the fixed-capacity ring must
+/// not allocate either.
+#[test]
+fn delay_gradient_update_path_never_allocates_tracer_enabled() {
+    let min_delta = delay_gradient_min_delta(Some(TracingConfig::default()));
+    assert_eq!(
+        min_delta, 0,
+        "delay-gradient update path allocated in every trial (at least \
+         {min_delta} allocations per 20 feedback cycles, tracing on)"
+    );
+}

@@ -212,7 +212,11 @@ hysteresis trade: damping buys stability at a small utility cost.",
             ),
         ],
         policies: AdaptPolicyKind::ALL.to_vec(),
-        controllers: vec![AIMD, ControllerKind::RateBased],
+        controllers: vec![
+            AIMD,
+            ControllerKind::RateBased,
+            ControllerKind::DelayGradient,
+        ],
         secs,
         seeds,
     };

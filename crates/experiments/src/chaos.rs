@@ -92,6 +92,7 @@ fn tag(scenario: &str, seed: u64, now: Time) -> String {
 /// The chaos scenario catalogue.
 pub const SCENARIOS: &[&str] = &[
     "tcp_bulk",
+    "tcp_bulk_delay",
     "tcp_pair",
     "alf_blast",
     "misbehaving_app",
@@ -137,6 +138,7 @@ impl ChaosOutcome {
 pub fn run_chaos(scenario: &str, plan: &FaultPlan) -> ChaosOutcome {
     match scenario {
         "tcp_bulk" => tcp_bulk(plan),
+        "tcp_bulk_delay" => tcp_bulk_delay(plan),
         "tcp_pair" => tcp_pair(plan),
         "alf_blast" => alf_blast(plan),
         "misbehaving_app" => misbehaving_app(plan),
@@ -273,6 +275,26 @@ fn faulted_path(base: PathSpec, plan: &FaultPlan) -> PathSpec {
 
 /// One bulk TCP/CM transfer over a faulted wide-area path.
 fn tcp_bulk(plan: &FaultPlan) -> ChaosOutcome {
+    tcp_bulk_kind(plan, "tcp_bulk", CmConfig::default())
+}
+
+/// The same bulk transfer with the client on the delay-gradient
+/// controller — the delay detector must survive hostile paths (spiky
+/// RTTs, outages, bogus feedback) without tripping an invariant.
+fn tcp_bulk_delay(plan: &FaultPlan) -> ChaosOutcome {
+    tcp_bulk_kind(
+        plan,
+        "tcp_bulk_delay",
+        CmConfig {
+            controller: cm_core::config::ControllerKind::DelayGradient,
+            ..Default::default()
+        },
+    )
+}
+
+/// Shared body of the bulk-transfer scenarios, parameterized by the
+/// client's CM configuration (the server stays on the default).
+fn tcp_bulk_kind(plan: &FaultPlan, name: &'static str, client_cfg: CmConfig) -> ChaosOutcome {
     const TOTAL: u64 = 256 * 1024;
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a0));
     let mut server = Host::new(chaos_host_cfg(CmConfig::default()));
@@ -280,7 +302,7 @@ fn tcp_bulk(plan: &FaultPlan) -> ChaosOutcome {
     let server_id = topo.add_host(Box::new(server));
     let server_addr = topo.sim().addr_of(server_id);
 
-    let mut client = Host::new(chaos_host_cfg(CmConfig::default()));
+    let mut client = Host::new(chaos_host_cfg(client_cfg));
     let tx_app = client.add_app(Box::new(BulkSender::new(
         server_addr,
         80,
@@ -301,15 +323,15 @@ fn tcp_bulk(plan: &FaultPlan) -> ChaosOutcome {
         &mut sim,
         &hosts,
         Time::ZERO + HORIZON + TAIL,
-        "tcp_bulk",
+        name,
         plan.seed,
         &mut violations,
     );
-    let mut out = bulk_outcome("tcp_bulk", plan, &sim, client_id, tx_app, violations);
+    let mut out = bulk_outcome(name, plan, &sim, client_id, tx_app, violations);
     if !out.completed {
         out.violations.push(format!(
             "{} honest transfer stuck (never completed)",
-            tag("tcp_bulk", plan.seed, sim.now())
+            tag(name, plan.seed, sim.now())
         ));
     }
     if !out.ok() {

@@ -70,6 +70,7 @@ pub fn controller_label(kind: ControllerKind) -> &'static str {
             byte_counting: false,
         } => "aimd-acks",
         ControllerKind::RateBased => "rate-based",
+        ControllerKind::DelayGradient => "delay-gradient",
     }
 }
 

@@ -20,6 +20,9 @@ pub enum CongestionSignal {
     Persistent,
     /// ECN echo: reduce without loss.
     Ecn,
+    /// Delay-gradient overuse: a delay-based controller detected a
+    /// rising queueing-delay trend and backed off before any loss.
+    Delay,
 }
 
 /// One recorded CM decision.
@@ -167,6 +170,7 @@ impl TraceEvent {
                 CongestionSignal::Transient => "congestion_transient",
                 CongestionSignal::Persistent => "congestion_persistent",
                 CongestionSignal::Ecn => "congestion_ecn",
+                CongestionSignal::Delay => "congestion_delay",
             },
             TraceEvent::WriteOff { .. } => "write_off",
             TraceEvent::BackoffArmed { .. } => "backoff_armed",
@@ -276,6 +280,11 @@ mod tests {
             TraceEvent::Congestion {
                 macroflow: 2,
                 signal: CongestionSignal::Ecn,
+                cwnd: 1460,
+            },
+            TraceEvent::Congestion {
+                macroflow: 2,
+                signal: CongestionSignal::Delay,
                 cwnd: 1460,
             },
             TraceEvent::WriteOff {
