@@ -1,0 +1,118 @@
+//! `churn_1m`: one million flows churning through the thread-per-shard
+//! parallel runtime at 1/2/4/8 workers.
+//!
+//! The proof point for `cm_core::runtime::ShardRuntime`: a feedback +
+//! request + notify round over a 100k-flow window of a 1M-flow
+//! population, ending in a `tick` barrier, so one iteration is a
+//! complete churn round whose commands have all *executed* (not merely
+//! been enqueued) when the clock stops. Near-linear scaling across the
+//! worker counts is expected on a multi-core host — per-shard work
+//! partitions evenly (the deterministic `parallel_scaling` figure pins
+//! the partition itself) and the serial front costs ~3 ring pushes per
+//! flow against ~3 shard state machines of work per flow on the
+//! workers. On a single-core host the worker counts necessarily
+//! timeslice one CPU and the series measures runtime overhead instead
+//! of scaling; docs/perf.md records which kind of host produced the
+//! committed baseline.
+//!
+//! Smoke mode (`--test`, CI) shrinks the population 20x so the setup
+//! cost stays in CI budget; the measured shape is unchanged.
+
+use cm_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const GROUPS: u32 = 256;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn population() -> usize {
+    if smoke() {
+        50_000
+    } else {
+        1_000_000
+    }
+}
+
+fn window(flows: usize) -> usize {
+    flows / 10
+}
+
+fn key(i: usize) -> FlowKey {
+    FlowKey::new(
+        Endpoint::new(1 + (i / 60_000) as u32, (i % 60_000) as u16 + 1),
+        Endpoint::new(0xc0a8_0000 + i as u32 % GROUPS, 80),
+    )
+}
+
+fn cfg() -> CmConfig {
+    CmConfig {
+        sharding: ShardingConfig::by_group(GROUPS),
+        pacing: false,
+        ..Default::default()
+    }
+}
+
+/// Opens the whole population through the pipelined batch path.
+fn setup(workers: usize, flows_n: usize) -> (ShardRuntime, Vec<FlowId>) {
+    let mut rt = ShardRuntime::new(cfg(), ParallelConfig::with_workers(workers));
+    let keys: Vec<FlowKey> = (0..flows_n).map(key).collect();
+    let mut flows = Vec::with_capacity(flows_n);
+    let mut ids = Vec::new();
+    for chunk in keys.chunks(65_536) {
+        rt.open_batch(chunk, Time::ZERO, &mut ids);
+        for id in &ids {
+            flows.push(id.expect("bench open"));
+        }
+    }
+    (rt, flows)
+}
+
+fn churn_1m(c: &mut Criterion) {
+    let flows_n = population();
+    let win = window(flows_n);
+    let mut g = c.benchmark_group("churn_1m");
+    g.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        let (mut rt, flows) = setup(workers, flows_n);
+        let mut cursor = 0usize;
+        let mut now = Time::ZERO;
+        let mut notes: Vec<CmNotification> = Vec::new();
+        g.bench_function(&format!("{flows_n}flows_{workers}w"), |b| {
+            b.iter(|| {
+                now += Duration::from_millis(10);
+                notes.clear();
+                for j in 0..win {
+                    let f = flows[(cursor + j) % flows_n];
+                    rt.update(
+                        f,
+                        FeedbackReport::ack(1460, 1).with_rtt(Duration::from_millis(40)),
+                        now,
+                    );
+                    rt.request(f, now);
+                    rt.notify(f, 1460, now);
+                    // Periodic drain keeps reply rings flowing, like a
+                    // host settle loop would.
+                    if j % 8_192 == 8_191 {
+                        rt.drain_notifications_into(&mut notes);
+                    }
+                }
+                cursor = (cursor + win) % flows_n;
+                // Barrier: every command above has executed when this
+                // returns.
+                rt.tick(now);
+                rt.drain_notifications_into(&mut notes);
+                black_box(notes.len())
+            });
+        });
+        let stats = rt.stats();
+        assert_eq!(stats.opens as usize, flows_n, "setup lost opens");
+        assert_eq!(rt.op_failures(), 0, "churn produced op failures");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, churn_1m);
+criterion_main!(benches);

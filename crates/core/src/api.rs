@@ -76,7 +76,7 @@ pub enum CmNotification {
 }
 
 /// Cumulative counters over a CM's lifetime.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CmStats {
     /// `open` calls that succeeded.
     pub opens: u64,
@@ -140,6 +140,12 @@ pub struct CmStats {
     /// Orphaned flows reaped by the maintenance timer after the opt-in
     /// [`crate::config::CmConfig::orphan_timeout`] of API silence.
     pub flows_reaped: u64,
+    /// Ring-full backpressure events in the parallel runtime: command
+    /// pushes that found a worker's ring full, plus worker reply pushes
+    /// that spilled to the overflow queue
+    /// ([`crate::runtime::ShardRuntime`]). Always 0 for the in-process
+    /// `CongestionManager`, which has no rings.
+    pub ring_stalls: u64,
 }
 
 impl CmStats {
@@ -147,7 +153,7 @@ impl CmStats {
     /// per-shard stats on demand). The exhaustive destructuring makes a
     /// counter added to `CmStats` but forgotten here a compile error
     /// instead of a silently-dropped statistic.
-    fn accumulate(&mut self, other: &CmStats) {
+    pub(crate) fn accumulate(&mut self, other: &CmStats) {
         let CmStats {
             opens,
             closes,
@@ -174,6 +180,7 @@ impl CmStats {
             flows_quarantined,
             grant_backoffs,
             flows_reaped,
+            ring_stalls,
         } = *other;
         self.opens += opens;
         self.closes += closes;
@@ -200,6 +207,7 @@ impl CmStats {
         self.flows_quarantined += flows_quarantined;
         self.grant_backoffs += grant_backoffs;
         self.flows_reaped += flows_reaped;
+        self.ring_stalls += ring_stalls;
     }
 }
 
@@ -277,6 +285,18 @@ impl CongestionManager {
 
     /// Lifetime counters, aggregated across all shards (live and
     /// recycled).
+    ///
+    /// # Consistency model
+    ///
+    /// The in-process CM is single-threaded, so this aggregate is a
+    /// true instantaneous snapshot: every per-shard counter block is
+    /// read with no CM entry point in flight, counters are monotone
+    /// (successive calls never regress, including across shard
+    /// recycling — recycled shards fold into `front_stats` first), and
+    /// no read is torn. The parallel front
+    /// ([`crate::runtime::ShardRuntime::stats`]) keeps the per-shard
+    /// snapshot and monotonicity guarantees but relaxes the global
+    /// instant — see its documentation for the exact model.
     pub fn stats(&self) -> CmStats {
         let mut total = self.front_stats;
         for shard in self.shards.iter().flatten() {
@@ -630,6 +650,39 @@ impl CongestionManager {
     /// `max_shards` cap keeps that shard's configuration).
     pub fn set_group_config(&mut self, group: u64, cfg: CmConfig) {
         self.group_overrides.insert(group, cfg);
+    }
+
+    /// Converts this in-process CM into a multi-core
+    /// [`crate::runtime::ShardRuntime`], moving every live shard — with
+    /// all of its flows, macroflows, learned congestion state, pending
+    /// notifications, and counters — onto the worker thread that owns
+    /// its index (`Shard` is `Send`; the move is a pointer handoff, not
+    /// a copy of the slabs). Routing state, group overrides, front-level
+    /// counters, and folded recycled-shard metrics history all carry
+    /// over, so `stats()` and `metrics()` remain lossless across the
+    /// conversion. Undrained notifications are forwarded by each worker
+    /// before it processes its first command; any barrier (a `tick`,
+    /// `stats`, or [`crate::runtime::ShardRuntime::sync`]) therefore
+    /// makes them visible to a subsequent drain. The shell pool and round-robin cursor do not apply
+    /// to the runtime (it never recycles shards) and are dropped.
+    pub fn into_parallel(
+        self,
+        parallel: crate::runtime::ParallelConfig,
+    ) -> crate::runtime::ShardRuntime {
+        let carry_metrics = self.front_tracer.metrics().map(|m| {
+            let mut acc = cm_obs::MetricsRegistry::new();
+            acc.merge(m);
+            acc
+        });
+        let seed = crate::runtime::FrontSeed {
+            shards: self.shards,
+            shard_map: self.shard_map,
+            private_shard: self.private_shard,
+            carry_stats: self.front_stats,
+            overrides: self.group_overrides,
+            carry_metrics,
+        };
+        crate::runtime::ShardRuntime::with_seed(self.cfg, seed, parallel)
     }
 
     /// The override registered for `group`, if any.

@@ -75,6 +75,8 @@ pub mod controller;
 pub mod error;
 pub mod flow;
 pub mod macroflow;
+pub mod ring;
+pub mod runtime;
 pub mod scheduler;
 mod shard;
 pub mod types;
@@ -92,6 +94,7 @@ pub use controller::{
     AimdController, CongestionController, DelayGradientController, DelaySignal, RateBasedController,
 };
 pub use error::CmError;
+pub use runtime::{ParallelConfig, ShardRuntime, WorkerStats};
 pub use types::{
     Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,
 };
@@ -104,6 +107,7 @@ pub mod prelude {
         ShardingConfig, ShardingMode, TickStrategy, TracingConfig,
     };
     pub use crate::error::CmError;
+    pub use crate::runtime::{ParallelConfig, ShardRuntime, WorkerStats};
     pub use crate::types::{
         Endpoint, FeedbackReport, FlowId, FlowInfo, FlowKey, LossMode, MacroflowId, Thresholds,
     };
