@@ -143,7 +143,8 @@ impl BlastSender {
                 }
             }
             BlastApi::Alf | BlastApi::AlfNoconnect => {
-                let flow = self.flow.expect("flow open");
+                // Not yet opened (start() hasn't run): nothing to request.
+                let Some(flow) = self.flow else { return };
                 let ceiling = WINDOW.saturating_sub(in_net);
                 while (self.requests_outstanding as u64) < ceiling
                     && self.sent < self.target_packets
@@ -212,7 +213,9 @@ impl HostApp for BlastSender {
         if let Some(delta) = self.tracker.absorb(&ack) {
             self.acked += delta.packets_acked;
             self.lost += delta.packets_lost;
-            let flow = self.flow.expect("flow open");
+            // ACKs can only arrive for packets sent on an open flow, but
+            // degrade to dropping the report rather than crashing the host.
+            let Some(flow) = self.flow else { return };
             let report = if delta.packets_lost > 0 {
                 FeedbackReport::loss(
                     LossMode::Transient,

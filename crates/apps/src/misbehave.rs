@@ -139,7 +139,7 @@ impl MisbehavingSender {
     }
 
     fn top_up(&mut self, os: &mut HostOs<'_, '_>) {
-        let flow = self.flow.expect("flow open");
+        let Some(flow) = self.flow else { return };
         let in_net = self.sent.saturating_sub(self.acked + self.lost);
         let ceiling = WINDOW.saturating_sub(in_net.min(WINDOW));
         while (self.requests_outstanding as u64) < ceiling && self.sent < self.target_packets {
@@ -216,7 +216,7 @@ impl HostApp for MisbehavingSender {
             self.acked += delta.packets_acked;
             self.lost += delta.packets_lost;
             if !self.silent(now) {
-                let flow = self.flow.expect("flow open");
+                let Some(flow) = self.flow else { return };
                 let report = if delta.packets_lost > 0 {
                     FeedbackReport::loss(
                         LossMode::Transient,

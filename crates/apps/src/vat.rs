@@ -152,8 +152,10 @@ impl VatAudio {
     fn drain(&mut self, os: &mut HostOs<'_, '_>) {
         let Some(sock) = self.sock else { return };
         let frame_bytes = self.frame_bytes();
-        while !self.buffer.is_empty() && os.ccudp_queue_len(sock) < 4 {
-            let frame = self.buffer.pop_front().expect("checked non-empty");
+        while os.ccudp_queue_len(sock) < 4 {
+            let Some(frame) = self.buffer.pop_front() else {
+                break;
+            };
             let now = os.now();
             let dgram = UdpDatagram {
                 tag: frame.seq,

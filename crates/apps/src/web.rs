@@ -73,6 +73,7 @@ impl WebServer {
     /// Panics if `variants` is empty/unsorted or `deadline` is zero.
     pub fn adaptive(port: u16, mode: CcMode, variants: Vec<u64>, deadline: Duration) -> Self {
         assert!(!deadline.is_zero(), "adaptive server needs a deadline");
+        assert!(!variants.is_empty(), "adaptive server needs variants");
         // Each variant's cost on the ladder is the rate that downloads
         // it in one second; the deadline policy's budget is then
         // rate × deadline, i.e. "bytes deliverable in time".
@@ -86,7 +87,7 @@ impl WebServer {
         WebServer {
             port,
             mode,
-            file_size: *variants.last().expect("nonempty variants"),
+            file_size: variants.last().copied().unwrap_or(0),
             served: 0,
             served_by_variant: vec![0; variants.len()],
             variants,

@@ -321,7 +321,9 @@ impl CongestionManager {
     pub fn open(&mut self, key: FlowKey, now: Time) -> CmResult<FlowId> {
         let group = self.cfg.aggregation.group_of(&key);
         let sid = self.shard_for_open(group, now);
-        let shard = self.shards[sid as usize].as_mut().expect("routed shard");
+        let Some(shard) = self.shards[sid as usize].as_mut() else {
+            unreachable!("shard_for_open returned an unrouted shard index")
+        };
         shard.dirty = true;
         shard.open(key, now)
     }

@@ -57,29 +57,24 @@ pub enum MacroflowKey {
 }
 
 impl MacroflowKey {
-    /// Builds the key for aggregation group `group` under `policy`.
-    ///
-    /// # Panics
-    ///
-    /// Panics for [`AggregationPolicy::AppDirected`], which has no group
+    /// Builds the key for aggregation group `group` under `policy`, or
+    /// `None` for [`AggregationPolicy::AppDirected`], which has no group
     /// keys (every open is private).
-    pub fn for_group(policy: AggregationPolicy, group: u64, dscp: u8) -> Self {
+    pub fn for_group(policy: AggregationPolicy, group: u64, dscp: u8) -> Option<Self> {
         match policy {
-            AggregationPolicy::Destination => MacroflowKey::Destination {
+            AggregationPolicy::Destination => Some(MacroflowKey::Destination {
                 addr: group as u32,
                 dscp,
-            },
-            AggregationPolicy::Subnet { .. } => MacroflowKey::Subnet {
+            }),
+            AggregationPolicy::Subnet { .. } => Some(MacroflowKey::Subnet {
                 prefix: group as u32,
                 dscp,
-            },
-            AggregationPolicy::Path => MacroflowKey::Path {
+            }),
+            AggregationPolicy::Path => Some(MacroflowKey::Path {
                 local: group as u32,
                 dscp,
-            },
-            AggregationPolicy::AppDirected => {
-                panic!("app-directed aggregation has no group keys")
-            }
+            }),
+            AggregationPolicy::AppDirected => None,
         }
     }
 

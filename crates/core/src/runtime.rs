@@ -116,6 +116,7 @@ pub struct WorkerStats {
 
 /// One command to the worker owning a shard. Every variant is `Copy`
 /// and flat: the ring slot is the only storage a message ever occupies.
+// lint:ring-slot
 #[derive(Clone, Copy, Debug)]
 enum ShardCommand {
     Open {
@@ -172,6 +173,7 @@ enum ShardCommand {
 }
 
 /// One message from a worker back to the front. Also flat `Copy`.
+// lint:ring-slot
 #[derive(Clone, Copy, Debug)]
 enum ShardReply {
     Opened {
@@ -252,13 +254,16 @@ struct ReplyPort {
 }
 
 impl ReplyPort {
+    // lint:hot-path:start
     fn push(&mut self, reply: ShardReply) {
         if self.spill.is_empty() {
             match self.ring.try_push(reply) {
                 Push::Ok | Push::Closed => {}
+                // lint:allow(R1): lossless overflow for a full ring; the deque keeps its capacity once grown
                 Push::Full => self.spill.push_back(reply),
             }
         } else {
+            // lint:allow(R1): FIFO order — new replies queue behind the spill until it drains
             self.spill.push_back(reply);
         }
     }
@@ -278,6 +283,8 @@ impl ReplyPort {
             }
         }
     }
+
+    // lint:hot-path:end
 
     fn stalls(&self) -> u64 {
         self.ring.stalls()
@@ -305,6 +312,7 @@ struct Worker {
 }
 
 impl Worker {
+    // lint:worker-loop:start
     fn run(mut self) {
         // Shards inherited from `CongestionManager::into_parallel` may
         // carry undrained notifications; forward them before the first
@@ -467,7 +475,11 @@ impl Worker {
             self.shards[sid as usize] = Some(Shard::new(cfg, sid));
             self.fstats.shards_created += 1;
         }
-        self.shards[sid as usize].as_mut().expect("just created")
+        match self.shards[sid as usize].as_mut() {
+            Some(s) => s,
+            // The branch above inserted it when the slot was empty.
+            None => unreachable!("shard {sid} live after ensure_shard"),
+        }
     }
 
     /// Ticks every owned shard, with the same quiet-shard O(1) skip and
@@ -503,6 +515,7 @@ impl Worker {
             self.replies.push(ShardReply::Note(note));
         }
     }
+    // lint:worker-loop:end
 }
 
 /// The front's handle to one worker thread.
@@ -615,6 +628,7 @@ impl ShardRuntime {
             let join = thread::Builder::new()
                 .name(format!("cm-shard-{w}"))
                 .spawn(move || worker.run())
+                // lint:allow(R2): OS thread exhaustion at construction is unrecoverable
                 .expect("spawn CM shard worker");
             lanes.push(Lane {
                 cmds: cmd_tx,
@@ -723,6 +737,7 @@ impl ShardRuntime {
     /// the worker's replies (so it is never the front that deadlocks a
     /// full reply ring against a full command ring) and retry. Stalls
     /// are counted by the producer and reported via `stats()`.
+    // lint:hot-path:start
     fn send(&mut self, lane: usize, cmd: ShardCommand) {
         loop {
             match self.lanes[lane].cmds.try_push(cmd) {
@@ -731,6 +746,7 @@ impl ShardRuntime {
                     self.drain_lane(lane);
                     thread::yield_now();
                 }
+                // lint:allow(R2): closed ring = worker panicked; propagate the crash instead of wedging the front
                 Push::Closed => panic!("cm-shard-{lane}: worker exited (command ring closed)"),
             }
         }
@@ -740,11 +756,13 @@ impl ShardRuntime {
     /// (batched opens) park in `stray` until their waiter looks.
     fn absorb(&mut self, reply: ShardReply) {
         match reply {
+            // lint:allow(R1): notification buffer retains capacity; drained by drain_notifications_into
             ShardReply::Note(n) => self.notes.push_back(n),
             ShardReply::OpFailed(e) => {
                 self.op_failures += 1;
                 self.last_op_failure = Some(e);
             }
+            // lint:allow(R1): stray parking lot is bounded by in-flight sync calls (tiny); capacity retained
             sync => self.stray.push(sync),
         }
     }
@@ -759,6 +777,8 @@ impl ShardRuntime {
         }
     }
 
+    // lint:hot-path:end
+
     fn take_stray(&mut self, want: u32) -> Option<ShardReply> {
         let idx = self.stray.iter().position(|r| reply_seq(r) == Some(want))?;
         Some(self.stray.swap_remove(idx))
@@ -770,6 +790,7 @@ impl ShardRuntime {
         if let Some(r) = self.take_stray(want) {
             return r;
         }
+        // lint:allow(R3): wall-clock watchdog for a cross-thread wait; feeds no CM decision
         let deadline = Instant::now() + SYNC_TIMEOUT;
         loop {
             match self.lanes[lane]
@@ -782,6 +803,7 @@ impl ShardRuntime {
                     }
                     self.absorb(r);
                 }
+                // lint:allow(R2): worker death mid-call crashes the runtime; surface it, don't return bogus data
                 Pop::Closed => panic!("cm-shard-{lane}: worker exited mid-call"),
                 Pop::Empty => {
                     let dead = self.lanes[lane]
@@ -790,6 +812,7 @@ impl ShardRuntime {
                         .is_some_and(JoinHandle::is_finished);
                     assert!(!dead, "cm-shard-{lane}: worker thread terminated");
                     assert!(
+                        // lint:allow(R3): watchdog expiry check (see above)
                         Instant::now() < deadline,
                         "cm-shard-{lane}: no reply within {SYNC_TIMEOUT:?}"
                     );
@@ -889,6 +912,7 @@ impl ShardRuntime {
         // Collect the tail. Any Opened seq in (base, base+len] belongs
         // to this batch — the front is serial, so no other opens are
         // outstanding.
+        // lint:allow(R3): wall-clock watchdog for the batched-open fan-in; feeds no CM decision
         let deadline = Instant::now() + SYNC_TIMEOUT;
         while done < keys.len() {
             let mut progressed = false;
@@ -923,6 +947,7 @@ impl ShardRuntime {
             }
             if !progressed {
                 assert!(
+                    // lint:allow(R3): watchdog expiry check (see above)
                     Instant::now() < deadline,
                     "open_batch: {} of {} replies missing after {SYNC_TIMEOUT:?}",
                     keys.len() - done,

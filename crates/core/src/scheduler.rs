@@ -207,6 +207,7 @@ impl Ring {
 
     /// Counts one request; links the flow at the rotation tail when it
     /// transitions idle -> pending.
+    // lint:hot-path:start
     fn enqueue(&mut self, flow: FlowId) -> bool {
         let Some(l) = self.local(flow) else {
             return false;
@@ -293,6 +294,7 @@ impl Ring {
             self.head = self.slots[self.head as usize].next;
         }
     }
+    // lint:hot-path:end
 
     /// Empties the ring while retaining capacity. The index keeps its
     /// length (re-filled with [`NIL`]) so re-registering previously seen

@@ -232,14 +232,17 @@ impl Shard {
             return Err(CmError::DuplicateFlow);
         }
         let dscp_class = if self.cfg.group_by_dscp { key.dscp } else { 0 };
-        let mf_id = match self.cfg.aggregation.group_of(&key) {
-            Some(group) => match self.group_to_mf.get(&(group, dscp_class)) {
+        // `group_of` yields a group only for policies with group keys,
+        // so `for_group` always resolves here; app-directed opens (and
+        // any future keyless policy) fall through to a private macroflow.
+        let grouped = self.cfg.aggregation.group_of(&key).and_then(|group| {
+            MacroflowKey::for_group(self.cfg.aggregation, group, dscp_class).map(|mk| (group, mk))
+        });
+        let mf_id = match grouped {
+            Some((group, mk)) => match self.group_to_mf.get(&(group, dscp_class)) {
                 Some(&id) => id,
                 None => {
-                    let id = self.alloc_macroflow(
-                        MacroflowKey::for_group(self.cfg.aggregation, group, dscp_class),
-                        now,
-                    );
+                    let id = self.alloc_macroflow(mk, now);
                     self.group_to_mf.insert((group, dscp_class), id);
                     id
                 }
@@ -357,6 +360,7 @@ impl Shard {
     // Data transmission (paper §2.1.2)
     // ------------------------------------------------------------------
 
+    // lint:hot-path:start
     pub(crate) fn request(&mut self, flow: FlowId, now: Time) -> CmResult<()> {
         let f = self.flow_mut(flow)?;
         let mf_id = f.macroflow;
@@ -391,6 +395,7 @@ impl Shard {
         let mf = self.mf_mut(mf_id)?;
         mf.scheduler.enqueue(lid(flow));
         if !self.scratch_mfs.contains(&mf_id) {
+            // lint:allow(R1): scratch list retains capacity across flushes; no_alloc test pins the steady state
             self.scratch_mfs.push(mf_id);
         }
         Ok(())
@@ -644,6 +649,8 @@ impl Shard {
         Ok(())
     }
 
+    // lint:hot-path:end
+
     /// Applies one divergence observation to `flow`'s streak and splits
     /// it out when the configured threshold is reached. Part of the
     /// `update` hot path: allocation-free (the split reuses pooled
@@ -869,7 +876,9 @@ impl Shard {
     /// slots scanned (the front's tick-cost accounting), and leaves
     /// `pending_maintenance`/`dirty` reflecting whether the next tick
     /// has anything to do.
+    // lint:hot-path:start
     pub(crate) fn tick(&mut self, now: Time) -> u64 {
+        // lint:allow(R1): CmConfig is plain-old-data; its derived Clone touches no heap (no_alloc test pins this)
         let cfg = self.cfg.clone();
         if let Some(r) = cfg.reaggregation {
             self.merge_back_pass(&r, now);
@@ -883,7 +892,9 @@ impl Shard {
             let mf_id = MacroflowId(self.base | i as u32);
             self.reclaim_expired_grants(mf_id, now);
             let expired = {
-                let mf = self.mfs[i].as_mut().expect("checked");
+                let Some(mf) = self.mfs[i].as_mut() else {
+                    continue;
+                };
                 // Write off outstanding bytes whose feedback never came:
                 // their senders are gone or their packets (and ACKs) are
                 // lost, and holding window for them forever can wedge the
@@ -939,7 +950,10 @@ impl Shard {
                 matches!(mf.empty_since, Some(t) if now.since(t) >= cfg.macroflow_linger)
             };
             if expired {
-                let mut mf = self.mfs[i].take().expect("checked");
+                let Some(mut mf) = self.mfs[i].take() else {
+                    continue;
+                };
+                // lint:allow(R1): free list shrank when this slot was allocated — push refills retained capacity
                 self.free_mfs.push(i as u32);
                 self.live_mfs -= 1;
                 if let Some(group) = mf.key.group() {
@@ -948,13 +962,16 @@ impl Shard {
                 // Park the shell so the next macroflow creation reuses
                 // its boxes and buffers instead of allocating.
                 mf.grant_queue.clear();
+                // lint:allow(R1): shell parked for reuse — pool capacity is retained across expiry cycles
                 self.mf_pool.push(mf);
                 self.stats.macroflows_expired += 1;
                 continue;
             }
             self.try_grants(mf_id, now);
             self.emit_rate_callbacks(mf_id);
-            let mf = self.mfs[i].as_ref().expect("checked");
+            let Some(mf) = self.mfs[i].as_ref() else {
+                continue;
+            };
             needs |= !mf.grant_queue.is_empty()
                 || mf.outstanding > 0
                 || mf.granted_unnotified > 0
@@ -988,6 +1005,7 @@ impl Shard {
                     };
                     if let Some(t) = reap_after {
                         if now.since(f.last_api) >= t {
+                            // lint:allow(R1): reap scratch buffer retains capacity across ticks
                             reap.push(f.id);
                             continue;
                         }
@@ -1033,6 +1051,8 @@ impl Shard {
         );
         scanned
     }
+
+    // lint:hot-path:end
 
     /// Structural invariant check for the chaos harness and property
     /// tests: slab/free-list consistency, flow ↔ macroflow membership,
@@ -1308,14 +1328,18 @@ impl Shard {
             let Some(&home_mf) = self.group_to_mf.get(&home_key) else {
                 // The home group expired while the flow was away; this
                 // is now a plain private macroflow.
-                self.mfs[i].as_mut().expect("checked").home = None;
+                if let Some(mf) = self.mfs[i].as_mut() {
+                    mf.home = None;
+                }
                 continue;
             };
             let converged = {
                 let Ok(home) = self.mf_ref(home_mf) else {
                     continue;
                 };
-                let mf = self.mfs[i].as_ref().expect("checked");
+                let Some(mf) = self.mfs[i].as_ref() else {
+                    continue;
+                };
                 match (mf.rtt.srtt(), home.rtt.srtt()) {
                     (Some(a), Some(b)) if !b.is_zero() => {
                         let ratio = a.as_nanos() as f64 / b.as_nanos() as f64;
@@ -1332,7 +1356,9 @@ impl Shard {
             }
             let mut members = std::mem::take(&mut self.scratch_flows);
             members.clear();
-            members.extend_from_slice(&self.mfs[i].as_ref().expect("checked").flows);
+            if let Some(mf) = self.mfs[i].as_ref() {
+                members.extend_from_slice(&mf.flows);
+            }
             // Only flows that *naturally belong* to the home group go
             // back: the app may have explicitly merged foreign flows
             // onto this private macroflow, and moving those would
@@ -1406,6 +1432,7 @@ impl Shard {
 
     /// Issues grants while the window has headroom and requests wait,
     /// subject to rate pacing.
+    // lint:hot-path:start
     fn try_grants(&mut self, mf_id: MacroflowId, now: Time) {
         let pacing = self.cfg.pacing;
         let base = self.base;
@@ -1449,11 +1476,13 @@ impl Shard {
             }
             flow.granted += 1;
             mf.granted_unnotified += mf.mtu as u64;
+            // lint:allow(R1): grant queue is bounded by the window and keeps its ring capacity
             mf.grant_queue.push_back(GrantEntry {
                 flow: flow_id,
                 gen: flow_gens[local.0 as usize],
                 issued: now,
             });
+            // lint:allow(R1): outbox ring retains capacity; drained by the settle loop every event
             outbox.push_back(CmNotification::SendGrant { flow: flow_id });
             stats.grants += 1;
             tracer.record(
@@ -1552,6 +1581,7 @@ impl Shard {
             self.scratch_flows = member_flows;
             return;
         };
+        // lint:allow(R1): scratch buffer swapped in above; retains capacity across callback passes
         member_flows.extend_from_slice(&mf.flows);
         for &flow_id in &member_flows {
             let Ok(f) = self.flow_ref(flow_id) else {
@@ -1561,12 +1591,15 @@ impl Shard {
                 continue;
             };
             let last = f.last_reported_rate.unwrap_or(Rate::ZERO);
-            let mf = self.mf_ref(mf_id).expect("checked above");
+            let Ok(mf) = self.mf_ref(mf_id) else {
+                break;
+            };
             let current = mf.share_of(lid(flow_id));
             if thresh.crossed(last, current) {
-                let info = self
-                    .flow_info(flow_id, mf_id)
-                    .expect("flow and macroflow exist");
+                let Ok(info) = self.flow_info(flow_id, mf_id) else {
+                    continue;
+                };
+                // lint:allow(R1): outbox ring retains capacity; drained by the settle loop every event
                 self.outbox.push_back(CmNotification::RateChange {
                     flow: flow_id,
                     info,
@@ -1580,6 +1613,8 @@ impl Shard {
         member_flows.clear();
         self.scratch_flows = member_flows;
     }
+
+    // lint:hot-path:end
 
     fn flow_ref(&self, id: FlowId) -> CmResult<&Flow> {
         self.flows

@@ -9,6 +9,8 @@
 //! queues — a full split/merge/expire cycle performs zero heap
 //! allocation once the pool is warm.
 
+#![allow(unsafe_code)] // GlobalAlloc is an unsafe trait; the counting allocator needs it
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -143,6 +143,7 @@ pub fn run_chaos(scenario: &str, plan: &FaultPlan) -> ChaosOutcome {
         "alf_blast" => alf_blast(plan),
         "misbehaving_app" => misbehaving_app(plan),
         "flaky_trace" => flaky_trace(plan),
+        // lint:allow(R2): scenario names come from the static registry below — an unknown one is a harness bug
         other => panic!("unknown chaos scenario {other:?}"),
     }
 }
@@ -579,6 +580,7 @@ fn flaky_trace(plan: &FaultPlan) -> ChaosOutcome {
     const TOTAL: u64 = 96 * 1024;
     let schedule =
         BandwidthSchedule::parse_trace(include_str!("../../../traces/flaky_cellular.trace"))
+            // lint:allow(R2): compile-time-bundled trace — a parse failure means the shipped file is broken
             .expect("bundled trace parses");
 
     let mut topo = Topology::new(plan.seed.wrapping_add(0xc4a4));

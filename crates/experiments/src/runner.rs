@@ -121,6 +121,7 @@ pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
         let schedule = sched
             .spec
             .build()
+            // lint:allow(R2): schedule specs are compiled into the experiment table — a bad one is a harness bug
             .unwrap_or_else(|e| panic!("schedule {}: {e}", sched.name));
         for &policy in &exp.policies {
             // Fixed-policy apps (vat, co-scheduling) run their cells once.
@@ -161,6 +162,7 @@ pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
             Some((_, f)) => f,
             None => {
                 fleets.push((group, FleetStats::new(levels)));
+                // lint:allow(R2): element pushed on the previous line — last_mut cannot fail
                 &mut fleets.last_mut().expect("just pushed").1
             }
         };

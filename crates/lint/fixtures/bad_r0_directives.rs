@@ -1,0 +1,20 @@
+//! R0 fixture: broken directives. R0 can never be suppressed.
+
+// lint:hotpath:start FIXTURE-R0-UNKNOWN (typo: not a directive)
+pub fn a() {}
+
+// lint:hot-path:end FIXTURE-R0-UNMATCHED-END (no open region)
+pub fn b() {}
+
+pub fn c(x: Option<u32>) -> u32 {
+    // lint:allow(R2) FIXTURE-R0-NO-REASON
+    x.unwrap() // still fires: a bad allow suppresses nothing
+}
+
+pub fn d(x: Option<u32>) -> u32 {
+    // lint:allow(R9): FIXTURE-R0-BAD-RULE unknown rule id
+    x.unwrap_or(0)
+}
+
+// lint:hot-path:start FIXTURE-R0-NEVER-CLOSED
+pub fn e() {}

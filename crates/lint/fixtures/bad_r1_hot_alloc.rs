@@ -1,0 +1,26 @@
+//! R1 fixture: allocating calls inside a marked hot-path region.
+//! Not compiled — scanned by the fixture self-tests.
+
+pub fn cold() -> Vec<u32> {
+    // Outside any region: allocation is fine.
+    vec![1, 2, 3]
+}
+
+// lint:hot-path:start
+pub fn hot(xs: &mut Vec<u32>, label: &str) -> String {
+    let spill = Vec::new(); // FIXTURE-R1-VEC-NEW
+    xs.push(7); // FIXTURE-R1-PUSH
+    let b = Box::new(9); // FIXTURE-R1-BOX-NEW
+    let s = format!("{label}"); // FIXTURE-R1-FORMAT
+    let owned = label.to_string(); // FIXTURE-R1-TO-STRING
+    // lint:allow(R1): fixture — a suppressed allocation must not fire
+    xs.push(8);
+    drop((spill, b, owned));
+    s
+}
+// lint:hot-path:end
+
+pub fn hot_ok(total: &mut u64, x: u64) {
+    // A second, clean region: nothing here may fire.
+    *total += x;
+}

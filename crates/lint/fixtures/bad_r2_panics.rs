@@ -1,0 +1,36 @@
+//! R2 fixture: panicking calls in library code, with the two designed
+//! escape hatches (test code and `unreachable!`/asserts) exercised.
+
+pub fn bad(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // FIXTURE-R2-UNWRAP
+    let b = r.expect("boom"); // FIXTURE-R2-EXPECT
+    if a + b == 0 {
+        panic!("zero"); // FIXTURE-R2-PANIC
+    }
+    if a == 1 {
+        todo!() // FIXTURE-R2-TODO
+    }
+    if a == 2 {
+        unimplemented!() // FIXTURE-R2-UNIMPLEMENTED
+    }
+    a + b
+}
+
+pub fn legal(x: Option<u32>) -> u32 {
+    // Structural invariants are legal: unwrap_or is not unwrap, asserts
+    // and unreachable! document impossibilities.
+    assert!(x.is_some(), "caller contract");
+    match x {
+        Some(v) => v.checked_add(0).unwrap_or(0),
+        None => unreachable!("asserted above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // exempt: test code
+    }
+}

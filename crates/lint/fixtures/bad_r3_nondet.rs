@@ -1,0 +1,31 @@
+//! R3 fixture: nondeterminism sources in a deterministic crate.
+
+use std::collections::HashMap; // FIXTURE-R3-HASHMAP
+
+pub fn bad_clocks() -> u128 {
+    let t0 = std::time::Instant::now(); // FIXTURE-R3-INSTANT
+    let wall = std::time::SystemTime::now(); // FIXTURE-R3-SYSTEMTIME
+    drop(wall);
+    t0.elapsed().as_nanos()
+}
+
+pub fn bad_hashing(keys: &[u32]) -> usize {
+    let mut set = std::collections::HashSet::new(); // FIXTURE-R3-HASHSET
+    for &k in keys {
+        set.insert(k);
+    }
+    set.len()
+}
+
+pub fn legal(keys: &[u32]) -> usize {
+    // A seeded/deterministic map type is the sanctioned alternative;
+    // naming Instant as a *type* (stored deadline) is fine too.
+    let deadline: Option<std::time::Duration> = None;
+    drop(deadline);
+    keys.len()
+}
+
+// lint:allow(R3): fixture — a suppressed wall-clock read must not fire
+pub fn suppressed() -> std::time::SystemTime {
+    std::time::UNIX_EPOCH
+}

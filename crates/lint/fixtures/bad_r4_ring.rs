@@ -1,0 +1,30 @@
+//! R4 fixture: a non-Copy ring-slot type and a blocking worker loop.
+
+// lint:ring-slot
+#[derive(Clone, Debug)]
+pub enum BadSlot { // FIXTURE-R4-NON-COPY
+    Payload(String),
+}
+
+// lint:ring-slot
+#[derive(Clone, Copy, Debug)]
+pub struct GoodSlot {
+    pub seq: u32,
+    pub bytes: u64,
+}
+
+// lint:worker-loop:start
+pub fn worker(m: &std::sync::Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let guard = m.lock(); // FIXTURE-R4-LOCK
+    drop(guard);
+    let _ = rx.recv(); // FIXTURE-R4-RECV
+    std::thread::sleep(std::time::Duration::from_millis(1)); // FIXTURE-R4-SLEEP
+    // lint:allow(R4): fixture — a suppressed blocking call must not fire
+    let _ = rx.recv();
+}
+// lint:worker-loop:end
+
+pub fn front(m: &std::sync::Mutex<u32>) -> u32 {
+    // Outside the worker region blocking is legal.
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}

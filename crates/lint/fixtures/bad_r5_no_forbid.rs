@@ -1,0 +1,4 @@
+//! R5 fixture: a crate root missing `#![forbid(unsafe_code)]`.
+//! (Mentioning #![forbid(unsafe_code)] in a comment must not count.)
+
+pub fn noop() {}

@@ -1,0 +1,51 @@
+//! The `cm-lint` CLI: sweeps the workspace and prints one line per
+//! unsuppressed diagnostic (`file:line rule-id message`). Exits 0 on a
+//! clean sweep, 1 otherwise. Run from anywhere inside the repo:
+//!
+//! ```text
+//! cargo run --release -p cm-lint            # lint the whole workspace
+//! cargo run --release -p cm-lint -- <root>  # lint another checkout
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => default_root(),
+    };
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "cm-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let sweep = cm_lint::run_workspace(&root);
+    for d in &sweep.diagnostics {
+        println!("{d}");
+    }
+    if sweep.diagnostics.is_empty() {
+        eprintln!("cm-lint: {} files scanned, no diagnostics", sweep.files);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "cm-lint: {} files scanned, {} diagnostic(s)",
+            sweep.files,
+            sweep.diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace this binary was built from: two levels up from the
+/// lint crate's own manifest directory.
+fn default_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

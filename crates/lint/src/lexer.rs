@@ -1,0 +1,384 @@
+//! A minimal Rust source scanner: separates *code* from comments and
+//! literals so the rule engine never false-positives on prose.
+//!
+//! [`scrub`] produces a byte-for-byte copy of the source in which every
+//! comment, string literal, byte string, raw string, and character
+//! literal has been replaced by spaces (newlines preserved, so line
+//! numbers survive), plus the text of every comment line — the rule
+//! engine matches patterns against the scrubbed code and reads lint
+//! directives out of the comments. This is deliberately not a full
+//! lexer: it only needs to answer "is this byte code or not?", which
+//! requires exactly the literal/comment state machine below (including
+//! nested block comments, `r#".."#` raw strings with arbitrary hash
+//! counts, `b'x'` byte chars, and the char-literal/lifetime ambiguity).
+
+/// One comment line: `(1-based line number, text after the comment
+/// opener on that line)`. Block comments spanning several lines yield
+/// one entry per line so directives stay line-addressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommentLine {
+    /// 1-based source line the text sits on.
+    pub line: usize,
+    /// The comment text on that line (without `//` / `/*` openers).
+    pub text: String,
+}
+
+/// Output of [`scrub`].
+#[derive(Debug)]
+pub struct Lexed {
+    /// The source with comments and literal contents blanked to spaces.
+    /// Same length and line structure as the input.
+    pub scrubbed: String,
+    /// Every comment, split per line.
+    pub comments: Vec<CommentLine>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scrubs `src`: comments and literal bodies become spaces, code stays.
+pub fn scrub(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut out = vec![0u8; n];
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Copies src[from..to] into the output as blanks (newlines kept).
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for (k, &b) in bytes[from..to].iter().enumerate() {
+            out[from + k] = if b == b'\n' { b'\n' } else { b' ' };
+        }
+    };
+    // Records the comment text src[from..to], one entry per line.
+    let record_comment = |comments: &mut Vec<CommentLine>, text: &str, start_line: usize| {
+        for (k, part) in text.split('\n').enumerate() {
+            comments.push(CommentLine {
+                line: start_line + k,
+                text: part.to_string(),
+            });
+        }
+    };
+
+    while i < n {
+        let b = bytes[i];
+        if b == b'\n' {
+            out[i] = b'\n';
+            line += 1;
+            i += 1;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            // Line comment (covers `///` and `//!` doc comments).
+            let end = src[i..].find('\n').map_or(n, |p| i + p);
+            record_comment(&mut comments, &src[i + 2..end], line);
+            blank(&mut out, i, end);
+            i = end;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            // Block comment, possibly nested.
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                } else if bytes[j] == b'/' && j + 1 < n && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < n && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let inner_end = if depth == 0 { j - 2 } else { j };
+            record_comment(&mut comments, &src[i + 2..inner_end], start_line);
+            blank(&mut out, i, j);
+            i = j;
+        } else if b == b'"' {
+            let j = skip_string(bytes, i, &mut line);
+            blank(&mut out, i, j);
+            i = j;
+        } else if b == b'r'
+            && (i == 0 || !is_ident(bytes[i - 1]))
+            && i + 1 < n
+            && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#')
+        {
+            match skip_raw_string(bytes, i + 1, &mut line) {
+                Some(j) => {
+                    blank(&mut out, i, j);
+                    i = j;
+                }
+                None => {
+                    // `r#ident` raw identifier, not a raw string.
+                    out[i] = b;
+                    i += 1;
+                }
+            }
+        } else if b == b'b' && (i == 0 || !is_ident(bytes[i - 1])) && i + 1 < n {
+            match bytes[i + 1] {
+                b'"' => {
+                    let j = skip_string(bytes, i + 1, &mut line);
+                    blank(&mut out, i, j);
+                    i = j;
+                }
+                b'\'' => {
+                    let j = skip_char_literal(bytes, i + 1).unwrap_or(i + 2);
+                    blank(&mut out, i, j);
+                    i = j;
+                }
+                b'r' if i + 2 < n && (bytes[i + 2] == b'"' || bytes[i + 2] == b'#') => {
+                    match skip_raw_string(bytes, i + 2, &mut line) {
+                        Some(j) => {
+                            blank(&mut out, i, j);
+                            i = j;
+                        }
+                        None => {
+                            out[i] = b;
+                            i += 1;
+                        }
+                    }
+                }
+                _ => {
+                    out[i] = b;
+                    i += 1;
+                }
+            }
+        } else if b == b'\'' {
+            match skip_char_literal(bytes, i) {
+                Some(j) => {
+                    blank(&mut out, i, j);
+                    i = j;
+                }
+                None => {
+                    // A lifetime (`'a`); the tick is harmless code.
+                    out[i] = b;
+                    i += 1;
+                }
+            }
+        } else {
+            out[i] = b;
+            i += 1;
+        }
+    }
+
+    // Only whole literals/comments were blanked, so surviving bytes are
+    // exactly the original code bytes and remain valid UTF-8.
+    let scrubbed = String::from_utf8_lossy(&out).into_owned();
+    Lexed { scrubbed, comments }
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the
+/// index one past the closing quote. Tracks newlines into `line`.
+fn skip_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    let mut j = start + 1;
+    while j < n {
+        match bytes[j] {
+            // An escape skips the next byte — which may be the newline of
+            // a `\`-continuation, and that newline still counts.
+            b'\\' => {
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw string whose hash run (possibly empty) starts at
+/// `hashes_at`. Returns `None` if this is not a raw string after all
+/// (e.g. the `r#ident` raw-identifier syntax).
+fn skip_raw_string(bytes: &[u8], hashes_at: usize, line: &mut usize) -> Option<usize> {
+    let n = bytes.len();
+    let mut j = hashes_at;
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    while j < n {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && bytes[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    Some(n)
+}
+
+/// Decides whether the `'` at `start` opens a character literal (as
+/// opposed to a lifetime). Returns the index one past the closing `'`
+/// for a literal, `None` for a lifetime.
+fn skip_char_literal(bytes: &[u8], start: usize) -> Option<usize> {
+    let n = bytes.len();
+    let mut j = start + 1;
+    if j >= n {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escaped char: consume the escape, then expect the close.
+        j += 1;
+        if j < n && bytes[j] == b'x' {
+            j += 3;
+        } else if j < n && bytes[j] == b'u' {
+            while j < n && bytes[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+        if j < n && bytes[j] == b'\'' {
+            return Some(j + 1);
+        }
+        return Some(j.min(n));
+    }
+    // One (possibly multi-byte) char followed by a closing quote is a
+    // char literal; anything else (ident char, no close) is a lifetime.
+    if bytes[j] == b'\'' {
+        // `''` — empty, treat as malformed literal; consume both.
+        return Some(j + 1);
+    }
+    let ch_len = utf8_len(bytes[j]);
+    let close = j + ch_len;
+    if close < n && bytes[close] == b'\'' {
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >= 0xF0 {
+        4
+    } else if first >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> String {
+        scrub(src).scrubbed
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"a \\\nb \\\nc\";\n// after\n";
+        let lexed = scrub(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 4, "{:?}", lexed.comments);
+    }
+
+    #[test]
+    fn line_comments_are_blanked_and_recorded() {
+        let lexed = scrub("let x = 1; // lint:hot-path:start\nlet y = 2;\n");
+        assert!(!lexed.scrubbed.contains("lint:"));
+        assert!(lexed.scrubbed.contains("let x = 1;"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].text.trim(), "lint:hot-path:start");
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let s = code(r#"let x = "Box::new inside a string"; call();"#);
+        assert!(!s.contains("Box::new"));
+        assert!(s.contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let s = code(r###"let x = r#"vec![1] "quoted""#; done();"###);
+        assert!(!s.contains("vec!"));
+        assert!(s.contains("done();"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let s = code("fn r#type() { body(); }\nafter();");
+        assert!(s.contains("body();"));
+        assert!(s.contains("after();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = code("let q: Vec<'static> = v('\\'', 'x', '\"'); fn f<'a>(x: &'a str) {}");
+        // The quote char literal must not swallow the rest of the line.
+        assert!(s.contains("fn f<"));
+        assert!(s.contains("a str"));
+        // Char-literal contents are gone.
+        assert!(!s.contains('x') || s.contains("x: &"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = scrub("a(); /* one /* two */ still comment */ b();\n");
+        assert!(lexed.scrubbed.contains("a();"));
+        assert!(lexed.scrubbed.contains("b();"));
+        assert!(!lexed.scrubbed.contains("comment"));
+    }
+
+    #[test]
+    fn block_comment_lines_recorded_per_line() {
+        let lexed = scrub("/* first\nsecond\nthird */\ncode();\n");
+        let lines: Vec<usize> = lexed.comments.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+        assert!(lexed.scrubbed.contains("code();"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let s = code(r#"let b = b"panic! bytes"; let c = b'x'; ok();"#);
+        assert!(!s.contains("panic!"));
+        assert!(s.contains("ok();"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = scrub("let s = \"line one\nline two\";\n// after\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 3);
+    }
+
+    #[test]
+    fn scrubbed_preserves_length_and_newlines() {
+        let src = "let a = 1; /* c */\nlet b = \"two\";\n";
+        let s = code(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+}

@@ -277,6 +277,7 @@ impl Link {
         let pkt = self
             .in_flight
             .take()
+            // lint:allow(R2): event-order invariant — LinkTxDone is only ever scheduled with a packet in flight
             .expect("LinkTxDone without a packet in flight");
         self.stats.transmitted += 1;
         self.stats.bytes_transmitted += pkt.size as u64;

@@ -388,11 +388,13 @@ impl Simulator {
         self.start_if_needed();
         let mut node = self.nodes[id.0]
             .take()
+            // lint:allow(R2): documented panic — re-entrant with_node is a caller bug
             .expect("node missing (re-entrant with_node?)");
         let result = {
             let any: &mut dyn Any = node.as_mut();
             let typed = any
                 .downcast_mut::<T>()
+                // lint:allow(R2): documented panic — wrong node type is a caller bug
                 .expect("with_node called with wrong node type");
             let mut ctx = NodeCtx {
                 now: self.now,
@@ -414,9 +416,11 @@ impl Simulator {
     pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
         let node = self.nodes[id.0]
             .as_ref()
+            // lint:allow(R2): documented panic — node_ref during dispatch is a caller bug
             .expect("node missing (called during dispatch?)");
         let any: &dyn Any = node.as_ref();
         any.downcast_ref::<T>()
+            // lint:allow(R2): documented panic — wrong node type is a caller bug
             .expect("node_ref called with wrong node type")
     }
 
@@ -427,7 +431,9 @@ impl Simulator {
         self.started = true;
         for i in 0..self.nodes.len() {
             let id = NodeId(i);
-            let mut node = self.nodes[i].take().expect("node missing at start");
+            let Some(mut node) = self.nodes[i].take() else {
+                continue;
+            };
             let mut ctx = NodeCtx {
                 now: self.now,
                 node: id,
@@ -527,7 +533,9 @@ impl Simulator {
                 if !armed {
                     return;
                 }
-                let mut n = self.nodes[node.0].take().expect("node missing for timer");
+                let Some(mut n) = self.nodes[node.0].take() else {
+                    return;
+                };
                 let mut ctx = NodeCtx {
                     now: self.now,
                     node,
@@ -541,7 +549,9 @@ impl Simulator {
     }
 
     fn deliver(&mut self, to: NodeId, pkt: Packet) {
-        let mut n = self.nodes[to.0].take().expect("node missing for delivery");
+        let Some(mut n) = self.nodes[to.0].take() else {
+            return;
+        };
         let mut ctx = NodeCtx {
             now: self.now,
             node: to,

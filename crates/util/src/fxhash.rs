@@ -35,7 +35,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            self.add(u64::from_le_bytes(word));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {

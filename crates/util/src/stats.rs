@@ -98,7 +98,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let q = q.clamp(0.0, 1.0);
         let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
         sorted[idx]

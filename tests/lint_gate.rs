@@ -1,0 +1,28 @@
+//! The workspace lint gate: `cargo test -q` fails if any source in the
+//! tree violates the R1–R5 rules (docs/lint.md). The same sweep runs in
+//! CI as the "Static analysis" step via `cargo run --release -p cm-lint`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sweep = cm_lint::run_workspace(root);
+    assert!(
+        sweep.files > 100,
+        "suspiciously small sweep ({} files): did workspace discovery break?",
+        sweep.files
+    );
+    if !sweep.diagnostics.is_empty() {
+        let mut report = String::new();
+        for d in &sweep.diagnostics {
+            report.push_str(&format!("{d}\n"));
+        }
+        panic!(
+            "cm-lint: {} unsuppressed diagnostic(s)\n{report}\
+             fix the violation or add a single-line `// lint:allow(R?): <reason>` \
+             on (or directly above) the flagged line",
+            sweep.diagnostics.len()
+        );
+    }
+}

@@ -21,6 +21,8 @@
 //! fast CI check that benches still compile *and execute* without
 //! measuring anything.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

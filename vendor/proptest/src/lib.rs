@@ -11,6 +11,8 @@
 //! shrinking** — a failing case reports its inputs via `Debug` and the
 //! case index instead.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -4,4 +4,6 @@
 //! `#[derive(Serialize, Deserialize)]` markers; no code path serializes,
 //! so the derives expand to nothing and no traits are required.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};

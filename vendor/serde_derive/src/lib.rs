@@ -7,6 +7,8 @@
 //! simply expand to nothing. Swap this path dependency for the real crate
 //! the day wire serialization is needed.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.
